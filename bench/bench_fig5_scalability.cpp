@@ -1,0 +1,65 @@
+// Figure 5: scalability of OCT_MPI and OCT_MPI+CILK on the Blue Tongue
+// Virus — speedup T_12 / T_p versus the number of 12-core nodes.
+//
+// The paper runs the 6M-atom BTV on up to 36 nodes (432 cores). The
+// default here uses a scaled BTV' (atom count set by --scale / quick
+// mode); the workload is a hollow capsid shell either way, which is what
+// drives the far-field-heavy tree behaviour. Times are modeled from
+// measured per-rank work and collective volumes (DESIGN.md §2).
+
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace octgb;
+
+int main(int argc, char** argv) {
+  double scale = bench::quick_mode() ? 0.005 : 0.01;  // of 6M atoms
+  int max_nodes = 36;
+  util::Args args;
+  args.add("scale", &scale, "BTV scale factor (1.0 = 6M atoms)");
+  args.add("max-nodes", &max_nodes, "largest node count to simulate");
+  args.parse(argc, argv);
+
+  perf::MachineModel machine;
+  bench::print_environment(machine);
+
+  std::printf("Preparing BTV' (scale %.3f)...\n", scale);
+  bench::Prepared p = bench::prepare(mol::make_btv(scale));
+  std::printf("BTV': %zu atoms, %zu quadrature points\n\n", p.atoms(),
+              p.surf.size());
+
+  util::Table t(
+      "Fig. 5 — speedup w.r.t. one node (12 cores), BTV', eps=0.9/0.9");
+  t.header({"nodes", "cores", "OCT_MPI t", "OCT_MPI speedup",
+            "OCT_MPI+CILK t", "OCT_MPI+CILK speedup"});
+
+  double t12_mpi = 0.0, t12_hyb = 0.0;
+  const int node_counts[] = {1, 2, 4, 8, 12, 16, 24, 30, 36};
+  for (int nodes : node_counts) {
+    if (nodes > max_nodes) break;
+    const int cores = nodes * machine.cores_per_node;
+    const auto mpi =
+        bench::run_config(*p.engine, bench::oct_mpi_config(cores));
+    const auto hyb =
+        bench::run_config(*p.engine, bench::oct_hybrid_config(cores));
+    if (nodes == 1) {
+      t12_mpi = mpi.total_seconds;
+      t12_hyb = hyb.total_seconds;
+    }
+    t.row({util::format("%d", nodes), util::format("%d", cores),
+           bench::fmt_time(mpi.total_seconds),
+           util::format("%.2f", t12_mpi / mpi.total_seconds),
+           bench::fmt_time(hyb.total_seconds),
+           util::format("%.2f", t12_hyb / hyb.total_seconds)});
+  }
+  t.print();
+  bench::save_csv(t, "fig5_scalability");
+
+  std::puts(
+      "\nPaper shape check: both variants scale to tens of nodes; the "
+      "hybrid curve pulls ahead at high node counts as the pure-MPI "
+      "collective volume (P-fold gathers) and per-socket cache pressure "
+      "grow.");
+  return 0;
+}

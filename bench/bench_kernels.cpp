@@ -1,0 +1,174 @@
+// Kernel microbenchmarks (google-benchmark): octree construction, surface
+// sampling, the Born and Epol kernels, fast math, the work-stealing
+// scheduler, and mpp collectives. These measure *real wall time on this
+// host* (unlike the figure benches, which model the paper's cluster).
+
+#include <benchmark/benchmark.h>
+
+#include "octgb/octgb.hpp"
+
+using namespace octgb;
+
+namespace {
+
+const mol::Molecule& test_molecule(std::size_t atoms) {
+  static std::map<std::size_t, mol::Molecule> cache;
+  auto it = cache.find(atoms);
+  if (it == cache.end()) {
+    it = cache.emplace(atoms, mol::generate_protein(
+                                  {.target_atoms = atoms, .seed = 99}))
+             .first;
+  }
+  return it->second;
+}
+
+const surface::Surface& test_surface(std::size_t atoms) {
+  static std::map<std::size_t, surface::Surface> cache;
+  auto it = cache.find(atoms);
+  if (it == cache.end()) {
+    it = cache.emplace(atoms, surface::build_surface(test_molecule(atoms),
+                                                     {.subdivision = 1}))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+static void BM_OctreeBuild(benchmark::State& state) {
+  const auto& m = test_molecule(static_cast<std::size_t>(state.range(0)));
+  std::vector<geom::Vec3> pts(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) pts[i] = m.atom(i).pos;
+  for (auto _ : state) {
+    auto t = octree::Octree::build(pts);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OctreeBuild)->Arg(1000)->Arg(4000)->Arg(16000);
+
+static void BM_NbListBuild(benchmark::State& state) {
+  const auto& m = test_molecule(4000);
+  std::vector<geom::Vec3> pts(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) pts[i] = m.atom(i).pos;
+  const double cutoff = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto nb = octree::NbList::build(pts, {.cutoff = cutoff, .max_bytes = 0});
+    benchmark::DoNotOptimize(nb);
+  }
+}
+BENCHMARK(BM_NbListBuild)->Arg(6)->Arg(12)->Arg(20);
+
+static void BM_SurfaceBuild(benchmark::State& state) {
+  const auto& m = test_molecule(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto s = surface::build_surface(m, {.subdivision = 1});
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SurfaceBuild)->Arg(1000)->Arg(4000);
+
+static void BM_BornPhase(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::GBEngine engine(test_molecule(n), test_surface(n));
+  std::vector<double> node_s(engine.num_ta_nodes());
+  std::vector<double> atom_s(engine.num_atoms());
+  for (auto _ : state) {
+    std::fill(node_s.begin(), node_s.end(), 0.0);
+    std::fill(atom_s.begin(), atom_s.end(), 0.0);
+    perf::WorkCounters wc;
+    engine.phase_integrals(
+        {0, static_cast<std::uint32_t>(engine.q_leaves().size())}, node_s,
+        atom_s, wc);
+    benchmark::DoNotOptimize(atom_s.data());
+  }
+}
+BENCHMARK(BM_BornPhase)->Arg(1000)->Arg(4000);
+
+static void BM_EpolPhase(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::GBEngine engine(test_molecule(n), test_surface(n));
+  const auto result = engine.compute();
+  std::vector<double> born_tree(engine.num_atoms());
+  const auto idx = engine.atoms_tree().tree.point_index();
+  for (std::size_t pos = 0; pos < idx.size(); ++pos)
+    born_tree[pos] = result.born[idx[pos]];
+  const auto ctx = engine.build_epol_context(born_tree);
+  for (auto _ : state) {
+    perf::WorkCounters wc;
+    const double e = engine.phase_epol(
+        ctx, born_tree,
+        {0, static_cast<std::uint32_t>(engine.a_leaves().size())}, wc);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_EpolPhase)->Arg(1000)->Arg(4000);
+
+static void BM_FastRsqrt(benchmark::State& state) {
+  double x = 1.0;
+  for (auto _ : state) {
+    x += 1.0;
+    benchmark::DoNotOptimize(core::fast_rsqrt(x));
+  }
+}
+BENCHMARK(BM_FastRsqrt);
+
+static void BM_ExactRsqrt(benchmark::State& state) {
+  double x = 1.0;
+  for (auto _ : state) {
+    x += 1.0;
+    benchmark::DoNotOptimize(1.0 / std::sqrt(x));
+  }
+}
+BENCHMARK(BM_ExactRsqrt);
+
+static void BM_FastExp(benchmark::State& state) {
+  double x = 0.0;
+  for (auto _ : state) {
+    x = x > 20 ? 0.0 : x + 1e-3;
+    benchmark::DoNotOptimize(core::fast_exp(-x));
+  }
+}
+BENCHMARK(BM_FastExp);
+
+static void BM_ExactExp(benchmark::State& state) {
+  double x = 0.0;
+  for (auto _ : state) {
+    x = x > 20 ? 0.0 : x + 1e-3;
+    benchmark::DoNotOptimize(std::exp(-x));
+  }
+}
+BENCHMARK(BM_ExactExp);
+
+static void BM_SchedulerForkJoin(benchmark::State& state) {
+  ws::Scheduler sched(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<long> sum{0};
+    sched.run([&] {
+      ws::Scheduler::parallel_for(0, 100000, 512,
+                                  [&](std::int64_t lo, std::int64_t hi) {
+                                    long s = 0;
+                                    for (auto i = lo; i < hi; ++i) s += i;
+                                    sum += s;
+                                  });
+    });
+    benchmark::DoNotOptimize(sum.load());
+  }
+}
+BENCHMARK(BM_SchedulerForkJoin)->Arg(1)->Arg(2)->Arg(4);
+
+static void BM_MppAllreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpp::Runtime::Options opts;
+    opts.ranks = ranks;
+    mpp::Runtime::run(opts, [](mpp::Comm& c) {
+      std::vector<double> v(1024, static_cast<double>(c.rank()));
+      c.allreduce_sum(std::span<double>(v));
+      benchmark::DoNotOptimize(v[0]);
+    });
+  }
+}
+BENCHMARK(BM_MppAllreduce)->Arg(2)->Arg(4)->Arg(8);
+
+BENCHMARK_MAIN();

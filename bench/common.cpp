@@ -1,0 +1,120 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace octgb::bench {
+
+void print_environment(const perf::MachineModel& machine) {
+  util::Table t("Simulation environment (Table I; modeled — see DESIGN.md)");
+  t.header({"attribute", "property"});
+  t.row({"Processors", util::format("%.2f GHz hexa-core Intel Westmere "
+                                    "(modeled)",
+                                    machine.clock_hz / 1e9)});
+  t.row({"Cores/node", util::format("%d", machine.cores_per_node)});
+  t.row({"RAM", util::human_bytes(machine.ram_bytes)});
+  t.row({"Interconnect", util::format(
+                             "InfiniBand fat-tree (t_s=%.1f us, %.1f GB/s)",
+                             machine.net_ts * 1e6, 1e-9 / machine.net_tw)});
+  t.row({"Cache", util::format("%s shared L3 per socket",
+                               util::human_bytes(machine.l3_bytes).c_str())});
+  t.row({"Parallelism", "octgb::ws (cilk-style) + octgb::mpp (MPI-style)"});
+  t.print();
+  std::puts("");
+}
+
+void print_package_table() {
+  util::Table t("Packages, GB models and parallelism (Table II)");
+  t.header({"package", "GB model", "parallelism"});
+  for (const auto& p : baselines::package_registry()) {
+    const char* par = p.parallelism == baselines::Parallelism::Serial
+                          ? "Serial"
+                          : (p.parallelism ==
+                                     baselines::Parallelism::SharedMemory
+                                 ? "Shared (OpenMP-like)"
+                                 : "Distributed (MPI-like)");
+    t.row({p.name, p.gb_model, par});
+  }
+  t.row({"OCT_CILK", "STILL", "Shared (octgb::ws)"});
+  t.row({"OCT_MPI", "STILL", "Distributed (octgb::mpp)"});
+  t.row({"OCT_MPI+CILK", "STILL", "Distributed + shared (hybrid)"});
+  t.row({"Naive", "STILL", "Serial"});
+  t.print();
+  std::puts("");
+}
+
+void save_csv(const util::Table& table, const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  const std::string path = "bench_out/" + name + ".csv";
+  if (table.write_csv(path)) {
+    std::printf("[csv] wrote %s\n", path.c_str());
+  } else {
+    std::printf("[csv] FAILED to write %s\n", path.c_str());
+  }
+}
+
+bool quick_mode() {
+  const char* env = std::getenv("OCTGB_BENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+std::vector<mol::BenchmarkEntry> zdock_selection() {
+  const auto all = mol::zdock_set();
+  std::vector<mol::BenchmarkEntry> out;
+  if (!quick_mode()) {
+    out.assign(all.begin(), all.end());
+    return out;
+  }
+  for (std::size_t i = 0; i < all.size(); i += 4) out.push_back(all[i]);
+  if (out.back().name != all.back().name) out.push_back(all.back());
+  return out;
+}
+
+Prepared prepare(mol::Molecule molecule, core::EngineConfig config) {
+  Prepared p;
+  p.molecule = std::move(molecule);
+  surface::SurfaceParams sp;
+  sp.subdivision = p.molecule.size() > 20000 ? 0 : 1;
+  p.surf = surface::build_surface(p.molecule, sp);
+  p.engine = std::make_unique<core::GBEngine>(p.molecule, p.surf, config);
+  return p;
+}
+
+sim::ClusterConfig oct_cilk_config(int cores) {
+  sim::ClusterConfig c;
+  c.ranks = 1;
+  c.threads_per_rank = cores;
+  return c;
+}
+
+sim::ClusterConfig oct_mpi_config(int cores) {
+  sim::ClusterConfig c;
+  c.ranks = cores;
+  c.threads_per_rank = 1;
+  c.topology.ranks_per_node = 12;
+  return c;
+}
+
+sim::ClusterConfig oct_hybrid_config(int cores) {
+  sim::ClusterConfig c;
+  // One rank per socket with 6 workers (ibrun-style affinity, §V-A).
+  c.threads_per_rank = 6;
+  c.ranks = std::max(1, cores / 6);
+  c.topology.ranks_per_node = 2;
+  return c;
+}
+
+sim::SimResult run_config(const core::GBEngine& engine,
+                          const sim::ClusterConfig& config) {
+  return sim::simulate_cluster(engine, config);
+}
+
+std::string fmt_time(double seconds) {
+  if (seconds < 1.0) return util::format("%.2f ms", seconds * 1e3);
+  if (seconds < 120.0) return util::format("%.2f s", seconds);
+  return util::format("%.1f min", seconds / 60.0);
+}
+
+}  // namespace octgb::bench

@@ -1,0 +1,70 @@
+#pragma once
+/// \file common.hpp
+/// Shared infrastructure for the figure/table benchmark binaries.
+///
+/// Every bench prints (a) the simulation-environment header (Table I),
+/// (b) the figure's rows as an aligned table, and (c) writes a CSV next to
+/// the binary (bench_out/<name>.csv) for replotting. Timing semantics are
+/// described in DESIGN.md §2: operation counts and communication volumes
+/// are measured, times are modeled on the Table I machine.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "octgb/octgb.hpp"
+
+namespace octgb::bench {
+
+/// Print the Table I machine description once per bench.
+void print_environment(const perf::MachineModel& machine);
+
+/// Print Table II (packages, GB models, parallelism).
+void print_package_table();
+
+/// Write a table's CSV under bench_out/ (created on demand); logs the path.
+void save_csv(const util::Table& table, const std::string& name);
+
+/// True when the environment asks for reduced workloads
+/// (OCTGB_BENCH_QUICK=1): benches subsample molecules and shrink the
+/// virus shells so a full `for b in build/bench/*` sweep stays short.
+bool quick_mode();
+
+/// The ZDock subset to run: every molecule normally, every 4th in quick
+/// mode (always keeping the smallest and largest).
+std::vector<mol::BenchmarkEntry> zdock_selection();
+
+/// One fully prepared problem: molecule + sampled surface + engine.
+struct Prepared {
+  mol::Molecule molecule;
+  surface::Surface surf;
+  std::unique_ptr<core::GBEngine> engine;
+
+  std::size_t atoms() const { return molecule.size(); }
+};
+
+/// Build a problem with bench-standard surface parameters (icosphere
+/// subdivision 1 for proteins ≤ 20k atoms, 0 for larger shells — the
+/// paper's CMV has ≈ 3.8 q-points per atom, matching subdivision 0 on
+/// shells).
+Prepared prepare(mol::Molecule molecule, core::EngineConfig config = {});
+
+/// The paper's cluster configurations on the Table I machine.
+/// OCT_CILK: 1 process × `cores` threads.
+sim::ClusterConfig oct_cilk_config(int cores = 12);
+/// OCT_MPI: `cores` single-thread ranks, 12 per node.
+sim::ClusterConfig oct_mpi_config(int cores = 12);
+/// OCT_MPI+CILK: 2 ranks of 6 threads per node (one rank per socket, the
+/// paper's affinity setup of §V-A).
+sim::ClusterConfig oct_hybrid_config(int cores = 12);
+
+/// Convenience: run one simulated configuration.
+sim::SimResult run_config(const core::GBEngine& engine,
+                          const sim::ClusterConfig& config);
+
+/// Format seconds for tables (ms below 1 s, like the paper's plots).
+std::string fmt_time(double seconds);
+
+}  // namespace octgb::bench

@@ -1,0 +1,59 @@
+// Speed–accuracy tuning: sweep the approximation parameters and watch the
+// measured work and error trade off (§II: "by tuning these parameters one
+// can get a more accurate approximation of Epol at the cost of increasing
+// the running time and vice versa" — with space usage independent of the
+// parameter, unlike cutoff-based methods).
+
+#include <cstdio>
+
+#include "octgb/octgb.hpp"
+
+using namespace octgb;
+
+int main(int argc, char** argv) {
+  int atoms = 4000;
+  util::Args args;
+  args.add("atoms", &atoms, "synthetic protein size");
+  args.parse(argc, argv);
+
+  const mol::Molecule molecule = mol::generate_protein(
+      {.target_atoms = static_cast<std::size_t>(atoms), .seed = 5});
+  const surface::Surface surf = surface::build_surface(molecule);
+
+  const auto naive_born = core::naive_born_radii(molecule, surf);
+  const double naive_e = core::naive_epol(molecule, naive_born);
+  std::printf("%zu atoms, exact Epol = %.2f kcal/mol\n\n", molecule.size(),
+              naive_e);
+
+  util::Table t("speed-accuracy tradeoff (both eps swept together)");
+  t.header({"eps", "interactions", "vs naive work", "wall", "err %",
+            "octree bytes"});
+
+  const double naive_work =
+      double(molecule.size()) * double(surf.size()) +
+      double(molecule.size()) * double(molecule.size());
+
+  for (double eps : {0.1, 0.3, 0.5, 0.9, 1.5, 3.0}) {
+    core::EngineConfig cfg;
+    cfg.approx.eps_born = eps;
+    cfg.approx.eps_epol = eps;
+    core::GBEngine engine(molecule, surf, cfg);
+    perf::Timer timer;
+    const auto r = engine.compute();
+    t.row({util::format("%.1f", eps),
+           util::format("%llu", static_cast<unsigned long long>(
+                                    r.work.total_interactions())),
+           util::format("%.2f", double(r.work.total_interactions()) /
+                                    naive_work),
+           util::human_seconds(timer.seconds()),
+           util::format("%+.4f", perf::percent_error(r.epol, naive_e)),
+           // Space does NOT change with eps — the paper's key contrast
+           // with cutoff-based nblists.
+           util::human_bytes(double(engine.footprint_bytes()))});
+  }
+  t.print();
+  std::puts(
+      "\nNote the last column: octree memory is identical at every eps — "
+      "the space/accuracy decoupling that nblist-based packages lack.");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// PDB pipeline: write a synthetic molecule to a real PDB file, read it
+// back, assign radii/charges, and verify the energy survives the
+// round-trip — the workflow for feeding external structures to octgb.
+
+#include <cstdio>
+
+#include "octgb/octgb.hpp"
+
+using namespace octgb;
+
+int main(int argc, char** argv) {
+  int atoms = 800;
+  std::string path = "example_molecule.pdb";
+  util::Args args;
+  args.add("atoms", &atoms, "synthetic protein size");
+  args.add("out", &path, "PDB file to write");
+  args.parse(argc, argv);
+
+  const mol::Molecule original = mol::generate_protein(
+      {.target_atoms = static_cast<std::size_t>(atoms), .seed = 77});
+
+  if (!mol::write_pdb_file(original, path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu atoms, %zu residues)\n", path.c_str(),
+              original.size(),
+              static_cast<std::size_t>(original.labels().back().residue_seq));
+
+  const mol::Molecule parsed = mol::read_pdb_file(path);
+  std::printf("read back %zu atoms, net charge %+.2f e\n", parsed.size(),
+              parsed.net_charge());
+
+  auto energy = [](const mol::Molecule& m) {
+    const auto surf = surface::build_surface(m);
+    core::GBEngine engine(m, surf);
+    return engine.compute().epol;
+  };
+  const double e_original = energy(original);
+  const double e_parsed = energy(parsed);
+  std::printf(
+      "\nEpol original  = %.2f kcal/mol\nEpol round-trip = %.2f kcal/mol\n"
+      "difference     = %.4f %% (PDB stores 3 decimals of position)\n",
+      e_original, e_parsed, perf::percent_error(e_parsed, e_original));
+  return 0;
+}

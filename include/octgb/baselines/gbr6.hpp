@@ -1,0 +1,32 @@
+#pragma once
+/// \file gbr6.hpp
+/// GBr6 (Tjong & Zhou 2007): *volume-based* r⁶ Born radii — the serial
+/// comparator whose approach differs from the paper's *surface-based* r⁶.
+///
+/// Grycuk's identity for a solute region Ω:
+///   1/R_i³ = 1/ρ_i³ − (3/4π) ∫_{Ω \ ball_i} dV / |r − x_i|⁶
+/// evaluated here on a uniform grid over the molecule's bounding box
+/// (cells whose center lies inside any atom sphere count as solute). This
+/// is O(atoms × solute-cells) and strictly serial, which is why GBr6 falls
+/// behind every parallel engine and runs out of memory first (Fig. 8/11).
+
+#include <vector>
+
+#include "octgb/mol/molecule.hpp"
+#include "octgb/perf/counters.hpp"
+
+namespace octgb::baselines {
+
+struct Gbr6Params {
+  double grid_spacing = 0.7;  ///< Å
+  /// Grid byte budget (simulated 24 GB node); exceeding it throws
+  /// octree::NbListOutOfMemory like the nblist engines.
+  std::size_t max_bytes = std::size_t{20} * 1024 * 1024 * 1024;
+};
+
+/// Volume-based r⁶ Born radii.
+std::vector<double> gbr6_born_radii(const mol::Molecule& mol,
+                                    const Gbr6Params& params = {},
+                                    perf::WorkCounters* counters = nullptr);
+
+}  // namespace octgb::baselines

@@ -1,0 +1,51 @@
+#pragma once
+/// \file born.hpp
+/// The paper's Fig. 2 kernels: APPROX-INTEGRALS (near–far approximation of
+/// the r⁶ Born surface integral, accumulating node partials s_A and leaf
+/// exact sums s_a) and PUSH-INTEGRALS-TO-ATOMS (top-down prefix push and
+/// Born-radius finalization).
+///
+/// Work division follows §IV: the caller hands each rank a *segment of T_Q
+/// leaf ids* (node-based division); inside a rank, the leaf loop and the
+/// T_A recursion run under the work-stealing scheduler when one is active.
+/// Accumulation into the shared s-arrays uses std::atomic_ref, so
+/// concurrent leaf tasks compose correctly.
+
+#include <cstdint>
+#include <span>
+
+#include "octgb/core/trees.hpp"
+#include "octgb/perf/counters.hpp"
+
+namespace octgb::core {
+
+/// Accumulate approximate integrals for the given T_Q leaves into
+/// `node_s` (one slot per T_A node) and `atom_s` (one slot per atom, tree
+/// order). Both spans must be pre-sized and are added to, not overwritten —
+/// ranks each process disjoint leaf sets and then Allreduce the arrays.
+/// Thread-safe. Counter updates are batched per leaf.
+void approx_integrals(const AtomsTree& ta, const QPointsTree& tq,
+                      std::span<const std::uint32_t> q_leaf_ids,
+                      double eps_born, bool approx_math,
+                      std::span<double> node_s, std::span<double> atom_s,
+                      perf::WorkCounters& counters,
+                      bool strict_criterion = false);
+
+/// Finalize Born radii for atoms whose *tree position* lies in
+/// [atom_begin, atom_end): descend T_A accumulating the ancestor prefix
+/// s = Σ s_A′ and write R = max(r_vdw, ((s + s_a)/4π)^(−1/3)) into
+/// `born_tree` (tree order). Subtrees entirely outside the segment are
+/// skipped, matching the paper's per-process traversal cost of
+/// O((1/P)(M log M)/p).
+void push_integrals_to_atoms(const AtomsTree& ta,
+                             std::span<const double> node_s,
+                             std::span<const double> atom_s,
+                             std::uint32_t atom_begin, std::uint32_t atom_end,
+                             bool approx_math, std::span<double> born_tree,
+                             perf::WorkCounters& counters);
+
+/// Reciprocal sixth power of the distance with optional approximate math:
+/// 1/r⁶ from r² (shared by the Born kernels and the naive engine tests).
+double inv_r6(double r2, bool approx_math);
+
+}  // namespace octgb::core

@@ -1,0 +1,121 @@
+#pragma once
+/// \file engine.hpp
+/// GBEngine — the library's main façade. Owns the two octrees for one
+/// molecule + surface and exposes (a) a one-call compute() covering the
+/// Naive-with-octree / OCT_CILK configurations and (b) the segment-level
+/// phase API the distributed drivers (hybrid.hpp, sim/) are built on.
+
+#include <memory>
+#include <vector>
+
+#include "octgb/core/born.hpp"
+#include "octgb/core/epol.hpp"
+#include "octgb/core/gb_params.hpp"
+#include "octgb/core/trees.hpp"
+#include "octgb/core/workdiv.hpp"
+#include "octgb/perf/counters.hpp"
+#include "octgb/ws/scheduler.hpp"
+
+namespace octgb::core {
+
+/// Engine configuration: approximation parameters, GB constants, octree
+/// build knobs.
+struct EngineConfig {
+  ApproxParams approx;
+  GBParams gb;
+  octree::BuildParams atoms_tree_params{.max_leaf_size = 32};
+  octree::BuildParams qpoints_tree_params{.max_leaf_size = 64};
+};
+
+/// Result of a full energy evaluation.
+struct EnergyResult {
+  double epol = 0.0;               ///< kcal/mol
+  std::vector<double> born;        ///< Born radii, input (original) order
+  perf::WorkCounters work;         ///< measured operation counts
+  double wall_seconds = 0.0;       ///< actual wall time of compute()
+};
+
+/// Octree-based GB energy engine for one molecule + sampled surface.
+class GBEngine {
+ public:
+  GBEngine(const mol::Molecule& mol, const surface::Surface& surf,
+           EngineConfig config = {});
+
+  const EngineConfig& config() const { return config_; }
+  EngineConfig& config() { return config_; }
+
+  const AtomsTree& atoms_tree() const { return ta_; }
+  const QPointsTree& qpoints_tree() const { return tq_; }
+  std::size_t num_atoms() const { return ta_.num_atoms(); }
+  std::size_t num_ta_nodes() const { return ta_.tree.nodes().size(); }
+
+  /// T_Q leaf ids (Born-phase work units) and T_A leaf ids (energy-phase
+  /// work units) in tree order.
+  const std::vector<std::uint32_t>& q_leaves() const {
+    return tq_.tree.leaf_ids();
+  }
+  const std::vector<std::uint32_t>& a_leaves() const {
+    return ta_.tree.leaf_ids();
+  }
+
+  /// Bytes one process replicating all input data would hold (trees +
+  /// payloads) — the unit of the paper's §V-B memory comparison.
+  std::size_t footprint_bytes() const {
+    return ta_.footprint_bytes() + tq_.footprint_bytes();
+  }
+
+  /// Full computation in this process. When `sched` is non-null, the
+  /// phases run under it (the OCT_CILK configuration); otherwise serial.
+  EnergyResult compute(ws::Scheduler* sched = nullptr) const;
+
+  /// Full computation using the legacy dual-tree Born traversal of
+  /// Chowdhury & Bajaj [6] (see dual_traversal.hpp) instead of the
+  /// paper's one-tree APPROX-INTEGRALS; the Epol phase is shared.
+  EnergyResult compute_dual(ws::Scheduler* sched = nullptr) const;
+
+  /// Energy only, with externally supplied Born radii (input order) — the
+  /// octree Epol kernel runs unchanged on HCT/OBC/Still radii, mirroring
+  /// MD packages' support for multiple GB models on one engine.
+  double epol_with_radii(std::span<const double> born_input_order,
+                         perf::WorkCounters& counters) const;
+
+  // --- phase API for distributed drivers -------------------------------
+
+  /// Born phase A on a segment of q_leaves(); accumulates into
+  /// node_s (size num_ta_nodes()) and atom_s (size num_atoms()).
+  void phase_integrals(Segment q_leaf_segment, std::span<double> node_s,
+                       std::span<double> atom_s,
+                       perf::WorkCounters& counters) const;
+
+  /// Born phase B for atoms in tree positions [segment.begin, segment.end).
+  void phase_push(Segment atom_segment, std::span<const double> node_s,
+                  std::span<const double> atom_s,
+                  std::span<double> born_tree,
+                  perf::WorkCounters& counters) const;
+
+  /// Bin table for the energy phase (requires complete born_tree).
+  EpolContext build_epol_context(std::span<const double> born_tree) const;
+
+  /// Energy phase on a segment of a_leaves(); returns this segment's
+  /// partial Epol (node-based work division).
+  double phase_epol(const EpolContext& ctx,
+                    std::span<const double> born_tree, Segment a_leaf_segment,
+                    perf::WorkCounters& counters) const;
+
+  /// Energy phase with atom-based work division (ablation).
+  double phase_epol_atom_based(const EpolContext& ctx,
+                               std::span<const double> born_tree,
+                               Segment atom_segment,
+                               perf::WorkCounters& counters) const;
+
+  /// Remap a tree-order Born array to input order.
+  std::vector<double> born_to_input_order(
+      std::span<const double> born_tree) const;
+
+ private:
+  EngineConfig config_;
+  AtomsTree ta_;
+  QPointsTree tq_;
+};
+
+}  // namespace octgb::core

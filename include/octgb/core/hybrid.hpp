@@ -1,0 +1,60 @@
+#pragma once
+/// \file hybrid.hpp
+/// The paper's Fig. 4 driver: distributed / distributed-shared-memory
+/// octree GB computation over the mpp runtime.
+///
+/// P ranks (threads under mpp), each optionally running a p-worker
+/// work-stealing scheduler — p = 1 is OCT_MPI, p > 1 is OCT_MPI+CILK,
+/// P = 1 with p > 1 degenerates to OCT_CILK. Steps:
+///   1. octrees are built once (see note below);
+///   2. rank i: APPROX-INTEGRALS for the i-th segment of T_Q leaves;
+///   3. Allreduce of node/atom partial integrals;
+///   4. rank i: PUSH-INTEGRALS-TO-ATOMS for the i-th atom segment;
+///   5. Allgatherv of Born radii;
+///   6. rank i: partial Epol for the i-th segment of T_A leaves;
+///   7. Allreduce of the partial energies.
+///
+/// Note on step 1: the paper has every process build identical octrees
+/// from replicated data. Ranks here share one address space, so the
+/// harness builds the (deterministic) trees once and hands every rank a
+/// read-only view; the *replicated* footprint each real process would hold
+/// is still accounted in HybridResult::bytes_per_rank, which is what the
+/// §V-B memory comparison uses.
+
+#include <vector>
+
+#include "octgb/core/engine.hpp"
+#include "octgb/mpp/mpp.hpp"
+
+namespace octgb::core {
+
+/// Hybrid run configuration.
+struct HybridConfig {
+  int ranks = 2;             ///< P
+  int threads_per_rank = 1;  ///< p
+  mpp::Topology topology;    ///< rank → node placement
+  /// Use point-count-weighted leaf segmentation instead of the paper's
+  /// even-by-count split (load-balancing ablation).
+  bool weighted_division = false;
+  /// Atom-based (instead of node-based) division of the energy phase
+  /// (work-division ablation, §IV).
+  bool atom_based_epol = false;
+};
+
+/// Outcome of a hybrid run, with per-rank measurements for the
+/// machine-model time reconstruction.
+struct HybridResult {
+  double epol = 0.0;
+  std::vector<double> born;  ///< input order
+  std::vector<perf::WorkCounters> work_per_rank;
+  std::vector<perf::CommCounters> comm_per_rank;
+  perf::WorkCounters work_total;
+  /// Bytes a real (data-replicating) process would hold.
+  std::size_t bytes_per_rank = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Run the Fig. 4 algorithm on a prebuilt engine.
+HybridResult run_hybrid(const GBEngine& engine, const HybridConfig& config);
+
+}  // namespace octgb::core

@@ -1,0 +1,49 @@
+#pragma once
+/// \file trees.hpp
+/// The two octrees of the algorithm (Fig. 1): T_A over atom centers with
+/// per-atom charge/radius payloads, and T_Q over surface quadrature points
+/// with per-point and per-leaf aggregated weighted normals.
+///
+/// All payloads are stored in *tree order* (the octree's permuted point
+/// order) so every node's data is contiguous — the cache-friendliness the
+/// paper leans on. point_index() maps back to input order.
+
+#include <vector>
+
+#include "octgb/mol/molecule.hpp"
+#include "octgb/octree/octree.hpp"
+#include "octgb/surface/surface.hpp"
+
+namespace octgb::core {
+
+/// Atoms octree T_A with payloads in tree order.
+struct AtomsTree {
+  octree::Octree tree;
+  std::vector<double> charge;     ///< tree order
+  std::vector<double> vdw_radius; ///< intrinsic radius, tree order
+
+  static AtomsTree build(const mol::Molecule& mol,
+                         const octree::BuildParams& params = {});
+
+  std::size_t num_atoms() const { return charge.size(); }
+  std::size_t footprint_bytes() const;
+};
+
+/// Quadrature-points octree T_Q with payloads in tree order.
+struct QPointsTree {
+  octree::Octree tree;
+  std::vector<geom::Vec3> wnormal;  ///< w_q · n_q per point, tree order
+  std::vector<double> weight;       ///< w_q per point, tree order
+  /// Σ (w·n) over the points of each *node* (indexed by node id). Only
+  /// leaf entries are read by APPROX-INTEGRALS, but internal aggregates
+  /// are cheap and used by tests.
+  std::vector<geom::Vec3> node_wnormal;
+
+  static QPointsTree build(const surface::Surface& surf,
+                           const octree::BuildParams& params = {});
+
+  std::size_t num_points() const { return weight.size(); }
+  std::size_t footprint_bytes() const;
+};
+
+}  // namespace octgb::core

@@ -1,0 +1,35 @@
+#pragma once
+/// \file workdiv.hpp
+/// Static work division across ranks (§IV-A, "explicit static load
+/// balancing"): contiguous segmentation of leaf sequences and atom ranges.
+///
+/// The paper divides *leaf nodes evenly by count*; we also provide a
+/// weighted split (balancing the number of points under the leaves), used
+/// by the load-balancing ablation.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "octgb/octree/octree.hpp"
+
+namespace octgb::core {
+
+/// Contiguous index range [begin, end).
+struct Segment {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::uint32_t size() const { return end - begin; }
+};
+
+/// i-th of P even segments of [0, n) (remainder spread over the first
+/// segments — the ⌈n/P⌉ division of the paper).
+Segment even_segment(std::size_t n, int parts, int index);
+
+/// Split a leaf sequence into P contiguous segments balanced by the
+/// number of points under each leaf (weighted extension).
+std::vector<Segment> weighted_leaf_segments(const octree::Octree& tree,
+                                            std::span<const std::uint32_t> leaves,
+                                            int parts);
+
+}  // namespace octgb::core

@@ -1,0 +1,41 @@
+#pragma once
+/// \file pdb.hpp
+/// PDB file reader/writer (ATOM/HETATM fixed-column records).
+///
+/// Charges are not part of standard PDB; on load each atom receives a
+/// partial charge from a CHARMM-like per-atom-name table
+/// (assign_charges_and_radii), the same table the synthetic generator uses,
+/// so files written by the generator round-trip to identical energies.
+
+#include <iosfwd>
+#include <string>
+
+#include "octgb/mol/molecule.hpp"
+
+namespace octgb::mol {
+
+/// Parse PDB text from a stream. Reads ATOM and HETATM records until END
+/// (or EOF); ignores everything else. Malformed records throw CheckError.
+Molecule read_pdb(std::istream& in, const std::string& name = "pdb");
+
+/// Parse a PDB file from disk.
+Molecule read_pdb_file(const std::string& path);
+
+/// Write ATOM records (plus TER/END) for every atom. Atoms without labels
+/// get synthesized names ("C", residue "UNK").
+void write_pdb(const Molecule& mol, std::ostream& out);
+
+/// Write to a file; returns false on I/O error.
+bool write_pdb_file(const Molecule& mol, const std::string& path);
+
+/// Fill in radius (Bondi by element) and partial charge (per-atom-name
+/// protein table; falls back to 0) for every atom in place. Called
+/// automatically by read_pdb.
+void assign_charges_and_radii(Molecule& mol);
+
+/// Partial charge for a protein atom name within a residue (CHARMM-like
+/// coarse table; see pdb.cpp). Unknown names return 0.
+double protein_partial_charge(std::string_view atom_name,
+                              std::string_view residue_name);
+
+}  // namespace octgb::mol

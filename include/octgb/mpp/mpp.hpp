@@ -1,0 +1,323 @@
+#pragma once
+/// \file mpp.hpp
+/// In-process message-passing runtime — the reproduction's stand-in for
+/// MPI/MVAPICH2 on the Lonestar4 cluster (see DESIGN.md §2).
+///
+/// Ranks are std::threads inside one process. The API mirrors the MPI
+/// subset the paper's algorithm needs: blocking tagged send/recv plus
+/// Barrier, Bcast, Reduce, Allreduce, Gatherv, Allgatherv — all built on
+/// top of point-to-point messages with binomial-tree algorithms, exactly
+/// like a real MPI implementation, so measured message counts and byte
+/// volumes are faithful. A Topology maps ranks to nodes/sockets so traffic
+/// is classified intra- vs inter-node for the cost model.
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "octgb/perf/machine_model.hpp"
+#include "octgb/util/check.hpp"
+
+namespace octgb::mpp {
+
+/// Maps ranks onto cluster nodes. Rank r lives on node r / ranks_per_node —
+/// the block placement ibrun uses on Lonestar4.
+struct Topology {
+  int ranks_per_node = 12;
+
+  int node_of(int rank) const { return rank / ranks_per_node; }
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+};
+
+namespace detail {
+struct SharedState;
+}
+
+/// Per-rank communicator handle. Valid only inside Runtime::run.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+  const Topology& topology() const;
+
+  // --- point to point ----------------------------------------------------
+
+  /// Blocking tagged send of raw bytes.
+  void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
+  /// Blocking tagged receive; message size must equal `bytes`.
+  void recv_bytes(int src, int tag, void* data, std::size_t bytes);
+
+  /// Nonblocking receive handle. Completed by wait(); handles must not
+  /// outlive the Comm.
+  class Request {
+   public:
+    bool valid() const { return comm_ != nullptr; }
+
+   private:
+    friend class Comm;
+    Comm* comm_ = nullptr;
+    int src_ = -1;
+    int tag_ = 0;
+    void* data_ = nullptr;
+    std::size_t bytes_ = 0;
+  };
+
+  /// Post a receive without blocking; the buffer must stay alive until
+  /// wait(). (Sends in this runtime are buffered and never block, so an
+  /// isend is just send_bytes.)
+  Request irecv_bytes(int src, int tag, void* data, std::size_t bytes);
+  template <class T>
+  Request irecv(int src, int tag, std::span<T> data) {
+    return irecv_bytes(src, tag, data.data(), data.size_bytes());
+  }
+
+  /// Complete a posted receive (blocks until the message arrives).
+  void wait(Request& request);
+
+  /// True when the matching message has already arrived (wait() would not
+  /// block). Does not consume the message.
+  bool test(const Request& request);
+
+  /// Combined exchange (deadlock-free even for self-paired patterns):
+  /// send to `dest` and receive from `src` in one call.
+  void sendrecv_bytes(int dest, int send_tag, const void* send_data,
+                      std::size_t send_bytes, int src, int recv_tag,
+                      void* recv_data, std::size_t recv_bytes);
+  template <class T>
+  void sendrecv(int dest, int send_tag, std::span<const T> send_data,
+                int src, int recv_tag, std::span<T> recv_data) {
+    sendrecv_bytes(dest, send_tag, send_data.data(), send_data.size_bytes(),
+                   src, recv_tag, recv_data.data(), recv_data.size_bytes());
+  }
+
+  template <class T>
+  void send(int dest, int tag, std::span<const T> data) {
+    send_bytes(dest, tag, data.data(), data.size_bytes());
+  }
+  template <class T>
+  void recv(int src, int tag, std::span<T> data) {
+    recv_bytes(src, tag, data.data(), data.size_bytes());
+  }
+  template <class T>
+  void send_value(int dest, int tag, const T& v) {
+    send_bytes(dest, tag, &v, sizeof(T));
+  }
+  template <class T>
+  T recv_value(int src, int tag) {
+    T v;
+    recv_bytes(src, tag, &v, sizeof(T));
+    return v;
+  }
+
+  // --- collectives (binomial tree; every rank must participate) ----------
+
+  void barrier();
+
+  /// Broadcast root's buffer to all ranks (in place).
+  template <class T>
+  void bcast(std::span<T> data, int root);
+
+  /// Element-wise sum-reduce onto root (in place at root).
+  template <class T>
+  void reduce_sum(std::span<T> inout, int root);
+
+  /// Element-wise sum Allreduce (reduce + bcast), in place on all ranks.
+  template <class T>
+  void allreduce_sum(std::span<T> inout);
+
+  /// Scalar sum Allreduce convenience.
+  double allreduce_sum(double v);
+  std::uint64_t allreduce_sum(std::uint64_t v);
+  /// Scalar min/max Allreduce.
+  double allreduce_min(double v);
+  double allreduce_max(double v);
+
+  /// Gather variable-size contributions to root; root gets the
+  /// rank-ordered concatenation, others get an empty vector.
+  template <class T>
+  std::vector<T> gatherv(std::span<const T> mine, int root);
+
+  /// Allgatherv: every rank receives the rank-ordered concatenation.
+  template <class T>
+  std::vector<T> allgatherv(std::span<const T> mine);
+
+  /// All-to-all personalized exchange: `outgoing[r]` goes to rank r; the
+  /// returned vector holds what every rank sent to *this* rank (own slot
+  /// copied directly). All ranks must call with `outgoing.size() == size()`.
+  template <class T>
+  std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& outgoing);
+
+  /// Inclusive prefix sum across ranks: returns Σ_{r ≤ rank} value_r.
+  double scan_sum(double value);
+
+  /// Traffic accounted against this rank so far.
+  const perf::CommCounters& counters() const { return counters_; }
+
+ private:
+  friend class Runtime;
+  Comm(detail::SharedState* state, int rank, int size)
+      : state_(state), rank_(rank), size_(size) {}
+
+  void account_send(int dest, std::size_t bytes);
+  int next_coll_tag();
+
+  detail::SharedState* state_;
+  int rank_;
+  int size_;
+  int coll_seq_ = 0;
+  perf::CommCounters counters_;
+};
+
+/// Runs a function on P ranks, each on its own thread.
+class Runtime {
+ public:
+  struct Options {
+    int ranks = 1;
+    Topology topology;
+  };
+
+  /// Execute rank_main(comm) on every rank; blocks until all complete.
+  /// Exceptions thrown by any rank are rethrown (first wins). Returns the
+  /// per-rank communication counters.
+  static std::vector<perf::CommCounters> run(
+      const Options& opts, const std::function<void(Comm&)>& rank_main);
+};
+
+// ---- template implementations --------------------------------------------
+
+namespace detail {
+
+// Reserved tag space for collectives: user tags must be < kCollTagBase.
+inline constexpr int kCollTagBase = 1 << 24;
+
+}  // namespace detail
+
+template <class T>
+void Comm::bcast(std::span<T> data, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int tag = next_coll_tag();
+  // Binomial tree rooted at `root`: relative rank r receives from
+  // r - 2^k (highest set bit), then forwards to r + 2^k for growing k.
+  const int rel = (rank_ - root + size_) % size_;
+  int mask = 1;
+  while (mask < size_) {
+    if (rel & mask) {
+      const int src = (rel - mask + root) % size_;
+      recv_bytes(src, tag, data.data(), data.size_bytes());
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < size_) {
+      const int dest = (rel + mask + root) % size_;
+      send_bytes(dest, tag, data.data(), data.size_bytes());
+    }
+    mask >>= 1;
+  }
+  ++counters_.collectives;
+}
+
+template <class T>
+void Comm::reduce_sum(std::span<T> inout, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int tag = next_coll_tag();
+  const int rel = (rank_ - root + size_) % size_;
+  std::vector<T> tmp(inout.size());
+  int mask = 1;
+  while (mask < size_) {
+    if (rel & mask) {
+      const int dest = (rel - mask + root) % size_;
+      send_bytes(dest, tag, inout.data(), inout.size_bytes());
+      break;
+    }
+    if (rel + mask < size_) {
+      const int src = (rel + mask + root) % size_;
+      recv_bytes(src, tag, tmp.data(), tmp.size() * sizeof(T));
+      for (std::size_t i = 0; i < inout.size(); ++i) inout[i] += tmp[i];
+    }
+    mask <<= 1;
+  }
+  ++counters_.collectives;
+}
+
+template <class T>
+void Comm::allreduce_sum(std::span<T> inout) {
+  reduce_sum(inout, 0);
+  bcast(inout, 0);
+}
+
+template <class T>
+std::vector<T> Comm::gatherv(std::span<const T> mine, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int tag = next_coll_tag();
+  const int tag2 = next_coll_tag();
+  std::vector<T> out;
+  if (rank_ == root) {
+    std::vector<std::vector<T>> parts(size_);
+    parts[root].assign(mine.begin(), mine.end());
+    for (int r = 0; r < size_; ++r) {
+      if (r == root) continue;
+      const auto n = recv_value<std::uint64_t>(r, tag);
+      parts[r].resize(n);
+      if (n) recv_bytes(r, tag2, parts[r].data(), n * sizeof(T));
+    }
+    for (int r = 0; r < size_; ++r)
+      out.insert(out.end(), parts[r].begin(), parts[r].end());
+  } else {
+    send_value<std::uint64_t>(root, tag, mine.size());
+    if (!mine.empty())
+      send_bytes(root, tag2, mine.data(), mine.size_bytes());
+  }
+  ++counters_.collectives;
+  return out;
+}
+
+template <class T>
+std::vector<T> Comm::allgatherv(std::span<const T> mine) {
+  std::vector<T> all = gatherv(mine, 0);
+  auto n = static_cast<std::uint64_t>(all.size());
+  std::span<std::uint64_t> nspan(&n, 1);
+  bcast(nspan, 0);
+  all.resize(n);
+  bcast(std::span<T>(all), 0);
+  return all;
+}
+
+template <class T>
+std::vector<std::vector<T>> Comm::alltoallv(
+    const std::vector<std::vector<T>>& outgoing) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  OCTGB_CHECK_MSG(outgoing.size() == static_cast<std::size_t>(size_),
+                  "alltoallv needs one outgoing bucket per rank");
+  const int tag_len = next_coll_tag();
+  const int tag_data = next_coll_tag();
+  std::vector<std::vector<T>> incoming(size_);
+  incoming[rank_] = outgoing[rank_];
+  // Buffered sends never block, so post all sends then drain receives.
+  for (int r = 0; r < size_; ++r) {
+    if (r == rank_) continue;
+    send_value<std::uint64_t>(r, tag_len, outgoing[r].size());
+    if (!outgoing[r].empty())
+      send_bytes(r, tag_data, outgoing[r].data(),
+                 outgoing[r].size() * sizeof(T));
+  }
+  for (int r = 0; r < size_; ++r) {
+    if (r == rank_) continue;
+    const auto n = recv_value<std::uint64_t>(r, tag_len);
+    incoming[r].resize(n);
+    if (n) recv_bytes(r, tag_data, incoming[r].data(), n * sizeof(T));
+  }
+  ++counters_.collectives;
+  return incoming;
+}
+
+}  // namespace octgb::mpp

@@ -1,0 +1,58 @@
+#pragma once
+/// \file octgb.hpp
+/// Umbrella header for the octgb library — octree-based hybrid
+/// distributed/shared-memory GB polarization energy (Tithi & Chowdhury,
+/// IPDPSW 2013) and all of its substrates.
+///
+/// Quick start:
+///   auto mol  = octgb::mol::make_benchmark_molecule("1PPE_l_b");
+///   auto surf = octgb::surface::build_surface(mol);
+///   octgb::core::GBEngine engine(mol, surf);
+///   auto result = engine.compute();           // serial octree algorithm
+///   // result.epol (kcal/mol), result.born (per-atom Born radii)
+
+#include "octgb/baselines/descreening.hpp"
+#include "octgb/baselines/gbr6.hpp"
+#include "octgb/baselines/packages.hpp"
+#include "octgb/baselines/pb.hpp"
+#include "octgb/core/batch_kernels.hpp"
+#include "octgb/core/born.hpp"
+#include "octgb/core/data_distributed.hpp"
+#include "octgb/core/dual_traversal.hpp"
+#include "octgb/core/engine.hpp"
+#include "octgb/core/epol.hpp"
+#include "octgb/core/fastmath.hpp"
+#include "octgb/core/forces.hpp"
+#include "octgb/core/gb_params.hpp"
+#include "octgb/core/hybrid.hpp"
+#include "octgb/core/naive.hpp"
+#include "octgb/core/trees.hpp"
+#include "octgb/core/workdiv.hpp"
+#include "octgb/geom/aabb.hpp"
+#include "octgb/geom/mesh.hpp"
+#include "octgb/geom/quadrature.hpp"
+#include "octgb/geom/transform.hpp"
+#include "octgb/geom/vec3.hpp"
+#include "octgb/mol/elements.hpp"
+#include "octgb/mol/generate.hpp"
+#include "octgb/mol/molecule.hpp"
+#include "octgb/mol/pdb.hpp"
+#include "octgb/mol/zdock.hpp"
+#include "octgb/mpp/mpp.hpp"
+#include "octgb/octree/dynamic.hpp"
+#include "octgb/octree/nblist.hpp"
+#include "octgb/octree/octree.hpp"
+#include "octgb/octree/serialize.hpp"
+#include "octgb/perf/counters.hpp"
+#include "octgb/perf/machine_model.hpp"
+#include "octgb/perf/stats.hpp"
+#include "octgb/sim/cluster.hpp"
+#include "octgb/surface/surface.hpp"
+#include "octgb/util/args.hpp"
+#include "octgb/util/check.hpp"
+#include "octgb/util/log.hpp"
+#include "octgb/util/rng.hpp"
+#include "octgb/util/strings.hpp"
+#include "octgb/util/table.hpp"
+#include "octgb/ws/deque.hpp"
+#include "octgb/ws/scheduler.hpp"

@@ -1,0 +1,66 @@
+#pragma once
+/// \file dynamic.hpp
+/// Dynamic octree maintenance for flexible molecules (the paper's ref [8]:
+/// "Space-efficient maintenance of nonbonded lists for flexible molecules
+/// using dynamic octrees", and §II's point that octrees are
+/// update-efficient where nblists are not).
+///
+/// During an MD trajectory atoms move a little every step. Rather than
+/// rebuilding the octree, a *refit* keeps the tree topology (the
+/// point→leaf assignment) and recomputes node centroids and enclosing
+/// radii bottom-up in O(n). The far-field admissibility tests stay
+/// correct because they only consult centroids and radii. When the
+/// accumulated drift inflates leaves past a quality threshold, the tree
+/// is rebuilt from scratch.
+
+#include <cstdint>
+#include <span>
+
+#include "octgb/octree/octree.hpp"
+
+namespace octgb::octree {
+
+/// Octree with cheap refits and quality-triggered rebuilds.
+class DynamicOctree {
+ public:
+  struct Params {
+    BuildParams build;
+    /// Rebuild when any leaf's radius exceeds
+    /// rebuild_radius_factor × its radius at (re)build time +
+    /// rebuild_radius_slack.
+    double rebuild_radius_factor = 1.5;
+    double rebuild_radius_slack = 1.0;  ///< Å
+  };
+
+  /// Build from the initial positions (input order).
+  explicit DynamicOctree(std::span<const geom::Vec3> positions)
+      : DynamicOctree(positions, Params()) {}
+  DynamicOctree(std::span<const geom::Vec3> positions, Params params);
+
+  /// The current tree. Valid until the next update().
+  const Octree& tree() const { return tree_; }
+
+  /// Move the points to `positions` (same length and input order as the
+  /// constructor). Performs an O(n) refit, or a full rebuild when the
+  /// quality threshold trips. Returns true when a rebuild happened.
+  bool update(std::span<const geom::Vec3> positions);
+
+  std::size_t refits() const { return refits_; }
+  std::size_t rebuilds() const { return rebuilds_; }
+
+  /// Worst current leaf inflation: max over leaves of
+  /// radius_now / max(radius_at_build, slack).
+  double worst_leaf_inflation() const;
+
+ private:
+  void rebuild(std::span<const geom::Vec3> positions);
+  void refit(std::span<const geom::Vec3> positions);
+
+  Params params_;
+  Octree tree_;
+  std::vector<double> build_radius_;  ///< per-node radius at build time
+  std::size_t refits_ = 0;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace octgb::octree

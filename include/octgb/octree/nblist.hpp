@@ -1,0 +1,63 @@
+#pragma once
+/// \file nblist.hpp
+/// Nonbonded pair list (nblist) — the data structure Amber/Gromacs/NAMD
+/// use for cutoff-truncated interactions, which the paper contrasts with
+/// octrees: nblist memory grows with atoms × cutoff³ and construction is
+/// not update-efficient, while the octree stays linear in the atom count
+/// regardless of the approximation parameter.
+///
+/// Built with a uniform cell grid (cell edge = cutoff), CSR storage of
+/// neighbors. A byte budget emulates the 24 GB Lonestar4 node: exceeding it
+/// throws NbListOutOfMemory, which is how the Fig. 11 "ran out of memory"
+/// rows are reproduced rather than by actually exhausting the host.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "octgb/geom/vec3.hpp"
+
+namespace octgb::octree {
+
+/// Thrown when a pair list would exceed its byte budget (simulated OOM).
+class NbListOutOfMemory : public std::runtime_error {
+ public:
+  explicit NbListOutOfMemory(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// CSR nonbonded list: for every atom i, all j != i with |r_ij| <= cutoff.
+class NbList {
+ public:
+  struct Params {
+    double cutoff = 12.0;  ///< Å
+    /// Byte budget; 0 = unlimited. Default: 24 GB node minus headroom.
+    std::size_t max_bytes = std::size_t{20} * 1024 * 1024 * 1024;
+  };
+
+  static NbList build(std::span<const geom::Vec3> points,
+                      const Params& params);
+
+  std::size_t num_points() const { return offsets_.size() - 1; }
+  double cutoff() const { return cutoff_; }
+
+  /// Neighbor indices of atom i (unordered, excludes i itself).
+  std::span<const std::uint32_t> neighbors(std::size_t i) const {
+    return std::span<const std::uint32_t>(neighbors_)
+        .subspan(offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+
+  std::size_t total_pairs() const { return neighbors_.size(); }
+  std::size_t footprint_bytes() const {
+    return neighbors_.capacity() * sizeof(std::uint32_t) +
+           offsets_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint32_t> neighbors_;
+  double cutoff_ = 0.0;
+};
+
+}  // namespace octgb::octree

@@ -1,0 +1,98 @@
+#pragma once
+/// \file octree.hpp
+/// Adaptive octree over 3D points, stored as a flat node array with
+/// contiguous sibling blocks and a contiguous point range per node — the
+/// cache-friendly layout the paper credits for part of its speedup.
+///
+/// The same structure stores both the atoms octree T_A and the
+/// quadrature-points octree T_Q; per-point payloads (charges, Born radii,
+/// weighted normals) live in external arrays indexed through point_index().
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "octgb/geom/aabb.hpp"
+#include "octgb/geom/vec3.hpp"
+
+namespace octgb::octree {
+
+/// Build-time knobs.
+struct BuildParams {
+  std::uint32_t max_leaf_size = 32;  ///< split nodes larger than this
+  int max_depth = 24;                ///< hard depth cap (degenerate inputs)
+};
+
+/// Flat, immutable octree.
+class Octree {
+ public:
+  static constexpr std::uint32_t kNoChild = 0xffffffffu;
+
+  /// One node. Children (when present) are contiguous:
+  /// [first_child, first_child + child_count). The node's points are the
+  /// contiguous range [begin, end) of the permuted point order.
+  struct Node {
+    geom::Vec3 centroid;        ///< geometric center of the points under it
+    double radius = 0.0;        ///< radius of the smallest ball (centered at
+                                ///< centroid) containing all points under it
+    std::uint32_t begin = 0;    ///< first point (tree order)
+    std::uint32_t end = 0;      ///< one past last point (tree order)
+    std::uint32_t first_child = kNoChild;
+    std::uint8_t child_count = 0;
+    std::uint8_t depth = 0;
+
+    bool is_leaf() const { return first_child == kNoChild; }
+    std::uint32_t size() const { return end - begin; }
+  };
+
+  /// Build from a point set. The original points are not stored; the tree
+  /// keeps a permuted copy plus the permutation back to input indices.
+  static Octree build(std::span<const geom::Vec3> points,
+                      const BuildParams& params = {});
+
+  bool empty() const { return nodes_.empty(); }
+  std::size_t num_points() const { return points_.size(); }
+  std::span<const Node> nodes() const { return nodes_; }
+  const Node& node(std::uint32_t id) const { return nodes_[id]; }
+  const Node& root() const { return nodes_.front(); }
+
+  /// Points in tree order (each node's points are contiguous).
+  std::span<const geom::Vec3> points() const { return points_; }
+  /// point_index()[tree_pos] = index into the original input array.
+  std::span<const std::uint32_t> point_index() const { return point_index_; }
+
+  /// Node ids of all leaves, in tree (left-to-right) order. The paper's
+  /// node-based work division segments exactly this sequence.
+  const std::vector<std::uint32_t>& leaf_ids() const { return leaf_ids_; }
+
+  int max_depth() const { return max_depth_; }
+
+  /// Memory footprint (replication accounting).
+  std::size_t footprint_bytes() const;
+
+  /// Internal consistency check (ranges, child links, radii). Used by
+  /// tests; returns true when every invariant holds.
+  bool validate() const;
+
+  /// Refit: move the points to `positions` (input order, same length as
+  /// the original build) *without changing the topology*, recomputing
+  /// centroids and enclosing radii bottom-up in O(n). The admissibility
+  /// tests stay sound because they only consult centroids/radii; see
+  /// octree/dynamic.hpp for the quality-triggered rebuild policy.
+  void refit(std::span<const geom::Vec3> positions);
+
+  /// Reassemble a tree from its parts (used by serialize.hpp). Derives
+  /// leaf ids and the depth from the nodes; callers should validate().
+  static Octree from_parts(std::vector<Node> nodes,
+                           std::vector<geom::Vec3> points,
+                           std::vector<std::uint32_t> point_index);
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<geom::Vec3> points_;        // permuted
+  std::vector<std::uint32_t> point_index_;  // permuted → original
+  std::vector<std::uint32_t> leaf_ids_;
+  int max_depth_ = 0;
+};
+
+}  // namespace octgb::octree

@@ -1,0 +1,31 @@
+#pragma once
+/// \file serialize.hpp
+/// Binary serialization for octrees.
+///
+/// The paper treats octree construction as a reusable preprocessing step
+/// ("once an octree is built, it can be used for any approximation
+/// parameter"); persisting trees lets a docking pipeline build once and
+/// score many times across processes. Format: a small header (magic,
+/// version, counts) followed by the flat node array, permuted points and
+/// permutation — all little-endian PODs, validated on load.
+
+#include <iosfwd>
+#include <string>
+
+#include "octgb/octree/octree.hpp"
+
+namespace octgb::octree {
+
+/// Write `tree` to a binary stream. Throws CheckError on I/O failure.
+void write_octree(const Octree& tree, std::ostream& out);
+
+/// Read a tree written by write_octree. Throws CheckError on a bad
+/// magic/version/shape or on I/O failure; the loaded tree passes
+/// Octree::validate().
+Octree read_octree(std::istream& in);
+
+/// File helpers.
+void write_octree_file(const Octree& tree, const std::string& path);
+Octree read_octree_file(const std::string& path);
+
+}  // namespace octgb::octree

@@ -1,0 +1,61 @@
+#pragma once
+/// \file counters.hpp
+/// Deterministic work counters.
+///
+/// The container this reproduction runs in has a single CPU core, so
+/// cluster wall-clock cannot be observed directly. Instead every kernel
+/// counts the operations it performs — exact pair interactions, node-level
+/// pseudo-interactions, tree-node visits — per rank and per worker. The
+/// MachineModel (machine_model.hpp) converts these measured counts into
+/// modeled time on the paper's hardware. Counts are exact and reproducible,
+/// so "who wins and by what factor" is driven entirely by real algorithmic
+/// behaviour.
+
+#include <cstdint>
+
+namespace octgb::perf {
+
+/// Operation counts for one run segment (one rank, or one whole run).
+struct WorkCounters {
+  // Born-radii phase (APPROX-INTEGRALS)
+  std::uint64_t born_exact = 0;      ///< exact atom×q-point interactions
+  std::uint64_t born_approx = 0;     ///< node-level pseudo interactions
+  std::uint64_t born_visits = 0;     ///< atoms-octree nodes visited
+  // PUSH-INTEGRALS-TO-ATOMS
+  std::uint64_t push_visits = 0;     ///< nodes visited in the prefix pass
+  std::uint64_t push_atoms = 0;      ///< atoms finalized
+  // Epol phase (APPROX-EPOL)
+  std::uint64_t epol_exact = 0;      ///< exact atom×atom GB pair terms
+  std::uint64_t epol_bins = 0;       ///< bin-pair pseudo interactions
+  std::uint64_t epol_visits = 0;     ///< octree nodes visited
+  // Baseline engines
+  std::uint64_t pairlist_pairs = 0;  ///< nblist pair evaluations
+  std::uint64_t grid_cells = 0;      ///< GBr6 volume-grid cell evaluations
+  // Scheduler
+  std::uint64_t spawns = 0;
+  std::uint64_t steals = 0;
+
+  WorkCounters& operator+=(const WorkCounters& o) {
+    born_exact += o.born_exact;
+    born_approx += o.born_approx;
+    born_visits += o.born_visits;
+    push_visits += o.push_visits;
+    push_atoms += o.push_atoms;
+    epol_exact += o.epol_exact;
+    epol_bins += o.epol_bins;
+    epol_visits += o.epol_visits;
+    pairlist_pairs += o.pairlist_pairs;
+    grid_cells += o.grid_cells;
+    spawns += o.spawns;
+    steals += o.steals;
+    return *this;
+  }
+
+  /// Total "interaction-equivalent" operations (for quick logging).
+  std::uint64_t total_interactions() const {
+    return born_exact + born_approx + epol_exact + epol_bins +
+           pairlist_pairs + grid_cells;
+  }
+};
+
+}  // namespace octgb::perf

@@ -1,0 +1,65 @@
+#pragma once
+/// \file stats.hpp
+/// Wall-clock timing and summary statistics over repeated runs
+/// (the paper reports min/max over 20 runs in Fig. 6 and avg ± std in
+/// Fig. 10).
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace octgb::perf {
+
+/// Monotonic wall-clock timer.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Streaming summary statistics (Welford) with min/max.
+class RunStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Relative signed percentage difference of `x` w.r.t. reference `ref`.
+inline double percent_error(double x, double ref) {
+  if (ref == 0.0) return x == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return 100.0 * (x - ref) / std::abs(ref);
+}
+
+}  // namespace octgb::perf

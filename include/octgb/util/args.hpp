@@ -1,0 +1,49 @@
+#pragma once
+/// \file args.hpp
+/// Tiny declarative command-line parser used by examples and benches.
+///
+/// Supports `--name value`, `--name=value`, and boolean `--flag`. Unknown
+/// arguments raise CheckError so typos fail loudly.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace octgb::util {
+
+/// Declarative argument set. Register options, then parse(argc, argv).
+class Args {
+ public:
+  /// Register a string option with a default.
+  Args& add(const std::string& name, std::string* target,
+            const std::string& help);
+  /// Register a double option.
+  Args& add(const std::string& name, double* target, const std::string& help);
+  /// Register an integer option.
+  Args& add(const std::string& name, int* target, const std::string& help);
+  /// Register a 64-bit option.
+  Args& add(const std::string& name, long long* target,
+            const std::string& help);
+  /// Register a boolean flag (no value; presence sets true).
+  Args& flag(const std::string& name, bool* target, const std::string& help);
+
+  /// Parse argv. Prints help and exits(0) on --help. Throws CheckError on
+  /// unknown or malformed options.
+  void parse(int argc, char** argv);
+
+  /// Render the help text.
+  std::string help(const std::string& program) const;
+
+ private:
+  struct Option {
+    std::string help;
+    bool is_flag = false;
+    std::function<void(const std::string&)> set;
+    std::string default_repr;
+  };
+  std::map<std::string, Option> opts_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace octgb::util

@@ -1,0 +1,53 @@
+#pragma once
+/// \file check.hpp
+/// Lightweight runtime checking macros used across octgb.
+///
+/// OCTGB_CHECK is always on (release included): the library is a research
+/// code and silent corruption is worse than a crash. OCTGB_DCHECK compiles
+/// away in release builds and guards hot paths.
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace octgb::util {
+
+/// Exception thrown by OCTGB_CHECK failures. Deriving from logic_error makes
+/// failed invariants testable with EXPECT_THROW.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "OCTGB_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace octgb::util
+
+#define OCTGB_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::octgb::util::check_failed(#cond, __FILE__, __LINE__, {});         \
+  } while (0)
+
+#define OCTGB_CHECK_MSG(cond, msg)                                        \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::octgb::util::check_failed(#cond, __FILE__, __LINE__, os_.str());  \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define OCTGB_DCHECK(cond) ((void)0)
+#else
+#define OCTGB_DCHECK(cond) OCTGB_CHECK(cond)
+#endif

@@ -1,0 +1,125 @@
+#pragma once
+/// \file scheduler.hpp
+/// Cilk-style randomized work-stealing scheduler (Blumofe & Leiserson).
+///
+/// This is the shared-memory half of the paper's hybrid algorithm: inside
+/// each mpp rank, recursive tree traversals fork child subtrees which idle
+/// workers steal. The discipline matches cilk++: owners work newest-first
+/// off their own deque; thieves pick a uniformly random victim and steal
+/// oldest-first ("implicit dynamic load balancing", §IV-A of the paper).
+///
+/// Code written against this API also runs with no scheduler at all:
+/// fork-join and parallel_for degrade to serial execution when called from
+/// a thread with no worker context, so the naive/serial engines share the
+/// same kernels.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "octgb/util/rng.hpp"
+#include "octgb/ws/deque.hpp"
+
+namespace octgb::ws {
+
+namespace detail {
+
+/// A spawned closure plus its join counter.
+struct Task {
+  std::function<void()> fn;
+  std::atomic<std::int64_t>* join;
+};
+
+}  // namespace detail
+
+/// Aggregate scheduler statistics (for the machine model and tests).
+struct SchedulerStats {
+  std::uint64_t spawns = 0;
+  std::uint64_t steals = 0;        ///< successful steals
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t executed = 0;      ///< tasks executed (stolen or local)
+};
+
+/// Work-stealing scheduler. Construct with the desired worker count; the
+/// caller of run() becomes worker 0 and `workers - 1` background threads
+/// are spawned.
+class Scheduler {
+ public:
+  explicit Scheduler(int workers);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Execute `root` to completion with this scheduler active. The calling
+  /// thread participates as worker 0. Not reentrant.
+  void run(const std::function<void()>& root);
+
+  /// Statistics accumulated since construction (or reset_stats()).
+  SchedulerStats stats() const;
+  void reset_stats();
+
+  /// The scheduler the current thread is executing under, or nullptr.
+  static Scheduler* current();
+
+  // --- fork-join API (static: usable from any task) ----------------------
+
+  /// Run f1 and f2 as parallel siblings; returns when both are done.
+  /// Serial (f1 then f2) when no scheduler is active.
+  static void fork2(const std::function<void()>& f1,
+                    const std::function<void()>& f2);
+
+  /// Fork every closure in `fns` and wait for all (the octree recursion
+  /// forks up to 8 children at once).
+  static void fork_all(std::vector<std::function<void()>>& fns);
+
+  /// Recursive-halving parallel loop over [begin, end) with grain size
+  /// `grain`. The body receives a [lo, hi) subrange.
+  static void parallel_for(std::int64_t begin, std::int64_t end,
+                           std::int64_t grain,
+                           const std::function<void(std::int64_t,
+                                                    std::int64_t)>& body);
+
+  /// Parallel sum-reduction: `body(lo, hi)` returns its subrange's
+  /// partial value; partials combine with +. Deterministic tree-shaped
+  /// combination order (independent of the thread schedule).
+  static double parallel_reduce(
+      std::int64_t begin, std::int64_t end, std::int64_t grain,
+      const std::function<double(std::int64_t, std::int64_t)>& body);
+
+ private:
+  struct Worker {
+    ChaseLevDeque<detail::Task> deque;
+    util::Xoshiro256 rng;
+    std::uint64_t spawns = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t steal_attempts = 0;
+    std::uint64_t executed = 0;
+    int id = 0;
+    Scheduler* sched = nullptr;
+  };
+
+  void worker_loop(int id);
+  void spawn_task(Worker& w, std::function<void()> fn,
+                  std::atomic<std::int64_t>* join);
+  detail::Task* try_acquire(Worker& w);
+  void execute(Worker& w, detail::Task* t);
+  void wait_for(Worker& w, std::atomic<std::int64_t>& join);
+
+  std::vector<std::unique_ptr<Worker>> all_workers_;  // [0] = caller's
+  std::vector<std::thread> workers_;                  // background threads
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> active_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+
+  friend struct detail::Task;
+};
+
+}  // namespace octgb::ws

@@ -1,0 +1,103 @@
+#include "octgb/baselines/gbr6.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+
+#include "octgb/geom/aabb.hpp"
+#include "octgb/octree/nblist.hpp"
+#include "octgb/util/check.hpp"
+#include "octgb/util/strings.hpp"
+
+namespace octgb::baselines {
+
+namespace {
+
+using geom::Vec3;
+
+}  // namespace
+
+std::vector<double> gbr6_born_radii(const mol::Molecule& mol,
+                                    const Gbr6Params& params,
+                                    perf::WorkCounters* counters) {
+  const auto atoms = mol.atoms();
+  std::vector<double> born(atoms.size());
+  if (atoms.empty()) return born;
+  const double h = params.grid_spacing;
+  OCTGB_CHECK_MSG(h > 0.05, "grid spacing too fine");
+
+  const geom::Aabb box = mol.inflated_bounds();
+  const Vec3 ext = box.extent();
+  const auto nx = static_cast<std::size_t>(std::ceil(ext.x / h)) + 1;
+  const auto ny = static_cast<std::size_t>(std::ceil(ext.y / h)) + 1;
+  const auto nz = static_cast<std::size_t>(std::ceil(ext.z / h)) + 1;
+  const std::size_t ncells = nx * ny * nz;
+  const std::size_t grid_bytes = ncells * sizeof(std::uint8_t);
+  if (params.max_bytes != 0 && grid_bytes > params.max_bytes) {
+    throw octree::NbListOutOfMemory(util::format(
+        "GBr6 grid %zux%zux%zu needs %s (budget %s)", nx, ny, nz,
+        util::human_bytes(static_cast<double>(grid_bytes)).c_str(),
+        util::human_bytes(static_cast<double>(params.max_bytes)).c_str()));
+  }
+
+  // Mark solute cells: a cell is solute if its center lies inside any atom
+  // sphere. Rasterize atom by atom (each touches O((r/h)³) cells).
+  std::vector<std::uint8_t> solute(ncells, 0);
+  auto cell_index = [&](std::size_t ix, std::size_t iy, std::size_t iz) {
+    return (ix * ny + iy) * nz + iz;
+  };
+  // Inflate the marking radius by half a cell so boundary cells whose
+  // center falls just outside a sphere still count as solute (otherwise
+  // the integral under-descreens and |Epol| overshoots).
+  for (const auto& a : atoms) {
+    const double r = a.radius + 0.5 * h;
+    const long ix0 = std::max(0L, static_cast<long>((a.pos.x - r - box.lo.x) / h));
+    const long iy0 = std::max(0L, static_cast<long>((a.pos.y - r - box.lo.y) / h));
+    const long iz0 = std::max(0L, static_cast<long>((a.pos.z - r - box.lo.z) / h));
+    const long ix1 = std::min<long>(nx - 1, static_cast<long>((a.pos.x + r - box.lo.x) / h) + 1);
+    const long iy1 = std::min<long>(ny - 1, static_cast<long>((a.pos.y + r - box.lo.y) / h) + 1);
+    const long iz1 = std::min<long>(nz - 1, static_cast<long>((a.pos.z + r - box.lo.z) / h) + 1);
+    const double r2 = r * r;
+    for (long ix = ix0; ix <= ix1; ++ix)
+      for (long iy = iy0; iy <= iy1; ++iy)
+        for (long iz = iz0; iz <= iz1; ++iz) {
+          const Vec3 c{box.lo.x + (ix + 0.5) * h, box.lo.y + (iy + 0.5) * h,
+                       box.lo.z + (iz + 0.5) * h};
+          if (geom::dist2(c, a.pos) <= r2) solute[cell_index(ix, iy, iz)] = 1;
+        }
+  }
+
+  // Collect solute cell centers once.
+  std::vector<Vec3> cells;
+  for (std::size_t ix = 0; ix < nx; ++ix)
+    for (std::size_t iy = 0; iy < ny; ++iy)
+      for (std::size_t iz = 0; iz < nz; ++iz)
+        if (solute[cell_index(ix, iy, iz)])
+          cells.push_back({box.lo.x + (ix + 0.5) * h,
+                           box.lo.y + (iy + 0.5) * h,
+                           box.lo.z + (iz + 0.5) * h});
+
+  const double dv = h * h * h;
+  const double pref = 3.0 / (4.0 * std::numbers::pi);
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const Vec3 x = atoms[i].pos;
+    const double rho = atoms[i].radius;
+    const double rho2 = rho * rho;
+    double integral = 0.0;
+    for (const Vec3& c : cells) {
+      const double r2 = geom::dist2(c, x);
+      if (r2 <= rho2) continue;  // inside atom i's own ball
+      integral += dv / (r2 * r2 * r2);
+    }
+    const double inv_r3 = 1.0 / (rho * rho * rho) - pref * integral;
+    born[i] =
+        inv_r3 > 1e-9 ? 1.0 / std::cbrt(inv_r3) : 1e3;
+    born[i] = std::max(born[i], rho);
+  }
+  if (counters)
+    counters->grid_cells +=
+        static_cast<std::uint64_t>(atoms.size()) * cells.size();
+  return born;
+}
+
+}  // namespace octgb::baselines

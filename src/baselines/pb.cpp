@@ -1,0 +1,271 @@
+#include "octgb/baselines/pb.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "octgb/geom/aabb.hpp"
+#include "octgb/octree/nblist.hpp"
+#include "octgb/util/check.hpp"
+#include "octgb/util/strings.hpp"
+
+namespace octgb::baselines {
+
+namespace {
+
+using geom::Vec3;
+
+/// Uniform grid scaffolding shared by both solves.
+struct Grid {
+  Vec3 origin;
+  double h = 1.0;
+  std::size_t nx = 0, ny = 0, nz = 0;
+
+  std::size_t cells() const { return nx * ny * nz; }
+  std::size_t index(std::size_t i, std::size_t j, std::size_t k) const {
+    return (i * ny + j) * nz + k;
+  }
+  Vec3 center(std::size_t i, std::size_t j, std::size_t k) const {
+    return origin + Vec3{(i + 0.5) * h, (j + 0.5) * h, (k + 0.5) * h};
+  }
+};
+
+/// Mark cells whose center lies inside any atom sphere (solute = ε_in).
+std::vector<std::uint8_t> solute_mask(const Grid& g,
+                                      std::span<const mol::Atom> atoms) {
+  std::vector<std::uint8_t> inside(g.cells(), 0);
+  for (const auto& a : atoms) {
+    const double r = a.radius + 0.5 * g.h;
+    const auto lo = [&](double x, double o) {
+      return std::max(0L, static_cast<long>((x - r - o) / g.h));
+    };
+    const long i0 = lo(a.pos.x, g.origin.x), j0 = lo(a.pos.y, g.origin.y),
+               k0 = lo(a.pos.z, g.origin.z);
+    const long i1 = std::min<long>(g.nx - 1,
+                                   static_cast<long>((a.pos.x + r - g.origin.x) / g.h) + 1);
+    const long j1 = std::min<long>(g.ny - 1,
+                                   static_cast<long>((a.pos.y + r - g.origin.y) / g.h) + 1);
+    const long k1 = std::min<long>(g.nz - 1,
+                                   static_cast<long>((a.pos.z + r - g.origin.z) / g.h) + 1);
+    const double r2 = r * r;
+    for (long i = i0; i <= i1; ++i)
+      for (long j = j0; j <= j1; ++j)
+        for (long k = k0; k <= k1; ++k)
+          if (geom::dist2(g.center(i, j, k), a.pos) <= r2)
+            inside[g.index(i, j, k)] = 1;
+  }
+  return inside;
+}
+
+/// Trilinear spreading of point charges onto the grid (charge density
+/// times 4π k_e / h³, the discrete right-hand side).
+std::vector<double> spread_charges(const Grid& g,
+                                   std::span<const mol::Atom> atoms) {
+  std::vector<double> rhs(g.cells(), 0.0);
+  const double scale = 4.0 * std::numbers::pi * core::kCoulomb / g.h;
+  for (const auto& a : atoms) {
+    // Cell-corner coordinates of the charge.
+    const double fx = (a.pos.x - g.origin.x) / g.h - 0.5;
+    const double fy = (a.pos.y - g.origin.y) / g.h - 0.5;
+    const double fz = (a.pos.z - g.origin.z) / g.h - 0.5;
+    const long i = static_cast<long>(std::floor(fx));
+    const long j = static_cast<long>(std::floor(fy));
+    const long k = static_cast<long>(std::floor(fz));
+    const double tx = fx - i, ty = fy - j, tz = fz - k;
+    for (int di = 0; di <= 1; ++di)
+      for (int dj = 0; dj <= 1; ++dj)
+        for (int dk = 0; dk <= 1; ++dk) {
+          const long ii = i + di, jj = j + dj, kk = k + dk;
+          if (ii < 0 || jj < 0 || kk < 0 ||
+              ii >= static_cast<long>(g.nx) ||
+              jj >= static_cast<long>(g.ny) || kk >= static_cast<long>(g.nz))
+            continue;
+          const double w = (di ? tx : 1 - tx) * (dj ? ty : 1 - ty) *
+                           (dk ? tz : 1 - tz);
+          rhs[g.index(ii, jj, kk)] += scale * a.charge * w;
+        }
+  }
+  return rhs;
+}
+
+/// Debye–Hückel boundary potential from all charges.
+double boundary_potential(const Vec3& p, std::span<const mol::Atom> atoms,
+                          double eps_solv, double kappa) {
+  double phi = 0.0;
+  for (const auto& a : atoms) {
+    const double d = std::max(geom::dist(p, a.pos), 1e-3);
+    phi += core::kCoulomb * a.charge * std::exp(-kappa * d) / (eps_solv * d);
+  }
+  return phi;
+}
+
+/// One SOR solve. `eps_cell` holds the per-cell dielectric; face values
+/// are harmonic means. Returns (iterations, final relative residual).
+std::pair<int, double> sor_solve(const Grid& g,
+                                 const std::vector<double>& eps_cell,
+                                 const std::vector<std::uint8_t>& solvent,
+                                 const std::vector<double>& rhs,
+                                 double eps_solv, double kappa,
+                                 const PbParams& params,
+                                 std::vector<double>& phi,
+                                 std::uint64_t* cell_updates) {
+  const double h2 = g.h * g.h;
+  auto face_eps = [](double a, double b) { return 2.0 * a * b / (a + b); };
+
+  double rhs_norm = 0.0;
+  for (double v : rhs) rhs_norm += std::abs(v);
+  if (rhs_norm == 0.0) rhs_norm = 1.0;
+
+  int iter = 0;
+  double rel = 1.0;
+  for (; iter < params.max_iterations && rel > params.tolerance; ++iter) {
+    double residual = 0.0;
+    for (std::size_t i = 1; i + 1 < g.nx; ++i) {
+      for (std::size_t j = 1; j + 1 < g.ny; ++j) {
+        for (std::size_t k = 1; k + 1 < g.nz; ++k) {
+          const std::size_t c = g.index(i, j, k);
+          const double e = eps_cell[c];
+          const double exm = face_eps(e, eps_cell[g.index(i - 1, j, k)]);
+          const double exp_ = face_eps(e, eps_cell[g.index(i + 1, j, k)]);
+          const double eym = face_eps(e, eps_cell[g.index(i, j - 1, k)]);
+          const double eyp = face_eps(e, eps_cell[g.index(i, j + 1, k)]);
+          const double ezm = face_eps(e, eps_cell[g.index(i, j, k - 1)]);
+          const double ezp = face_eps(e, eps_cell[g.index(i, j, k + 1)]);
+          const double salt =
+              solvent[c] ? eps_solv * kappa * kappa * h2 : 0.0;
+          const double diag = exm + exp_ + eym + eyp + ezm + ezp + salt;
+          const double off = exm * phi[g.index(i - 1, j, k)] +
+                             exp_ * phi[g.index(i + 1, j, k)] +
+                             eym * phi[g.index(i, j - 1, k)] +
+                             eyp * phi[g.index(i, j + 1, k)] +
+                             ezm * phi[g.index(i, j, k - 1)] +
+                             ezp * phi[g.index(i, j, k + 1)];
+          // Finite-volume balance: Σ ε_f (φ_n − φ_c) + 4πk_e q_cell/h = 0
+          // (plus the salt term); rhs already carries the 4πk_e q/h scale.
+          const double updated = (off + rhs[c]) / diag;
+          const double delta = updated - phi[c];
+          residual += std::abs(delta) * diag;
+          phi[c] += params.sor_omega * delta;
+        }
+      }
+    }
+    rel = residual / rhs_norm;
+    if (cell_updates)
+      *cell_updates += (g.nx - 2) * (g.ny - 2) * (g.nz - 2);
+  }
+  return {iter, rel};
+}
+
+/// Trilinear interpolation of the potential at a point.
+double sample_phi(const Grid& g, const std::vector<double>& phi,
+                  const Vec3& p) {
+  const double fx = (p.x - g.origin.x) / g.h - 0.5;
+  const double fy = (p.y - g.origin.y) / g.h - 0.5;
+  const double fz = (p.z - g.origin.z) / g.h - 0.5;
+  const long i = std::clamp<long>(static_cast<long>(std::floor(fx)), 0,
+                                  g.nx - 2);
+  const long j = std::clamp<long>(static_cast<long>(std::floor(fy)), 0,
+                                  g.ny - 2);
+  const long k = std::clamp<long>(static_cast<long>(std::floor(fz)), 0,
+                                  g.nz - 2);
+  const double tx = std::clamp(fx - i, 0.0, 1.0);
+  const double ty = std::clamp(fy - j, 0.0, 1.0);
+  const double tz = std::clamp(fz - k, 0.0, 1.0);
+  double v = 0.0;
+  for (int di = 0; di <= 1; ++di)
+    for (int dj = 0; dj <= 1; ++dj)
+      for (int dk = 0; dk <= 1; ++dk) {
+        const double w = (di ? tx : 1 - tx) * (dj ? ty : 1 - ty) *
+                         (dk ? tz : 1 - tz);
+        v += w * phi[g.index(i + di, j + dj, k + dk)];
+      }
+  return v;
+}
+
+}  // namespace
+
+PbResult pb_polarization_energy(const mol::Molecule& mol,
+                                const core::GBParams& gb,
+                                const PbParams& params,
+                                perf::WorkCounters* counters) {
+  OCTGB_CHECK_MSG(!mol.empty(), "PB needs a molecule");
+  const auto atoms = mol.atoms();
+
+  Grid g;
+  g.h = params.grid_spacing;
+  const geom::Aabb box = mol.inflated_bounds();
+  g.origin = box.lo - Vec3{params.padding, params.padding, params.padding};
+  const Vec3 span = box.extent() +
+                    Vec3{2 * params.padding, 2 * params.padding,
+                         2 * params.padding};
+  g.nx = static_cast<std::size_t>(std::ceil(span.x / g.h)) + 2;
+  g.ny = static_cast<std::size_t>(std::ceil(span.y / g.h)) + 2;
+  g.nz = static_cast<std::size_t>(std::ceil(span.z / g.h)) + 2;
+
+  const std::size_t bytes = g.cells() * (3 * sizeof(double) + 1);
+  if (params.max_bytes != 0 && bytes > params.max_bytes) {
+    throw octree::NbListOutOfMemory(util::format(
+        "PB grid %zux%zux%zu needs %s (budget %s)", g.nx, g.ny, g.nz,
+        util::human_bytes(double(bytes)).c_str(),
+        util::human_bytes(double(params.max_bytes)).c_str()));
+  }
+
+  const auto inside = solute_mask(g, atoms);
+  std::vector<std::uint8_t> solvent(g.cells());
+  for (std::size_t c = 0; c < g.cells(); ++c) solvent[c] = !inside[c];
+  const auto rhs = spread_charges(g, atoms);
+
+  PbResult result;
+  result.grid_cells = g.cells();
+  std::uint64_t cell_updates = 0;
+
+  // --- solvated solve: ε_in inside, ε_s outside, DH boundary -----------
+  std::vector<double> eps_cell(g.cells());
+  for (std::size_t c = 0; c < g.cells(); ++c)
+    eps_cell[c] = inside[c] ? gb.eps_in : gb.eps_solv;
+  std::vector<double> phi_solv(g.cells(), 0.0);
+  // Dirichlet boundary faces.
+  for (std::size_t i = 0; i < g.nx; ++i)
+    for (std::size_t j = 0; j < g.ny; ++j)
+      for (std::size_t k = 0; k < g.nz; ++k) {
+        if (i == 0 || j == 0 || k == 0 || i + 1 == g.nx || j + 1 == g.ny ||
+            k + 1 == g.nz) {
+          phi_solv[g.index(i, j, k)] = boundary_potential(
+              g.center(i, j, k), atoms, gb.eps_solv, params.ionic_kappa);
+        }
+      }
+  auto [it_solv, res_solv] =
+      sor_solve(g, eps_cell, solvent, rhs, gb.eps_solv, params.ionic_kappa,
+                params, phi_solv, &cell_updates);
+  result.iterations_solvated = it_solv;
+
+  // --- vacuum solve: uniform ε_in, Coulomb boundary --------------------
+  std::fill(eps_cell.begin(), eps_cell.end(), gb.eps_in);
+  std::vector<double> phi_vac(g.cells(), 0.0);
+  for (std::size_t i = 0; i < g.nx; ++i)
+    for (std::size_t j = 0; j < g.ny; ++j)
+      for (std::size_t k = 0; k < g.nz; ++k) {
+        if (i == 0 || j == 0 || k == 0 || i + 1 == g.nx || j + 1 == g.ny ||
+            k + 1 == g.nz) {
+          phi_vac[g.index(i, j, k)] = boundary_potential(
+              g.center(i, j, k), atoms, gb.eps_in, 0.0);
+        }
+      }
+  auto [it_vac, res_vac] = sor_solve(g, eps_cell, solvent, rhs, gb.eps_solv,
+                                     0.0, params, phi_vac, &cell_updates);
+  result.iterations_vacuum = it_vac;
+  result.final_residual = std::max(res_solv, res_vac);
+  result.converged = res_solv <= params.tolerance * 10 &&
+                     res_vac <= params.tolerance * 10;
+
+  // --- reaction-field energy -------------------------------------------
+  double e = 0.0;
+  for (const auto& a : atoms) {
+    e += a.charge * (sample_phi(g, phi_solv, a.pos) -
+                     sample_phi(g, phi_vac, a.pos));
+  }
+  result.epol = 0.5 * e;
+  if (counters) counters->grid_cells += cell_updates;
+  return result;
+}
+
+}  // namespace octgb::baselines

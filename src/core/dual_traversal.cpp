@@ -1,0 +1,132 @@
+#include "octgb/core/dual_traversal.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "octgb/core/born.hpp"
+#include "octgb/core/gb_params.hpp"
+#include "octgb/util/check.hpp"
+#include "octgb/ws/scheduler.hpp"
+
+namespace octgb::core {
+
+namespace {
+
+using geom::Vec3;
+using octree::Octree;
+
+void atomic_add(double& slot, double v) {
+  std::atomic_ref<double>(slot).fetch_add(v, std::memory_order_relaxed);
+}
+void atomic_add(std::uint64_t& slot, std::uint64_t v) {
+  std::atomic_ref<std::uint64_t>(slot).fetch_add(v,
+                                                 std::memory_order_relaxed);
+}
+
+struct DualCounts {
+  std::uint64_t exact = 0, approx = 0, visits = 0;
+};
+
+struct DualPass {
+  const AtomsTree& ta;
+  const QPointsTree& tq;
+  double threshold;  ///< admissibility factor k: far iff (d+s) ≤ k(d−s)
+  bool approx_math;
+  std::span<double> node_s;
+  std::span<double> atom_s;
+  perf::WorkCounters* shared;
+
+  void flush(const DualCounts& lc) const {
+    atomic_add(shared->born_exact, lc.exact);
+    atomic_add(shared->born_approx, lc.approx);
+    atomic_add(shared->born_visits, lc.visits);
+  }
+
+  void exact_pair(const Octree::Node& a, const Octree::Node& q,
+                  DualCounts& lc) const {
+    const auto atom_pts = ta.tree.points();
+    const auto q_pts = tq.tree.points();
+    for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
+      const Vec3 pa = atom_pts[ai];
+      double s = 0.0;
+      for (std::uint32_t qi = q.begin; qi < q.end; ++qi) {
+        const Vec3 delta = q_pts[qi] - pa;
+        const double r2 = delta.norm2();
+        if (r2 < 1e-12) continue;
+        s += tq.wnormal[qi].dot(delta) * inv_r6(r2, approx_math);
+      }
+      atomic_add(atom_s[ai], s);
+    }
+    lc.exact += static_cast<std::uint64_t>(a.size()) * q.size();
+  }
+
+  void descend(std::uint32_t a_id, std::uint32_t q_id, DualCounts& lc) const {
+    ++lc.visits;
+    const Octree::Node& a = ta.tree.node(a_id);
+    const Octree::Node& q = tq.tree.node(q_id);
+    const double d2 = geom::dist2(a.centroid, q.centroid);
+    const double d = std::sqrt(d2);
+    if (born_far_enough(d, a.radius, q.radius, threshold)) {
+      // Q (possibly internal) acts on A as one pseudo q-point with the
+      // node-aggregated weighted normal.
+      const Vec3 delta = q.centroid - a.centroid;
+      atomic_add(node_s[a_id],
+                 tq.node_wnormal[q_id].dot(delta) * inv_r6(d2, approx_math));
+      ++lc.approx;
+      return;
+    }
+    const bool a_leaf = a.is_leaf();
+    const bool q_leaf = q.is_leaf();
+    if (a_leaf && q_leaf) {
+      exact_pair(a, q, lc);
+      return;
+    }
+    // Refine the node with the larger radius (both when only one is a
+    // leaf, that one stays fixed).
+    const bool split_a = !a_leaf && (q_leaf || a.radius >= q.radius);
+    if (split_a) {
+      if (a.size() > 8192 && ws::Scheduler::current() != nullptr) {
+        std::vector<std::function<void()>> forks;
+        forks.reserve(a.child_count);
+        for (std::uint8_t c = 0; c < a.child_count; ++c) {
+          const std::uint32_t child = a.first_child + c;
+          forks.emplace_back([this, child, q_id] {
+            DualCounts mine;
+            descend(child, q_id, mine);
+            flush(mine);
+          });
+        }
+        ws::Scheduler::fork_all(forks);
+      } else {
+        for (std::uint8_t c = 0; c < a.child_count; ++c)
+          descend(a.first_child + c, q_id, lc);
+      }
+    } else {
+      for (std::uint8_t c = 0; c < q.child_count; ++c)
+        descend(a_id, q.first_child + c, lc);
+    }
+  }
+};
+
+}  // namespace
+
+void approx_integrals_dual(const AtomsTree& ta, const QPointsTree& tq,
+                           double eps_born, bool approx_math,
+                           std::span<double> node_s, std::span<double> atom_s,
+                           perf::WorkCounters& counters,
+                           bool strict_criterion) {
+  OCTGB_CHECK_MSG(eps_born > 0.0, "eps_born must be positive");
+  OCTGB_CHECK(node_s.size() == ta.tree.nodes().size());
+  OCTGB_CHECK(atom_s.size() == ta.num_atoms());
+  if (ta.tree.empty() || tq.tree.empty()) return;
+  const double threshold = strict_criterion
+                               ? std::pow(1.0 + eps_born, 1.0 / 6.0)
+                               : 1.0 + eps_born;
+  DualPass pass{ta,     tq,     threshold, approx_math,
+                node_s, atom_s, &counters};
+  DualCounts lc;
+  pass.descend(0, 0, lc);
+  pass.flush(lc);
+}
+
+}  // namespace octgb::core

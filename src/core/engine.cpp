@@ -1,0 +1,160 @@
+#include "octgb/core/engine.hpp"
+
+#include "octgb/core/dual_traversal.hpp"
+#include "octgb/perf/stats.hpp"
+#include "octgb/util/check.hpp"
+
+namespace octgb::core {
+
+GBEngine::GBEngine(const mol::Molecule& mol, const surface::Surface& surf,
+                   EngineConfig config)
+    : config_(config),
+      ta_(AtomsTree::build(mol, config.atoms_tree_params)),
+      tq_(QPointsTree::build(surf, config.qpoints_tree_params)) {
+  OCTGB_CHECK_MSG(!mol.empty(), "molecule is empty");
+  OCTGB_CHECK_MSG(surf.size() > 0, "surface has no quadrature points");
+}
+
+void GBEngine::phase_integrals(Segment q_leaf_segment,
+                               std::span<double> node_s,
+                               std::span<double> atom_s,
+                               perf::WorkCounters& counters) const {
+  const auto& leaves = q_leaves();
+  OCTGB_CHECK(q_leaf_segment.end <= leaves.size());
+  approx_integrals(
+      ta_, tq_,
+      std::span<const std::uint32_t>(leaves).subspan(
+          q_leaf_segment.begin, q_leaf_segment.size()),
+      config_.approx.eps_born, config_.approx.approx_math, node_s, atom_s,
+      counters, config_.approx.strict_born_criterion);
+}
+
+void GBEngine::phase_push(Segment atom_segment,
+                          std::span<const double> node_s,
+                          std::span<const double> atom_s,
+                          std::span<double> born_tree,
+                          perf::WorkCounters& counters) const {
+  push_integrals_to_atoms(ta_, node_s, atom_s, atom_segment.begin,
+                          atom_segment.end, config_.approx.approx_math,
+                          born_tree, counters);
+}
+
+EpolContext GBEngine::build_epol_context(
+    std::span<const double> born_tree) const {
+  return EpolContext::build(ta_, born_tree, config_.approx.eps_epol);
+}
+
+double GBEngine::phase_epol(const EpolContext& ctx,
+                            std::span<const double> born_tree,
+                            Segment a_leaf_segment,
+                            perf::WorkCounters& counters) const {
+  const auto& leaves = a_leaves();
+  OCTGB_CHECK(a_leaf_segment.end <= leaves.size());
+  return approx_epol(ta_, ctx, born_tree,
+                     std::span<const std::uint32_t>(leaves).subspan(
+                         a_leaf_segment.begin, a_leaf_segment.size()),
+                     config_.approx.eps_epol, config_.approx.approx_math,
+                     config_.gb, counters);
+}
+
+double GBEngine::phase_epol_atom_based(const EpolContext& ctx,
+                                       std::span<const double> born_tree,
+                                       Segment atom_segment,
+                                       perf::WorkCounters& counters) const {
+  return approx_epol_atom_based(
+      ta_, ctx, born_tree, atom_segment.begin, atom_segment.end,
+      config_.approx.eps_epol, config_.approx.approx_math, config_.gb,
+      counters);
+}
+
+std::vector<double> GBEngine::born_to_input_order(
+    std::span<const double> born_tree) const {
+  const auto idx = ta_.tree.point_index();
+  std::vector<double> out(born_tree.size());
+  for (std::size_t pos = 0; pos < idx.size(); ++pos)
+    out[idx[pos]] = born_tree[pos];
+  return out;
+}
+
+namespace {
+
+/// Shared driver for compute()/compute_dual(): the Born integral pass is
+/// the only difference.
+template <class IntegralsFn>
+EnergyResult compute_impl(const GBEngine& engine, ws::Scheduler* sched,
+                          IntegralsFn&& integrals) {
+  EnergyResult result;
+  perf::Timer timer;
+
+  const auto n_nodes = engine.num_ta_nodes();
+  const auto n_atoms = engine.num_atoms();
+  std::vector<double> node_s(n_nodes, 0.0);
+  std::vector<double> atom_s(n_atoms, 0.0);
+  std::vector<double> born_tree(n_atoms, 0.0);
+  double epol = 0.0;
+
+  auto body = [&] {
+    integrals(node_s, atom_s, result.work);
+    engine.phase_push({0, static_cast<std::uint32_t>(n_atoms)}, node_s,
+                      atom_s, born_tree, result.work);
+    const EpolContext ctx = engine.build_epol_context(born_tree);
+    epol = engine.phase_epol(
+        ctx, born_tree,
+        {0, static_cast<std::uint32_t>(engine.a_leaves().size())},
+        result.work);
+  };
+
+  if (sched) {
+    sched->reset_stats();
+    sched->run(body);
+    const auto st = sched->stats();
+    result.work.spawns += st.spawns;
+    result.work.steals += st.steals;
+  } else {
+    body();
+  }
+
+  result.epol = epol;
+  result.born = engine.born_to_input_order(born_tree);
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace
+
+EnergyResult GBEngine::compute(ws::Scheduler* sched) const {
+  return compute_impl(*this, sched,
+                      [&](std::span<double> node_s, std::span<double> atom_s,
+                          perf::WorkCounters& work) {
+                        phase_integrals(
+                            {0, static_cast<std::uint32_t>(
+                                    q_leaves().size())},
+                            node_s, atom_s, work);
+                      });
+}
+
+EnergyResult GBEngine::compute_dual(ws::Scheduler* sched) const {
+  return compute_impl(
+      *this, sched,
+      [&](std::span<double> node_s, std::span<double> atom_s,
+          perf::WorkCounters& work) {
+        approx_integrals_dual(ta_, tq_, config_.approx.eps_born,
+                              config_.approx.approx_math, node_s, atom_s,
+                              work, config_.approx.strict_born_criterion);
+      });
+}
+
+double GBEngine::epol_with_radii(std::span<const double> born_input_order,
+                                 perf::WorkCounters& counters) const {
+  OCTGB_CHECK(born_input_order.size() == num_atoms());
+  const auto idx = ta_.tree.point_index();
+  std::vector<double> born_tree(born_input_order.size());
+  for (std::size_t pos = 0; pos < idx.size(); ++pos)
+    born_tree[pos] = born_input_order[idx[pos]];
+  const EpolContext ctx = build_epol_context(born_tree);
+  return phase_epol(ctx, born_tree,
+                    {0, static_cast<std::uint32_t>(a_leaves().size())},
+                    counters);
+}
+
+}  // namespace octgb::core

@@ -1,0 +1,144 @@
+#include "octgb/core/hybrid.hpp"
+
+#include <mutex>
+
+#include "octgb/perf/stats.hpp"
+#include "octgb/util/check.hpp"
+
+namespace octgb::core {
+
+HybridResult run_hybrid(const GBEngine& engine, const HybridConfig& config) {
+  OCTGB_CHECK_MSG(config.ranks >= 1, "need at least one rank");
+  OCTGB_CHECK_MSG(config.threads_per_rank >= 1, "need at least one thread");
+
+  const int P = config.ranks;
+  const auto n_nodes = engine.num_ta_nodes();
+  const auto n_atoms = engine.num_atoms();
+  const auto& q_leaves = engine.q_leaves();
+  const auto& a_leaves = engine.a_leaves();
+
+  // Precompute the static division (identical on every rank in the paper;
+  // computed once here since it is deterministic).
+  std::vector<Segment> q_segments(P), a_leaf_segments(P), atom_segments(P);
+  if (config.weighted_division) {
+    auto wq = weighted_leaf_segments(engine.qpoints_tree().tree, q_leaves, P);
+    auto wa = weighted_leaf_segments(engine.atoms_tree().tree, a_leaves, P);
+    for (int i = 0; i < P; ++i) {
+      q_segments[i] = wq[i];
+      a_leaf_segments[i] = wa[i];
+    }
+  } else {
+    for (int i = 0; i < P; ++i) {
+      q_segments[i] = even_segment(q_leaves.size(), P, i);
+      a_leaf_segments[i] = even_segment(a_leaves.size(), P, i);
+    }
+  }
+  for (int i = 0; i < P; ++i)
+    atom_segments[i] = even_segment(n_atoms, P, i);
+
+  HybridResult result;
+  result.work_per_rank.resize(P);
+  std::vector<double> final_epol(P, 0.0);
+  std::vector<std::vector<double>> final_born(P);
+  std::mutex result_mu;
+
+  perf::Timer timer;
+  mpp::Runtime::Options opts;
+  opts.ranks = P;
+  opts.topology = config.topology;
+
+  result.comm_per_rank = mpp::Runtime::run(opts, [&](mpp::Comm& comm) {
+    const int r = comm.rank();
+    perf::WorkCounters& work = result.work_per_rank[r];
+
+    // Per-rank scheduler: OCT_MPI+CILK when p > 1.
+    std::unique_ptr<ws::Scheduler> sched;
+    if (config.threads_per_rank > 1)
+      sched = std::make_unique<ws::Scheduler>(config.threads_per_rank);
+
+    std::vector<double> node_s(n_nodes, 0.0);
+    std::vector<double> atom_s(n_atoms, 0.0);
+    std::vector<double> born_tree(n_atoms, 0.0);
+    double epol_part = 0.0;
+
+    auto step2 = [&] {
+      engine.phase_integrals(q_segments[r], node_s, atom_s, work);
+    };
+    auto step4 = [&] {
+      engine.phase_push(atom_segments[r], node_s, atom_s, born_tree, work);
+    };
+
+    // Step 2 (node-based division of T_Q leaves).
+    if (sched)
+      sched->run(step2);
+    else
+      step2();
+
+    // Step 3: gather everyone's partial integrals.
+    comm.allreduce_sum(std::span<double>(node_s));
+    comm.allreduce_sum(std::span<double>(atom_s));
+
+    // Step 4: Born radii for my atom segment.
+    if (sched)
+      sched->run(step4);
+    else
+      step4();
+
+    // Step 5: exchange Born radii. Atom segments are contiguous in tree
+    // order and rank-ordered, so the concatenation is the full array.
+    {
+      const auto seg = atom_segments[r];
+      std::vector<double> all = comm.allgatherv(std::span<const double>(
+          born_tree.data() + seg.begin, seg.size()));
+      OCTGB_CHECK(all.size() == n_atoms);
+      born_tree = std::move(all);
+    }
+
+    // Step 6: partial energy (node- or atom-based division).
+    const EpolContext ctx = engine.build_epol_context(born_tree);
+    auto step6 = [&] {
+      epol_part = config.atom_based_epol
+                      ? engine.phase_epol_atom_based(ctx, born_tree,
+                                                     atom_segments[r], work)
+                      : engine.phase_epol(ctx, born_tree, a_leaf_segments[r],
+                                          work);
+    };
+    if (sched)
+      sched->run(step6);
+    else
+      step6();
+
+    // Step 7: total energy on every rank (Allreduce, as in Fig. 4 the
+    // master accumulates; allreduce also covers the bcast the examples
+    // want).
+    const double epol = comm.allreduce_sum(epol_part);
+
+    if (sched) {
+      const auto st = sched->stats();
+      work.spawns += st.spawns;
+      work.steals += st.steals;
+    }
+
+    std::lock_guard<std::mutex> lock(result_mu);
+    final_epol[r] = epol;
+    final_born[r] = std::move(born_tree);
+  });
+
+  result.wall_seconds = timer.seconds();
+  result.epol = final_epol[0];
+  for (int r = 1; r < P; ++r)
+    OCTGB_CHECK_MSG(final_epol[r] == final_epol[0],
+                    "ranks disagree on the reduced energy");
+  result.born = engine.born_to_input_order(final_born[0]);
+  for (const auto& w : result.work_per_rank) result.work_total += w;
+
+  // Replicated-data accounting: each real process holds the molecule data
+  // (trees + payloads) plus its private working arrays.
+  result.bytes_per_rank =
+      engine.footprint_bytes() +
+      (n_nodes + 2 * n_atoms) * sizeof(double) /* node_s, atom_s, born */ +
+      std::size_t{65536} * (config.threads_per_rank - 1) /* ws workers */;
+  return result;
+}
+
+}  // namespace octgb::core

@@ -1,0 +1,68 @@
+#include "octgb/core/naive.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "octgb/core/fastmath.hpp"
+#include "octgb/util/check.hpp"
+
+namespace octgb::core {
+
+double finalize_born_radius(double integral, double vdw_radius,
+                            bool approx_math) {
+  const double s = integral / (4.0 * std::numbers::pi);
+  if (s <= 1.0 / (kMaxBornRadius * kMaxBornRadius * kMaxBornRadius))
+    return kMaxBornRadius;
+  const double r = approx_math ? fast_inv_cbrt(s) : 1.0 / std::cbrt(s);
+  return std::max(vdw_radius, std::min(r, kMaxBornRadius));
+}
+
+std::vector<double> naive_born_radii(const mol::Molecule& mol,
+                                     const surface::Surface& surf,
+                                     perf::WorkCounters* counters) {
+  const auto atoms = mol.atoms();
+  std::vector<double> born(atoms.size());
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const geom::Vec3 x = atoms[i].pos;
+    double s = 0.0;
+    for (std::size_t k = 0; k < surf.size(); ++k) {
+      const geom::Vec3 d = surf.positions[k] - x;
+      const double r2 = d.norm2();
+      if (r2 < 1e-12) continue;  // quadrature point on the atom center
+      const double r6 = r2 * r2 * r2;
+      s += surf.weights[k] * d.dot(surf.normals[k]) / r6;
+    }
+    born[i] = finalize_born_radius(s, atoms[i].radius);
+  }
+  if (counters) {
+    counters->born_exact +=
+        static_cast<std::uint64_t>(atoms.size()) * surf.size();
+    counters->push_atoms += atoms.size();
+  }
+  return born;
+}
+
+double naive_epol(const mol::Molecule& mol, std::span<const double> born,
+                  const GBParams& gb, perf::WorkCounters* counters) {
+  const auto atoms = mol.atoms();
+  OCTGB_CHECK_MSG(born.size() == atoms.size(),
+                  "born radii size mismatch: " << born.size() << " vs "
+                                               << atoms.size());
+  double e = 0.0;
+  // Ordered-pair sum = diagonal + 2 × (unordered off-diagonal pairs).
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    e += atoms[i].charge * atoms[i].charge / born[i];  // f_GB(0) = R_i
+    for (std::size_t j = i + 1; j < atoms.size(); ++j) {
+      const double r2 = geom::dist2(atoms[i].pos, atoms[j].pos);
+      e += 2.0 * atoms[i].charge * atoms[j].charge /
+           f_gb(r2, born[i] * born[j]);
+    }
+  }
+  if (counters) {
+    counters->epol_exact +=
+        static_cast<std::uint64_t>(atoms.size()) * atoms.size();
+  }
+  return -0.5 * gb.tau() * e;
+}
+
+}  // namespace octgb::core

@@ -1,0 +1,63 @@
+#include "octgb/core/trees.hpp"
+
+namespace octgb::core {
+
+AtomsTree AtomsTree::build(const mol::Molecule& mol,
+                           const octree::BuildParams& params) {
+  AtomsTree t;
+  const auto atoms = mol.atoms();
+  std::vector<geom::Vec3> centers(atoms.size());
+  for (std::size_t i = 0; i < atoms.size(); ++i) centers[i] = atoms[i].pos;
+  t.tree = octree::Octree::build(centers, params);
+  const auto idx = t.tree.point_index();
+  t.charge.resize(atoms.size());
+  t.vdw_radius.resize(atoms.size());
+  for (std::size_t pos = 0; pos < idx.size(); ++pos) {
+    t.charge[pos] = atoms[idx[pos]].charge;
+    t.vdw_radius[pos] = atoms[idx[pos]].radius;
+  }
+  return t;
+}
+
+std::size_t AtomsTree::footprint_bytes() const {
+  return tree.footprint_bytes() + charge.capacity() * sizeof(double) +
+         vdw_radius.capacity() * sizeof(double);
+}
+
+QPointsTree QPointsTree::build(const surface::Surface& surf,
+                               const octree::BuildParams& params) {
+  QPointsTree t;
+  t.tree = octree::Octree::build(surf.positions, params);
+  const auto idx = t.tree.point_index();
+  t.wnormal.resize(idx.size());
+  t.weight.resize(idx.size());
+  for (std::size_t pos = 0; pos < idx.size(); ++pos) {
+    const auto i = idx[pos];
+    t.wnormal[pos] = surf.normals[i] * surf.weights[i];
+    t.weight[pos] = surf.weights[i];
+  }
+  const auto nodes = t.tree.nodes();
+  t.node_wnormal.resize(nodes.size());
+  // Children come after parents in the flat array, so a reverse sweep can
+  // aggregate bottom-up; leaves sum their own points.
+  for (std::size_t id = nodes.size(); id-- > 0;) {
+    const auto& n = nodes[id];
+    geom::Vec3 s;
+    if (n.is_leaf()) {
+      for (std::uint32_t i = n.begin; i < n.end; ++i) s += t.wnormal[i];
+    } else {
+      for (std::uint8_t c = 0; c < n.child_count; ++c)
+        s += t.node_wnormal[n.first_child + c];
+    }
+    t.node_wnormal[id] = s;
+  }
+  return t;
+}
+
+std::size_t QPointsTree::footprint_bytes() const {
+  return tree.footprint_bytes() + wnormal.capacity() * sizeof(geom::Vec3) +
+         weight.capacity() * sizeof(double) +
+         node_wnormal.capacity() * sizeof(geom::Vec3);
+}
+
+}  // namespace octgb::core

@@ -1,0 +1,46 @@
+#include "octgb/core/workdiv.hpp"
+
+#include "octgb/util/check.hpp"
+
+namespace octgb::core {
+
+Segment even_segment(std::size_t n, int parts, int index) {
+  OCTGB_CHECK_MSG(parts >= 1 && index >= 0 && index < parts,
+                  "bad segment request " << index << "/" << parts);
+  const std::uint64_t q = n / static_cast<std::uint64_t>(parts);
+  const std::uint64_t r = n % static_cast<std::uint64_t>(parts);
+  const std::uint64_t idx = static_cast<std::uint64_t>(index);
+  const std::uint64_t begin = idx * q + std::min<std::uint64_t>(idx, r);
+  const std::uint64_t len = q + (idx < r ? 1 : 0);
+  return {static_cast<std::uint32_t>(begin),
+          static_cast<std::uint32_t>(begin + len)};
+}
+
+std::vector<Segment> weighted_leaf_segments(
+    const octree::Octree& tree, std::span<const std::uint32_t> leaves,
+    int parts) {
+  OCTGB_CHECK_MSG(parts >= 1, "parts must be positive");
+  std::uint64_t total = 0;
+  for (std::uint32_t id : leaves) total += tree.node(id).size();
+
+  std::vector<Segment> out;
+  out.reserve(parts);
+  std::uint32_t cursor = 0;
+  std::uint64_t consumed = 0;
+  for (int p = 0; p < parts; ++p) {
+    const std::uint32_t begin = cursor;
+    // Greedy: take leaves until this part reaches its proportional share.
+    const std::uint64_t target =
+        total * static_cast<std::uint64_t>(p + 1) /
+        static_cast<std::uint64_t>(parts);
+    while (cursor < leaves.size() && consumed < target) {
+      consumed += tree.node(leaves[cursor]).size();
+      ++cursor;
+    }
+    out.push_back({begin, cursor});
+  }
+  out.back().end = static_cast<std::uint32_t>(leaves.size());
+  return out;
+}
+
+}  // namespace octgb::core

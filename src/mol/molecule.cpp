@@ -1,0 +1,60 @@
+#include "octgb/mol/molecule.hpp"
+
+#include "octgb/util/check.hpp"
+
+namespace octgb::mol {
+
+void Molecule::add_atom(const Atom& a) {
+  OCTGB_CHECK_MSG(labels_.empty(),
+                  "molecule has labels; use the labeled add_atom overload");
+  atoms_.push_back(a);
+}
+
+void Molecule::add_atom(const Atom& a, AtomLabel label) {
+  OCTGB_CHECK_MSG(labels_.size() == atoms_.size(),
+                  "cannot mix labeled and unlabeled atoms");
+  atoms_.push_back(a);
+  labels_.push_back(std::move(label));
+}
+
+geom::Aabb Molecule::bounds() const {
+  geom::Aabb b;
+  for (const Atom& a : atoms_) b.expand(a.pos);
+  return b;
+}
+
+geom::Aabb Molecule::inflated_bounds() const {
+  geom::Aabb b;
+  for (const Atom& a : atoms_) {
+    b.expand(a.pos + geom::Vec3{a.radius, a.radius, a.radius});
+    b.expand(a.pos - geom::Vec3{a.radius, a.radius, a.radius});
+  }
+  return b;
+}
+
+double Molecule::net_charge() const {
+  double q = 0.0;
+  for (const Atom& a : atoms_) q += a.charge;
+  return q;
+}
+
+geom::Vec3 Molecule::centroid() const {
+  geom::Vec3 c;
+  if (atoms_.empty()) return c;
+  for (const Atom& a : atoms_) c += a.pos;
+  return c / static_cast<double>(atoms_.size());
+}
+
+void Molecule::transform(const geom::RigidTransform& t) {
+  for (Atom& a : atoms_) a.pos = t.apply(a.pos);
+}
+
+std::size_t Molecule::footprint_bytes() const {
+  std::size_t b = atoms_.capacity() * sizeof(Atom);
+  b += labels_.capacity() * sizeof(AtomLabel);
+  for (const AtomLabel& l : labels_)
+    b += l.atom_name.capacity() + l.residue_name.capacity();
+  return b;
+}
+
+}  // namespace octgb::mol

@@ -1,0 +1,56 @@
+#include "octgb/octree/dynamic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "octgb/util/check.hpp"
+
+namespace octgb::octree {
+
+DynamicOctree::DynamicOctree(std::span<const geom::Vec3> positions,
+                             Params params)
+    : params_(params) {
+  rebuild(positions);
+  rebuilds_ = 0;  // the initial build is not a rebuild
+}
+
+void DynamicOctree::rebuild(std::span<const geom::Vec3> positions) {
+  tree_ = Octree::build(positions, params_.build);
+  build_radius_.resize(tree_.nodes().size());
+  for (std::size_t id = 0; id < tree_.nodes().size(); ++id)
+    build_radius_[id] = tree_.node(id).radius;
+  ++rebuilds_;
+}
+
+void DynamicOctree::refit(std::span<const geom::Vec3> positions) {
+  tree_.refit(positions);
+  ++refits_;
+}
+
+double DynamicOctree::worst_leaf_inflation() const {
+  double worst = 0.0;
+  for (std::uint32_t id : tree_.leaf_ids()) {
+    const double base =
+        std::max(build_radius_[id], params_.rebuild_radius_slack);
+    worst = std::max(worst, tree_.node(id).radius / base);
+  }
+  return worst;
+}
+
+bool DynamicOctree::update(std::span<const geom::Vec3> positions) {
+  OCTGB_CHECK_MSG(positions.size() == tree_.num_points(),
+                  "point count changed; build a new DynamicOctree");
+  refit(positions);
+  for (std::uint32_t id : tree_.leaf_ids()) {
+    const double limit =
+        params_.rebuild_radius_factor *
+            std::max(build_radius_[id], params_.rebuild_radius_slack);
+    if (tree_.node(id).radius > limit) {
+      rebuild(positions);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace octgb::octree

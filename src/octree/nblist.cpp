@@ -1,0 +1,98 @@
+#include "octgb/octree/nblist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "octgb/geom/aabb.hpp"
+#include "octgb/util/check.hpp"
+#include "octgb/util/strings.hpp"
+
+namespace octgb::octree {
+
+namespace {
+
+/// Pack a 3D integer cell coordinate into a hashable key.
+std::uint64_t cell_key(long ix, long iy, long iz) {
+  // 21 bits per axis, offset to keep coordinates positive.
+  const std::uint64_t bias = 1u << 20;
+  return ((static_cast<std::uint64_t>(ix) + bias) << 42) |
+         ((static_cast<std::uint64_t>(iy) + bias) << 21) |
+         (static_cast<std::uint64_t>(iz) + bias);
+}
+
+}  // namespace
+
+NbList NbList::build(std::span<const geom::Vec3> points,
+                     const Params& params) {
+  OCTGB_CHECK_MSG(params.cutoff > 0.0, "cutoff must be positive");
+  NbList list;
+  list.cutoff_ = params.cutoff;
+  const std::size_t n = points.size();
+  list.offsets_.assign(n + 1, 0);
+  if (n == 0) return list;
+
+  // Bucket points into cells of edge = cutoff.
+  const double inv = 1.0 / params.cutoff;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> cells;
+  cells.reserve(n / 4 + 16);
+  auto cell_of = [&](const geom::Vec3& p) {
+    return cell_key(static_cast<long>(std::floor(p.x * inv)),
+                    static_cast<long>(std::floor(p.y * inv)),
+                    static_cast<long>(std::floor(p.z * inv)));
+  };
+  for (std::uint32_t i = 0; i < n; ++i)
+    cells[cell_of(points[i])].push_back(i);
+
+  const double cutoff2 = params.cutoff * params.cutoff;
+
+  // Two passes: count then fill (keeps memory at exactly CSR size).
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<std::uint64_t> cursor;
+    if (pass == 1) {
+      // Counts for atom i were accumulated at offsets_[i+1]; in-place
+      // prefix sum turns them into CSR offsets with offsets_[0] == 0.
+      for (std::size_t i = 1; i <= n; ++i)
+        list.offsets_[i] += list.offsets_[i - 1];
+      const std::uint64_t total = list.offsets_[n];
+      const std::size_t bytes = total * sizeof(std::uint32_t);
+      if (params.max_bytes != 0 && bytes > params.max_bytes) {
+        throw NbListOutOfMemory(util::format(
+            "nblist for %zu atoms at cutoff %.1f needs %s (budget %s)", n,
+            params.cutoff, util::human_bytes(static_cast<double>(bytes)).c_str(),
+            util::human_bytes(static_cast<double>(params.max_bytes)).c_str()));
+      }
+      list.neighbors_.resize(total);
+      cursor.assign(list.offsets_.begin(), list.offsets_.end() - 1);
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const geom::Vec3& p = points[i];
+      const long cx = static_cast<long>(std::floor(p.x * inv));
+      const long cy = static_cast<long>(std::floor(p.y * inv));
+      const long cz = static_cast<long>(std::floor(p.z * inv));
+      for (long dx = -1; dx <= 1; ++dx)
+        for (long dy = -1; dy <= 1; ++dy)
+          for (long dz = -1; dz <= 1; ++dz) {
+            auto it = cells.find(cell_key(cx + dx, cy + dy, cz + dz));
+            if (it == cells.end()) continue;
+            for (std::uint32_t j : it->second) {
+              if (j == i) continue;
+              if (geom::dist2(p, points[j]) > cutoff2) continue;
+              if (pass == 0) {
+                ++list.offsets_[i + 1];
+              } else {
+                list.neighbors_[cursor[i]++] = j;
+              }
+            }
+          }
+    }
+    if (pass == 0) {
+      // offsets_[i+1] currently holds the count for atom i; the prefix sum
+      // above converts counts to offsets at the start of pass 1.
+      continue;
+    }
+  }
+  return list;
+}
+
+}  // namespace octgb::octree

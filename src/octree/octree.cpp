@@ -1,0 +1,233 @@
+#include "octgb/octree/octree.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "octgb/util/check.hpp"
+
+namespace octgb::octree {
+
+namespace {
+
+struct BuildCell {
+  geom::Vec3 center;
+  double half;
+};
+
+int octant_of(const geom::Vec3& p, const geom::Vec3& c) {
+  return (p.x >= c.x ? 1 : 0) | (p.y >= c.y ? 2 : 0) | (p.z >= c.z ? 4 : 0);
+}
+
+}  // namespace
+
+Octree Octree::build(std::span<const geom::Vec3> input,
+                     const BuildParams& params) {
+  Octree t;
+  if (input.empty()) return t;
+
+  t.points_.assign(input.begin(), input.end());
+  t.point_index_.resize(input.size());
+  for (std::uint32_t i = 0; i < input.size(); ++i) t.point_index_[i] = i;
+
+  const geom::Aabb box = geom::Aabb::of(input).cubified();
+  const BuildCell root_cell{box.center(),
+                            std::max(box.max_extent() * 0.5, 1e-9)};
+
+  // Work item: node id already allocated; subdivide or finalize as a leaf.
+  struct WorkItem {
+    std::uint32_t node_id;
+    BuildCell cell;
+  };
+  std::vector<WorkItem> stack;
+
+  t.nodes_.push_back(Node{});
+  t.nodes_[0].begin = 0;
+  t.nodes_[0].end = static_cast<std::uint32_t>(input.size());
+  t.nodes_[0].depth = 0;
+  stack.push_back({0, root_cell});
+
+  std::array<std::uint32_t, 9> bucket_start;
+  while (!stack.empty()) {
+    const WorkItem item = stack.back();
+    stack.pop_back();
+    Node node = t.nodes_[item.node_id];  // copy; vector may reallocate below
+    const std::uint32_t n = node.size();
+    t.max_depth_ = std::max(t.max_depth_, static_cast<int>(node.depth));
+
+    const bool make_leaf =
+        n <= params.max_leaf_size || node.depth >= params.max_depth;
+    if (!make_leaf) {
+      // Count points per octant, then partition the range stably into
+      // contiguous buckets (counting sort over 8 keys).
+      std::array<std::uint32_t, 8> count{};
+      for (std::uint32_t i = node.begin; i < node.end; ++i)
+        ++count[octant_of(t.points_[i], item.cell.center)];
+
+      bucket_start[0] = node.begin;
+      for (int o = 0; o < 8; ++o)
+        bucket_start[o + 1] = bucket_start[o] + count[o];
+
+      // Permute points (and the index map) into octant order.
+      {
+        std::vector<geom::Vec3> tmp_pts(n);
+        std::vector<std::uint32_t> tmp_idx(n);
+        std::array<std::uint32_t, 8> cursor{};
+        for (int o = 0; o < 8; ++o) cursor[o] = bucket_start[o] - node.begin;
+        for (std::uint32_t i = node.begin; i < node.end; ++i) {
+          const int o = octant_of(t.points_[i], item.cell.center);
+          tmp_pts[cursor[o]] = t.points_[i];
+          tmp_idx[cursor[o]] = t.point_index_[i];
+          ++cursor[o];
+        }
+        std::copy(tmp_pts.begin(), tmp_pts.end(),
+                  t.points_.begin() + node.begin);
+        std::copy(tmp_idx.begin(), tmp_idx.end(),
+                  t.point_index_.begin() + node.begin);
+      }
+
+      // Allocate the non-empty children contiguously.
+      const auto first_child = static_cast<std::uint32_t>(t.nodes_.size());
+      std::uint8_t created = 0;
+      for (int o = 0; o < 8; ++o) {
+        if (count[o] == 0) continue;
+        Node child;
+        child.begin = bucket_start[o];
+        child.end = bucket_start[o] + count[o];
+        child.depth = static_cast<std::uint8_t>(node.depth + 1);
+        t.nodes_.push_back(child);
+        ++created;
+      }
+      // Degenerate split (all coincident points land in one octant at the
+      // same positions): fall back to a leaf to guarantee progress when
+      // the cell can no longer separate them.
+      if (created == 1 && t.nodes_.back().size() == n &&
+          item.cell.half < 1e-7) {
+        t.nodes_.pop_back();
+        node.first_child = kNoChild;
+        node.child_count = 0;
+      } else {
+        node.first_child = first_child;
+        node.child_count = created;
+        // Push children with their sub-cells.
+        std::uint32_t cid = first_child;
+        for (int o = 0; o < 8; ++o) {
+          if (count[o] == 0) continue;
+          BuildCell cc;
+          cc.half = item.cell.half * 0.5;
+          cc.center = item.cell.center +
+                      geom::Vec3{(o & 1) ? cc.half : -cc.half,
+                                 (o & 2) ? cc.half : -cc.half,
+                                 (o & 4) ? cc.half : -cc.half};
+          stack.push_back({cid, cc});
+          ++cid;
+        }
+      }
+    }
+    t.nodes_[item.node_id] = node;
+  }
+
+  // Centroids and exact enclosing radii: every node's points are
+  // contiguous, so one pass per node over its own range suffices.
+  for (Node& nd : t.nodes_) {
+    geom::Vec3 c;
+    for (std::uint32_t i = nd.begin; i < nd.end; ++i) c += t.points_[i];
+    nd.centroid = c / static_cast<double>(nd.size());
+    double r2 = 0.0;
+    for (std::uint32_t i = nd.begin; i < nd.end; ++i)
+      r2 = std::max(r2, geom::dist2(nd.centroid, t.points_[i]));
+    nd.radius = std::sqrt(r2);
+  }
+
+  for (std::uint32_t id = 0; id < t.nodes_.size(); ++id)
+    if (t.nodes_[id].is_leaf()) t.leaf_ids_.push_back(id);
+  // Left-to-right (point-range) order: leaf segments used for work
+  // division are then spatially coherent, like the paper's.
+  std::sort(t.leaf_ids_.begin(), t.leaf_ids_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return t.nodes_[a].begin < t.nodes_[b].begin;
+            });
+
+  return t;
+}
+
+Octree Octree::from_parts(std::vector<Node> nodes,
+                          std::vector<geom::Vec3> points,
+                          std::vector<std::uint32_t> point_index) {
+  Octree t;
+  t.nodes_ = std::move(nodes);
+  t.points_ = std::move(points);
+  t.point_index_ = std::move(point_index);
+  for (std::uint32_t id = 0; id < t.nodes_.size(); ++id) {
+    t.max_depth_ = std::max(t.max_depth_, static_cast<int>(t.nodes_[id].depth));
+    if (t.nodes_[id].is_leaf()) t.leaf_ids_.push_back(id);
+  }
+  std::sort(t.leaf_ids_.begin(), t.leaf_ids_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return t.nodes_[a].begin < t.nodes_[b].begin;
+            });
+  return t;
+}
+
+void Octree::refit(std::span<const geom::Vec3> positions) {
+  OCTGB_CHECK_MSG(positions.size() == points_.size(),
+                  "refit needs the original point count");
+  for (std::size_t pos = 0; pos < point_index_.size(); ++pos)
+    points_[pos] = positions[point_index_[pos]];
+  // Children follow parents in the flat array; every node's points are
+  // contiguous, so one exact pass per node suffices.
+  for (std::size_t id = nodes_.size(); id-- > 0;) {
+    Node& n = nodes_[id];
+    geom::Vec3 c;
+    for (std::uint32_t i = n.begin; i < n.end; ++i) c += points_[i];
+    n.centroid = c / static_cast<double>(n.size());
+    double r2 = 0.0;
+    for (std::uint32_t i = n.begin; i < n.end; ++i)
+      r2 = std::max(r2, geom::dist2(n.centroid, points_[i]));
+    n.radius = std::sqrt(r2);
+  }
+}
+
+std::size_t Octree::footprint_bytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         points_.capacity() * sizeof(geom::Vec3) +
+         point_index_.capacity() * sizeof(std::uint32_t) +
+         leaf_ids_.capacity() * sizeof(std::uint32_t);
+}
+
+bool Octree::validate() const {
+  if (nodes_.empty()) return points_.empty();
+  std::vector<bool> seen(points_.size(), false);
+  for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.begin > n.end || n.end > points_.size()) return false;
+    if (n.size() == 0) return false;
+    if (n.is_leaf()) {
+      for (std::uint32_t i = n.begin; i < n.end; ++i) {
+        const std::uint32_t orig = point_index_[i];
+        if (orig >= points_.size() || seen[orig]) return false;
+        seen[orig] = true;
+      }
+    } else {
+      // Children must tile the parent's range exactly, in order.
+      if (n.first_child >= nodes_.size() || n.child_count == 0) return false;
+      std::uint32_t cursor = n.begin;
+      for (std::uint8_t c = 0; c < n.child_count; ++c) {
+        const Node& ch = nodes_[n.first_child + c];
+        if (ch.begin != cursor) return false;
+        if (ch.depth != n.depth + 1) return false;
+        cursor = ch.end;
+      }
+      if (cursor != n.end) return false;
+    }
+    // Radius must enclose all points under the node.
+    for (std::uint32_t i = n.begin; i < n.end; ++i) {
+      if (geom::dist(n.centroid, points_[i]) > n.radius + 1e-9) return false;
+    }
+  }
+  for (bool s : seen)
+    if (!s) return false;
+  return true;
+}
+
+}  // namespace octgb::octree

@@ -1,0 +1,104 @@
+#include "octgb/octree/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "octgb/util/check.hpp"
+
+namespace octgb::octree {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x6f637467622d6f74ULL;  // "octgb-ot"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t reserved = 0;
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_points = 0;
+};
+
+template <class T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <class T>
+void read_pod(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  OCTGB_CHECK_MSG(static_cast<bool>(in), "truncated octree stream");
+}
+
+template <class T>
+void read_vec(std::istream& in, std::vector<T>& v, std::size_t n) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  v.resize(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  OCTGB_CHECK_MSG(static_cast<bool>(in), "truncated octree stream");
+}
+
+}  // namespace
+
+void write_octree(const Octree& tree, std::ostream& out) {
+  Header h;
+  h.num_nodes = tree.nodes().size();
+  h.num_points = tree.num_points();
+  write_pod(out, h);
+  out.write(reinterpret_cast<const char*>(tree.nodes().data()),
+            static_cast<std::streamsize>(tree.nodes().size() *
+                                         sizeof(Octree::Node)));
+  out.write(reinterpret_cast<const char*>(tree.points().data()),
+            static_cast<std::streamsize>(tree.points().size() *
+                                         sizeof(geom::Vec3)));
+  out.write(reinterpret_cast<const char*>(tree.point_index().data()),
+            static_cast<std::streamsize>(tree.point_index().size() *
+                                         sizeof(std::uint32_t)));
+  OCTGB_CHECK_MSG(static_cast<bool>(out), "octree write failed");
+}
+
+Octree read_octree(std::istream& in) {
+  Header h;
+  read_pod(in, h);
+  OCTGB_CHECK_MSG(h.magic == kMagic, "not an octgb octree stream");
+  OCTGB_CHECK_MSG(h.version == kVersion,
+                  "unsupported octree version " << h.version);
+  OCTGB_CHECK_MSG(h.num_nodes <= (std::uint64_t{1} << 32) &&
+                      h.num_points <= (std::uint64_t{1} << 32),
+                  "implausible octree shape");
+  std::vector<Octree::Node> nodes;
+  std::vector<geom::Vec3> points;
+  std::vector<std::uint32_t> index;
+  read_vec(in, nodes, h.num_nodes);
+  read_vec(in, points, h.num_points);
+  read_vec(in, index, h.num_points);
+  Octree t = Octree::from_parts(std::move(nodes), std::move(points),
+                                std::move(index));
+  OCTGB_CHECK_MSG(t.validate(), "corrupt octree stream");
+  return t;
+}
+
+void write_octree_file(const Octree& tree, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  OCTGB_CHECK_MSG(static_cast<bool>(f), "cannot open " << path);
+  write_octree(tree, f);
+}
+
+Octree read_octree_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  OCTGB_CHECK_MSG(static_cast<bool>(f), "cannot open " << path);
+  return read_octree(f);
+}
+
+}  // namespace octgb::octree

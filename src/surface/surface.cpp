@@ -1,0 +1,162 @@
+#include "octgb/surface/surface.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+
+#include "octgb/geom/mesh.hpp"
+#include "octgb/geom/quadrature.hpp"
+#include "octgb/util/check.hpp"
+
+namespace octgb::surface {
+
+namespace {
+
+using geom::Vec3;
+
+/// Uniform hash grid over atom centers for the burial test.
+class AtomGrid {
+ public:
+  AtomGrid(std::span<const mol::Atom> atoms, double cell)
+      : atoms_(atoms), cell_(cell), inv_(1.0 / cell) {
+    cells_.reserve(atoms.size() / 2 + 16);
+    for (std::uint32_t i = 0; i < atoms.size(); ++i)
+      cells_[key_of(atoms[i].pos)].push_back(i);
+  }
+
+  /// Collect atoms whose center is within `range` of `p`.
+  void collect(const Vec3& p, double range,
+               std::vector<std::uint32_t>& out) const {
+    out.clear();
+    const long r = static_cast<long>(std::ceil(range * inv_)) + 0;
+    const long cx = coord(p.x), cy = coord(p.y), cz = coord(p.z);
+    const double range2 = range * range;
+    for (long dx = -r; dx <= r; ++dx)
+      for (long dy = -r; dy <= r; ++dy)
+        for (long dz = -r; dz <= r; ++dz) {
+          auto it = cells_.find(pack(cx + dx, cy + dy, cz + dz));
+          if (it == cells_.end()) continue;
+          for (std::uint32_t j : it->second)
+            if (geom::dist2(p, atoms_[j].pos) <= range2) out.push_back(j);
+        }
+  }
+
+ private:
+  long coord(double x) const { return static_cast<long>(std::floor(x * inv_)); }
+  static std::uint64_t pack(long x, long y, long z) {
+    const std::uint64_t bias = 1u << 20;
+    return ((static_cast<std::uint64_t>(x) + bias) << 42) |
+           ((static_cast<std::uint64_t>(y) + bias) << 21) |
+           (static_cast<std::uint64_t>(z) + bias);
+  }
+  std::uint64_t key_of(const Vec3& p) const {
+    return pack(coord(p.x), coord(p.y), coord(p.z));
+  }
+
+  std::span<const mol::Atom> atoms_;
+  double cell_;
+  double inv_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> cells_;
+};
+
+/// Emit quadrature points for one atom sphere, culling buried points.
+void sample_atom(std::uint32_t ai, std::span<const mol::Atom> atoms,
+                 const geom::TriMesh& unit, double area_correction,
+                 std::span<const geom::TriQuadPoint> rule,
+                 std::span<const std::uint32_t> blockers, double burial_scale,
+                 Surface& out) {
+  const mol::Atom& atom = atoms[ai];
+  const double r = atom.radius;
+  for (const auto& tri : unit.triangles) {
+    // Vertices on the unit sphere double as outward normals; the sphere
+    // triangle is the flat facet scaled to radius r.
+    const Vec3& u0 = unit.vertices[tri.v0];
+    const Vec3& u1 = unit.vertices[tri.v1];
+    const Vec3& u2 = unit.vertices[tri.v2];
+    const Vec3 v0 = atom.pos + u0 * r;
+    const Vec3 v1 = atom.pos + u1 * r;
+    const Vec3 v2 = atom.pos + u2 * r;
+    const double area = geom::triangle_area(v0, v1, v2) * area_correction;
+    for (const auto& q : rule) {
+      // Position on the curved sphere patch (projected), normal radial.
+      const Vec3 dir = (u0 * q.a + u1 * q.b + u2 * q.c).normalized();
+      const Vec3 p = atom.pos + dir * r;
+      bool buried = false;
+      for (std::uint32_t j : blockers) {
+        if (j == ai) continue;
+        const double rj = atoms[j].radius * burial_scale;
+        if (geom::dist2(p, atoms[j].pos) < rj * rj) {
+          buried = true;
+          break;
+        }
+      }
+      if (buried) continue;
+      out.positions.push_back(p);
+      out.normals.push_back(dir);
+      out.weights.push_back(q.w * area);
+      out.owner_atom.push_back(ai);
+    }
+  }
+}
+
+}  // namespace
+
+double Surface::total_area() const {
+  double a = 0.0;
+  for (double w : weights) a += w;
+  return a;
+}
+
+std::size_t Surface::footprint_bytes() const {
+  return positions.capacity() * sizeof(geom::Vec3) +
+         normals.capacity() * sizeof(geom::Vec3) +
+         weights.capacity() * sizeof(double) +
+         owner_atom.capacity() * sizeof(std::uint32_t);
+}
+
+Surface build_surface(const mol::Molecule& mol, const SurfaceParams& params) {
+  OCTGB_CHECK_MSG(params.subdivision >= 0 && params.subdivision <= 5,
+                  "subdivision out of range");
+  Surface out;
+  const auto atoms = mol.atoms();
+  if (atoms.empty()) return out;
+
+  const geom::TriMesh& unit = geom::icosphere(params.subdivision);
+  // Scale flat-facet areas so a full sphere integrates to exactly 4πr².
+  const double area_correction = 4.0 * std::numbers::pi / unit.area();
+  const auto rule = geom::dunavant_rule(params.quad_degree);
+
+  double max_radius = 0.0;
+  for (const auto& a : atoms) max_radius = std::max(max_radius, a.radius);
+
+  AtomGrid grid(atoms, std::max(2.0 * max_radius, 1.0));
+  std::vector<std::uint32_t> blockers;
+  const std::size_t expected =
+      atoms.size() * unit.num_triangles() * rule.size() / 2;
+  out.positions.reserve(expected);
+  out.normals.reserve(expected);
+  out.weights.reserve(expected);
+  out.owner_atom.reserve(expected);
+
+  for (std::uint32_t i = 0; i < atoms.size(); ++i) {
+    // Any sphere that can bury a point of atom i has its center within
+    // r_i + r_max of atom i's surface, i.e. within r_i + r_max of center.
+    grid.collect(atoms[i].pos, atoms[i].radius + max_radius, blockers);
+    sample_atom(i, atoms, unit, area_correction, rule, blockers,
+                params.burial_scale, out);
+  }
+  return out;
+}
+
+Surface build_sphere_surface(const geom::Vec3& center, double radius,
+                             const SurfaceParams& params) {
+  mol::Molecule m("sphere");
+  mol::Atom a;
+  a.pos = center;
+  a.radius = radius;
+  a.charge = 1.0;
+  m.add_atom(a);
+  return build_surface(m, params);
+}
+
+}  // namespace octgb::surface

@@ -1,0 +1,37 @@
+#include "octgb/util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace octgb::util {
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::trace;
+  if (name == "debug") return LogLevel::debug;
+  if (name == "info") return LogLevel::info;
+  if (name == "warn") return LogLevel::warn;
+  if (name == "error") return LogLevel::error;
+  if (name == "off") return LogLevel::off;
+  return LogLevel::info;
+}
+
+Logger::Logger() : level_(static_cast<int>(LogLevel::warn)) {
+  if (const char* env = std::getenv("OCTGB_LOG")) {
+    level_.store(static_cast<int>(parse_log_level(env)));
+  }
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel lvl, const std::string& msg) {
+  static const char* names[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+  const int idx = static_cast<int>(lvl);
+  if (idx < 0 || idx > 4) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[octgb %s] %s\n", names[idx], msg.c_str());
+}
+
+}  // namespace octgb::util

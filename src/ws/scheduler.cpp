@@ -1,0 +1,202 @@
+#include "octgb/ws/scheduler.hpp"
+
+#include "octgb/util/check.hpp"
+
+namespace octgb::ws {
+
+namespace {
+thread_local Scheduler* tls_scheduler = nullptr;
+thread_local void* tls_worker = nullptr;  // Scheduler::Worker*
+}  // namespace
+
+Scheduler::Scheduler(int workers) {
+  OCTGB_CHECK_MSG(workers >= 1, "need at least one worker");
+  for (int i = 0; i < workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->id = i;
+    w->sched = this;
+    w->rng = util::Xoshiro256(0x5eedULL + static_cast<std::uint64_t>(i));
+    all_workers_.push_back(std::move(w));
+  }
+  for (int i = 1; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  shutdown_.store(true);
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+Scheduler* Scheduler::current() { return tls_scheduler; }
+
+void Scheduler::run(const std::function<void()>& root) {
+  OCTGB_CHECK_MSG(tls_scheduler == nullptr, "Scheduler::run is not reentrant");
+  Worker& w0 = *all_workers_[0];
+  tls_scheduler = this;
+  tls_worker = &w0;
+  active_.store(true);
+  cv_.notify_all();
+  root();
+  // Drain: the root returned, but stolen grandchildren may still be live
+  // only if the caller's fork-joins all completed — which they did, since
+  // fork2/wait_for return only when their join counters hit zero. Safe to
+  // deactivate.
+  active_.store(false);
+  tls_scheduler = nullptr;
+  tls_worker = nullptr;
+}
+
+void Scheduler::worker_loop(int id) {
+  Worker& w = *all_workers_[id];
+  tls_scheduler = this;
+  tls_worker = &w;
+  while (!shutdown_.load(std::memory_order_relaxed)) {
+    if (!active_.load(std::memory_order_acquire)) {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(10), [&] {
+        return shutdown_.load() || active_.load();
+      });
+      continue;
+    }
+    detail::Task* t = try_acquire(w);
+    if (t) {
+      execute(w, t);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  tls_scheduler = nullptr;
+  tls_worker = nullptr;
+}
+
+void Scheduler::spawn_task(Worker& w, std::function<void()> fn,
+                           std::atomic<std::int64_t>* join) {
+  auto* t = new detail::Task{std::move(fn), join};
+  ++w.spawns;
+  w.deque.push(t);
+}
+
+detail::Task* Scheduler::try_acquire(Worker& w) {
+  if (detail::Task* t = w.deque.pop()) return t;
+  // Randomized stealing: pick a uniformly random victim != self.
+  const std::size_t n = all_workers_.size();
+  if (n <= 1) return nullptr;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    std::size_t victim = w.rng.below(n);
+    if (victim == static_cast<std::size_t>(w.id)) continue;
+    ++w.steal_attempts;
+    if (detail::Task* t = all_workers_[victim]->deque.steal()) {
+      ++w.steals;
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::execute(Worker& w, detail::Task* t) {
+  ++w.executed;
+  t->fn();
+  if (t->join) t->join->fetch_sub(1, std::memory_order_acq_rel);
+  delete t;
+}
+
+void Scheduler::wait_for(Worker& w, std::atomic<std::int64_t>& join) {
+  while (join.load(std::memory_order_acquire) > 0) {
+    if (detail::Task* t = try_acquire(w)) {
+      execute(w, t);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void Scheduler::fork2(const std::function<void()>& f1,
+                      const std::function<void()>& f2) {
+  Scheduler* s = tls_scheduler;
+  auto* w = static_cast<Worker*>(tls_worker);
+  if (s == nullptr || w == nullptr || s->num_workers() == 1) {
+    f1();
+    f2();
+    return;
+  }
+  std::atomic<std::int64_t> join{1};
+  s->spawn_task(*w, f1, &join);
+  f2();
+  // Fast path: if nobody stole f1, run it inline.
+  if (detail::Task* t = w->deque.pop()) {
+    s->execute(*w, t);
+  }
+  s->wait_for(*w, join);
+}
+
+void Scheduler::fork_all(std::vector<std::function<void()>>& fns) {
+  if (fns.empty()) return;
+  Scheduler* s = tls_scheduler;
+  auto* w = static_cast<Worker*>(tls_worker);
+  if (s == nullptr || w == nullptr || s->num_workers() == 1 ||
+      fns.size() == 1) {
+    for (auto& f : fns) f();
+    return;
+  }
+  std::atomic<std::int64_t> join{
+      static_cast<std::int64_t>(fns.size() - 1)};
+  for (std::size_t i = 1; i < fns.size(); ++i) {
+    s->spawn_task(*w, std::move(fns[i]), &join);
+  }
+  fns[0]();
+  // Drain our own deque first (tasks we just pushed), then wait helping.
+  s->wait_for(*w, join);
+}
+
+void Scheduler::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (begin >= end) return;
+  if (grain < 1) grain = 1;
+  if (end - begin <= grain || tls_scheduler == nullptr) {
+    body(begin, end);
+    return;
+  }
+  const std::int64_t mid = begin + (end - begin) / 2;
+  fork2([=, &body] { parallel_for(begin, mid, grain, body); },
+        [=, &body] { parallel_for(mid, end, grain, body); });
+}
+
+double Scheduler::parallel_reduce(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<double(std::int64_t, std::int64_t)>& body) {
+  if (begin >= end) return 0.0;
+  if (grain < 1) grain = 1;
+  if (end - begin <= grain || tls_scheduler == nullptr) {
+    return body(begin, end);
+  }
+  const std::int64_t mid = begin + (end - begin) / 2;
+  double left = 0.0, right = 0.0;
+  fork2([=, &body, &left] { left = parallel_reduce(begin, mid, grain, body); },
+        [=, &body, &right] {
+          right = parallel_reduce(mid, end, grain, body);
+        });
+  // Fixed combination order: the result is schedule-independent.
+  return left + right;
+}
+
+SchedulerStats Scheduler::stats() const {
+  SchedulerStats s;
+  for (const auto& w : all_workers_) {
+    s.spawns += w->spawns;
+    s.steals += w->steals;
+    s.steal_attempts += w->steal_attempts;
+    s.executed += w->executed;
+  }
+  return s;
+}
+
+void Scheduler::reset_stats() {
+  for (auto& w : all_workers_) {
+    w->spawns = w->steals = w->steal_attempts = w->executed = 0;
+  }
+}
+
+}  // namespace octgb::ws

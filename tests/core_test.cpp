@@ -1,0 +1,624 @@
+// Tests for the core GB kernels: naive references, octree approximation,
+// fast math, Epol binning, trees, work division.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "octgb/core/born.hpp"
+#include "octgb/core/engine.hpp"
+#include "octgb/core/epol.hpp"
+#include "octgb/core/fastmath.hpp"
+#include "octgb/core/gb_params.hpp"
+#include "octgb/core/naive.hpp"
+#include "octgb/core/workdiv.hpp"
+#include "octgb/mol/generate.hpp"
+#include "octgb/mol/zdock.hpp"
+#include "octgb/perf/stats.hpp"
+#include "octgb/surface/surface.hpp"
+
+using namespace octgb;
+using core::EngineConfig;
+using core::GBEngine;
+using core::GBParams;
+
+namespace {
+
+/// Shared fixture data: a small synthetic protein + surface.
+struct Problem {
+  mol::Molecule molecule;
+  surface::Surface surf;
+  explicit Problem(std::size_t atoms, std::uint64_t seed = 21)
+      : molecule(mol::generate_protein({.target_atoms = atoms, .seed = seed})),
+        surf(surface::build_surface(molecule, {.subdivision = 1})) {}
+};
+
+}  // namespace
+
+// ---- fast math -------------------------------------------------------------
+
+TEST(FastMath, RsqrtAccuracy) {
+  for (double x : {1e-6, 0.01, 1.0, 2.0, 1234.5, 1e8}) {
+    EXPECT_NEAR(core::fast_rsqrt(x) * std::sqrt(x), 1.0, 5e-4) << x;
+  }
+}
+
+TEST(FastMath, ExpAccuracyWithinSchraudolphBand) {
+  for (double x : {-30.0, -5.0, -1.0, -0.25, 0.0, 0.5, 2.0, 10.0}) {
+    const double rel = core::fast_exp(x) / std::exp(x);
+    EXPECT_GT(rel, 0.94) << x;
+    EXPECT_LT(rel, 1.06) << x;
+  }
+}
+
+TEST(FastMath, InvCbrtAccuracy) {
+  // Three Newton iterations from the bit-trick guess: ~2e-8 relative.
+  for (double x : {1e-6, 0.5, 1.0, 8.0, 125.0, 3e7}) {
+    EXPECT_NEAR(core::fast_inv_cbrt(x) * std::cbrt(x), 1.0, 1e-6) << x;
+  }
+}
+
+TEST(FastMath, InvCubeMatchesExactClosely) {
+  for (double x : {0.5, 1.0, 7.7, 500.0}) {
+    EXPECT_NEAR(core::fast_inv_cube(x) * x * x * x, 1.0, 2e-3) << x;
+  }
+}
+
+// ---- GB parameters -----------------------------------------------------------
+
+TEST(GBParams, TauMatchesDefinition) {
+  GBParams gb;
+  EXPECT_NEAR(gb.tau(), core::kCoulomb * (1.0 - 1.0 / 80.0), 1e-12);
+  gb.eps_solv = 2.0;
+  EXPECT_NEAR(gb.tau(), core::kCoulomb * 0.5, 1e-12);
+}
+
+TEST(GBParams, FGbLimits) {
+  // r = 0: f_GB = sqrt(Ri Rj); r >> R: f_GB → r.
+  EXPECT_NEAR(core::f_gb(0.0, 4.0), 2.0, 1e-12);
+  EXPECT_NEAR(core::f_gb(1e6, 4.0), 1000.0, 1e-3);
+}
+
+TEST(GBParams, BornFarFieldCriterion) {
+  const double pow6 = std::pow(1.9, 1.0 / 6.0);
+  // Touching nodes are never far.
+  EXPECT_FALSE(core::born_far_enough(2.0, 1.0, 1.0, pow6));
+  // Very distant nodes are far.
+  EXPECT_TRUE(core::born_far_enough(100.0, 1.0, 1.0, pow6));
+  // The threshold distance from §II: d* = (ra+rq)(k+1)/(k−1), k = (1+ε)^⅙.
+  const double dstar = 2.0 * (pow6 + 1.0) / (pow6 - 1.0);
+  EXPECT_FALSE(core::born_far_enough(dstar * 0.999, 1.0, 1.0, pow6));
+  EXPECT_TRUE(core::born_far_enough(dstar * 1.001, 1.0, 1.0, pow6));
+}
+
+TEST(GBParams, EpolFarFieldCriterion) {
+  EXPECT_FALSE(core::epol_far_enough(3.0, 1.0, 1.0, 0.9));
+  const double dstar = 2.0 * (1.0 + 2.0 / 0.9);
+  EXPECT_FALSE(core::epol_far_enough(dstar * 0.999, 1.0, 1.0, 0.9));
+  EXPECT_TRUE(core::epol_far_enough(dstar * 1.001, 1.0, 1.0, 0.9));
+}
+
+// ---- naive references ---------------------------------------------------------
+
+TEST(NaiveBorn, IsolatedSphereGivesExactRadius) {
+  mol::Molecule m;
+  m.add_atom({{0, 0, 0}, 2.0, 1.0, mol::Element::C});
+  const auto surf = surface::build_surface(m, {.subdivision = 2});
+  const auto born = core::naive_born_radii(m, surf);
+  ASSERT_EQ(born.size(), 1u);
+  EXPECT_NEAR(born[0], 2.0, 1e-9);
+}
+
+TEST(NaiveBorn, BuriedAtomGetsLargerRadiusThanSurfaceAtom) {
+  // A line of spheres: the middle atom is more buried, so its Born radius
+  // must exceed the end atoms'.
+  mol::Molecule m;
+  for (int i = -2; i <= 2; ++i)
+    m.add_atom({{i * 2.0, 0, 0}, 1.7, 0.1, mol::Element::C});
+  const auto surf = surface::build_surface(m, {.subdivision = 2});
+  const auto born = core::naive_born_radii(m, surf);
+  EXPECT_GT(born[2], born[0]);
+  EXPECT_GT(born[2], born[4]);
+  EXPECT_NEAR(born[0], born[4], 1e-6);  // symmetric ends
+}
+
+TEST(NaiveBorn, RadiusClampedBelowByVdw) {
+  const Problem p(200);
+  const auto born = core::naive_born_radii(p.molecule, p.surf);
+  for (std::size_t i = 0; i < born.size(); ++i)
+    EXPECT_GE(born[i], p.molecule.atom(i).radius - 1e-12);
+}
+
+TEST(NaiveEpol, SingleAtomSelfEnergyClosedForm) {
+  // Epol of one atom = −τ/2 · q²/R (the Born equation itself).
+  mol::Molecule m;
+  m.add_atom({{0, 0, 0}, 2.0, -1.0, mol::Element::O});
+  const std::vector<double> born = {2.0};
+  const GBParams gb;
+  const double e = core::naive_epol(m, born, gb);
+  EXPECT_NEAR(e, -0.5 * gb.tau() * 1.0 / 2.0, 1e-12);
+}
+
+TEST(NaiveEpol, TwoAtomClosedForm) {
+  mol::Molecule m;
+  m.add_atom({{0, 0, 0}, 1.5, 0.4, mol::Element::C});
+  m.add_atom({{3, 0, 0}, 2.0, -0.7, mol::Element::O});
+  const std::vector<double> born = {1.6, 2.1};
+  const GBParams gb;
+  const double cross = 2.0 * 0.4 * -0.7 / core::f_gb(9.0, 1.6 * 2.1);
+  const double self = 0.16 / 1.6 + 0.49 / 2.1;
+  EXPECT_NEAR(core::naive_epol(m, born, gb),
+              -0.5 * gb.tau() * (self + cross), 1e-12);
+}
+
+TEST(NaiveEpol, IsNegativeForRealMolecules) {
+  const Problem p(300);
+  const auto born = core::naive_born_radii(p.molecule, p.surf);
+  EXPECT_LT(core::naive_epol(p.molecule, born), 0.0);
+}
+
+TEST(FinalizeBornRadius, ClampsAndInverts) {
+  // S = 4π/R³ ⇒ R.
+  const double s = 4.0 * std::numbers::pi / 8.0;  // R = 2
+  EXPECT_NEAR(core::finalize_born_radius(s, 1.0), 2.0, 1e-12);
+  // vdW clamp from below.
+  EXPECT_DOUBLE_EQ(core::finalize_born_radius(s, 3.0), 3.0);
+  // Non-positive integral → max clamp.
+  EXPECT_DOUBLE_EQ(core::finalize_born_radius(-1.0, 1.5),
+                   core::kMaxBornRadius);
+}
+
+// ---- octree Born radii ----------------------------------------------------------
+
+TEST(OctreeBorn, MatchesNaiveTightlyForSmallEps) {
+  const Problem p(400);
+  const auto naive = core::naive_born_radii(p.molecule, p.surf);
+  EngineConfig cfg;
+  cfg.approx.eps_born = 0.05;
+  GBEngine engine(p.molecule, p.surf, cfg);
+  const auto result = engine.compute();
+  ASSERT_EQ(result.born.size(), naive.size());
+  for (std::size_t i = 0; i < naive.size(); ++i)
+    EXPECT_NEAR(result.born[i], naive[i], 0.02 * naive[i]) << "atom " << i;
+}
+
+class BornEpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BornEpsSweep, RadiiStayWithinApproximationBand) {
+  const double eps = GetParam();
+  const Problem p(350);
+  const auto naive = core::naive_born_radii(p.molecule, p.surf);
+  EngineConfig cfg;
+  cfg.approx.eps_born = eps;
+  GBEngine engine(p.molecule, p.surf, cfg);
+  const auto result = engine.compute();
+  double worst = 0;
+  for (std::size_t i = 0; i < naive.size(); ++i)
+    worst = std::max(worst, std::abs(result.born[i] - naive[i]) / naive[i]);
+  // The admissibility condition bounds the pointwise 1/r⁶ error by ε;
+  // cancellation keeps the realized radius error far below it.
+  EXPECT_LT(worst, 0.05 + 0.1 * eps) << "eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, BornEpsSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.9, 2.0));
+
+TEST(OctreeBorn, ApproxWorkDropsAsEpsGrows) {
+  const Problem p(800);
+  std::uint64_t prev_exact = ~0ull;
+  for (double eps : {0.1, 0.5, 0.9}) {
+    EngineConfig cfg;
+    cfg.approx.eps_born = eps;
+    GBEngine engine(p.molecule, p.surf, cfg);
+    const auto result = engine.compute();
+    EXPECT_LT(result.work.born_exact, prev_exact) << "eps=" << eps;
+    prev_exact = result.work.born_exact;
+    EXPECT_GT(result.work.born_approx, 0u);
+  }
+}
+
+TEST(OctreeBorn, PushSegmentsComposeToFullArray) {
+  // Splitting PUSH-INTEGRALS across segments must equal one full pass.
+  const Problem p(300);
+  GBEngine engine(p.molecule, p.surf);
+  const auto n_nodes = engine.num_ta_nodes();
+  const auto n_atoms = engine.num_atoms();
+  std::vector<double> node_s(n_nodes, 0.0), atom_s(n_atoms, 0.0);
+  perf::WorkCounters wc;
+  engine.phase_integrals({0, (std::uint32_t)engine.q_leaves().size()},
+                         node_s, atom_s, wc);
+
+  std::vector<double> full(n_atoms, 0.0), pieces(n_atoms, 0.0);
+  engine.phase_push({0, (std::uint32_t)n_atoms}, node_s, atom_s, full, wc);
+  for (int part = 0; part < 5; ++part) {
+    const auto seg = core::even_segment(n_atoms, 5, part);
+    engine.phase_push(seg, node_s, atom_s, pieces, wc);
+  }
+  for (std::size_t i = 0; i < n_atoms; ++i)
+    EXPECT_DOUBLE_EQ(pieces[i], full[i]);
+}
+
+TEST(OctreeBorn, IntegralSegmentsComposeToFullArrays) {
+  // Splitting APPROX-INTEGRALS across T_Q-leaf segments must sum to the
+  // full-run arrays (this is exactly what the Allreduce asserts).
+  const Problem p(300);
+  GBEngine engine(p.molecule, p.surf);
+  const auto n_nodes = engine.num_ta_nodes();
+  const auto n_atoms = engine.num_atoms();
+  const auto n_leaves = (std::uint32_t)engine.q_leaves().size();
+  perf::WorkCounters wc;
+
+  std::vector<double> node_full(n_nodes, 0.0), atom_full(n_atoms, 0.0);
+  engine.phase_integrals({0, n_leaves}, node_full, atom_full, wc);
+
+  std::vector<double> node_sum(n_nodes, 0.0), atom_sum(n_atoms, 0.0);
+  for (int part = 0; part < 4; ++part) {
+    const auto seg = core::even_segment(n_leaves, 4, part);
+    engine.phase_integrals(seg, node_sum, atom_sum, wc);
+  }
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    EXPECT_NEAR(node_sum[i], node_full[i],
+                1e-12 * (1.0 + std::abs(node_full[i])));
+  for (std::size_t i = 0; i < n_atoms; ++i)
+    EXPECT_NEAR(atom_sum[i], atom_full[i],
+                1e-12 * (1.0 + std::abs(atom_full[i])));
+}
+
+// ---- octree Epol -----------------------------------------------------------------
+
+TEST(OctreeEpol, MatchesNaiveTightlyForSmallEps) {
+  const Problem p(400);
+  const auto naive_born = core::naive_born_radii(p.molecule, p.surf);
+  EngineConfig cfg;
+  cfg.approx.eps_born = 0.05;
+  cfg.approx.eps_epol = 0.05;
+  GBEngine engine(p.molecule, p.surf, cfg);
+  const auto result = engine.compute();
+  const double naive_e = core::naive_epol(p.molecule, naive_born);
+  EXPECT_NEAR(result.epol, naive_e, 0.01 * std::abs(naive_e));
+}
+
+TEST(OctreeEpol, PaperParametersKeepErrorUnderOnePercent) {
+  // The paper's headline accuracy claim: ε_R = ε_E = 0.9 with < 1 % error
+  // versus the naive algorithm (§V-F).
+  const Problem p(600);
+  const auto naive_born = core::naive_born_radii(p.molecule, p.surf);
+  const double naive_e = core::naive_epol(p.molecule, naive_born);
+  GBEngine engine(p.molecule, p.surf);  // defaults: 0.9 / 0.9
+  const auto result = engine.compute();
+  EXPECT_LT(std::abs(result.epol - naive_e) / std::abs(naive_e), 0.01)
+      << "octree " << result.epol << " vs naive " << naive_e;
+}
+
+class EpolEpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EpolEpsSweep, EnergyWithinBandAndWorkMonotone) {
+  const double eps = GetParam();
+  const Problem p(500);
+  const auto naive_born = core::naive_born_radii(p.molecule, p.surf);
+  const double naive_e = core::naive_epol(p.molecule, naive_born);
+  EngineConfig cfg;
+  cfg.approx.eps_born = 0.3;
+  cfg.approx.eps_epol = eps;
+  GBEngine engine(p.molecule, p.surf, cfg);
+  const auto result = engine.compute();
+  EXPECT_LT(std::abs(result.epol - naive_e) / std::abs(naive_e),
+            0.02 + 0.05 * eps)
+      << "eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, EpolEpsSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+TEST(EpolContext, BinsPartitionChargeExactly) {
+  const Problem p(350);
+  GBEngine engine(p.molecule, p.surf);
+  const auto result = engine.compute();
+  // Rebuild the context from tree-order radii and check the root's bins
+  // sum to the molecule's net charge.
+  const auto& ta = engine.atoms_tree();
+  std::vector<double> born_tree(engine.num_atoms());
+  const auto idx = ta.tree.point_index();
+  for (std::size_t pos = 0; pos < idx.size(); ++pos)
+    born_tree[pos] = result.born[idx[pos]];
+  const auto ctx = engine.build_epol_context(born_tree);
+  double root_sum = 0;
+  for (int k = 0; k < ctx.nbins; ++k) root_sum += ctx.bins[k];
+  EXPECT_NEAR(root_sum, p.molecule.net_charge(), 1e-9);
+  // Every radius must land in a bin whose geometric range contains it
+  // (rep[k] is the mid-bin representative; edges are rep[k]·(1+ε)^±½).
+  const double half = std::exp(0.5 * ctx.log1pe);
+  for (std::size_t pos = 0; pos < born_tree.size(); ++pos) {
+    const int k = ctx.bin_of(born_tree[pos]);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, ctx.nbins);
+    EXPECT_GE(born_tree[pos], ctx.rep[k] / half * (1.0 - 1e-9));
+    EXPECT_LE(born_tree[pos], ctx.rep[k] * half * (1.0 + 1e-9));
+  }
+}
+
+TEST(EpolContext, BinCountGrowsAsEpsShrinks) {
+  const Problem p(350);
+  GBEngine engine(p.molecule, p.surf);
+  std::vector<double> born_tree(engine.num_atoms(), 0.0);
+  // Synthetic radii spanning a decade.
+  for (std::size_t i = 0; i < born_tree.size(); ++i)
+    born_tree[i] = 1.0 + 9.0 * (double(i) / born_tree.size());
+  const auto c_small = core::EpolContext::build(engine.atoms_tree(),
+                                                born_tree, 0.1);
+  const auto c_large = core::EpolContext::build(engine.atoms_tree(),
+                                                born_tree, 0.9);
+  EXPECT_GT(c_small.nbins, 2 * c_large.nbins);
+}
+
+// ---- approximate math ---------------------------------------------------------
+
+TEST(ApproxMath, ShiftsEnergyByAFewPercent) {
+  const Problem p(400);
+  EngineConfig exact_cfg;
+  GBEngine exact_engine(p.molecule, p.surf, exact_cfg);
+  const double exact_e = exact_engine.compute().epol;
+
+  EngineConfig approx_cfg;
+  approx_cfg.approx.approx_math = true;
+  GBEngine approx_engine(p.molecule, p.surf, approx_cfg);
+  const double approx_e = approx_engine.compute().epol;
+
+  const double shift = std::abs(approx_e - exact_e) / std::abs(exact_e);
+  EXPECT_GT(shift, 1e-5);  // it must actually change something
+  EXPECT_LT(shift, 0.08);  // §V-C reports a 4–5 % band
+}
+
+// ---- work division -------------------------------------------------------------
+
+TEST(WorkDiv, EvenSegmentsTileTheRange) {
+  for (std::size_t n : {0u, 1u, 7u, 100u, 101u}) {
+    for (int P : {1, 2, 3, 7, 12}) {
+      std::uint32_t cursor = 0;
+      for (int i = 0; i < P; ++i) {
+        const auto seg = core::even_segment(n, P, i);
+        EXPECT_EQ(seg.begin, cursor);
+        cursor = seg.end;
+        // Balanced to within one element.
+        EXPECT_LE(seg.size(), (n + P - 1) / P);
+      }
+      EXPECT_EQ(cursor, n);
+    }
+  }
+}
+
+TEST(WorkDiv, WeightedSegmentsBalancePointCounts) {
+  const Problem p(900);
+  GBEngine engine(p.molecule, p.surf);
+  const auto& tree = engine.atoms_tree().tree;
+  const auto& leaves = engine.a_leaves();
+  const int P = 6;
+  const auto segs = core::weighted_leaf_segments(tree, leaves, P);
+  ASSERT_EQ(segs.size(), static_cast<std::size_t>(P));
+  EXPECT_EQ(segs.front().begin, 0u);
+  EXPECT_EQ(segs.back().end, leaves.size());
+  std::uint64_t total = 0, max_part = 0;
+  for (const auto& s : segs) {
+    std::uint64_t part = 0;
+    for (std::uint32_t li = s.begin; li < s.end; ++li)
+      part += tree.node(leaves[li]).size();
+    total += part;
+    max_part = std::max(max_part, part);
+  }
+  EXPECT_EQ(total, engine.num_atoms());
+  // No part exceeds its fair share by more than one leaf's worth.
+  EXPECT_LE(max_part, total / P + 32 + 1);
+}
+
+// ---- engine-level sanity ---------------------------------------------------------
+
+TEST(Engine, DeterministicAcrossRuns) {
+  const Problem p(300);
+  GBEngine engine(p.molecule, p.surf);
+  const auto r1 = engine.compute();
+  const auto r2 = engine.compute();
+  EXPECT_DOUBLE_EQ(r1.epol, r2.epol);
+  EXPECT_EQ(r1.born, r2.born);
+  EXPECT_EQ(r1.work.born_exact, r2.work.born_exact);
+  EXPECT_EQ(r1.work.epol_exact, r2.work.epol_exact);
+}
+
+TEST(Engine, SchedulerProducesSameEnergyAsSerial) {
+  const Problem p(500);
+  GBEngine engine(p.molecule, p.surf);
+  const auto serial = engine.compute();
+  ws::Scheduler sched(4);
+  const auto parallel = engine.compute(&sched);
+  // Atomic accumulation reorders additions; tolerance is rounding-level.
+  EXPECT_NEAR(parallel.epol, serial.epol, 1e-8 * std::abs(serial.epol));
+  for (std::size_t i = 0; i < serial.born.size(); ++i)
+    EXPECT_NEAR(parallel.born[i], serial.born[i], 1e-9 * serial.born[i]);
+}
+
+TEST(Engine, CountersAreIdenticalRegardlessOfThreads) {
+  // Operation counts are a property of the algorithm, not the schedule.
+  const Problem p(400);
+  GBEngine engine(p.molecule, p.surf);
+  const auto serial = engine.compute();
+  ws::Scheduler sched(3);
+  const auto parallel = engine.compute(&sched);
+  EXPECT_EQ(parallel.work.born_exact, serial.work.born_exact);
+  EXPECT_EQ(parallel.work.born_approx, serial.work.born_approx);
+  EXPECT_EQ(parallel.work.epol_exact, serial.work.epol_exact);
+  EXPECT_EQ(parallel.work.epol_bins, serial.work.epol_bins);
+  EXPECT_EQ(parallel.work.push_atoms, serial.work.push_atoms);
+}
+
+TEST(Engine, OctreeBeatsNaiveOnWork) {
+  // The core asymptotic claim: work far below the naive M·N / M²
+  // interaction counts, with the advantage growing with molecule size.
+  const Problem p(8000);
+  GBEngine engine(p.molecule, p.surf);
+  const auto result = engine.compute();
+  const double naive_born_work =
+      double(p.molecule.size()) * double(p.surf.size());
+  const double naive_epol_work =
+      double(p.molecule.size()) * double(p.molecule.size());
+  EXPECT_LT(double(result.work.born_exact + result.work.born_approx),
+            0.30 * naive_born_work);
+  EXPECT_LT(double(result.work.epol_exact + result.work.epol_bins),
+            0.85 * naive_epol_work);
+
+  // Smaller molecule: smaller relative savings (the paper's observation
+  // that ε hardly matters for small molecules).
+  const Problem small(800);
+  GBEngine small_engine(small.molecule, small.surf);
+  const auto small_result = small_engine.compute();
+  const double small_ratio =
+      double(small_result.work.born_exact + small_result.work.born_approx) /
+      (double(small.molecule.size()) * double(small.surf.size()));
+  const double big_ratio =
+      double(result.work.born_exact + result.work.born_approx) /
+      naive_born_work;
+  EXPECT_GT(small_ratio, big_ratio);
+}
+
+TEST(Engine, BornToInputOrderInvertsPermutation) {
+  const Problem p(200);
+  GBEngine engine(p.molecule, p.surf);
+  std::vector<double> tree_order(engine.num_atoms());
+  const auto idx = engine.atoms_tree().tree.point_index();
+  for (std::size_t pos = 0; pos < tree_order.size(); ++pos)
+    tree_order[pos] = static_cast<double>(idx[pos]);  // original index
+  const auto input_order = engine.born_to_input_order(tree_order);
+  for (std::size_t i = 0; i < input_order.size(); ++i)
+    EXPECT_DOUBLE_EQ(input_order[i], static_cast<double>(i));
+}
+
+// ---- structural invariance ------------------------------------------------
+
+/// The energy must be (approximation-band) independent of the octree
+/// build parameters — leaf size changes the tree shape, not the physics.
+class LeafSizeInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeafSizeInvariance, EnergyStableAcrossLeafSizes) {
+  static const Problem p(700);
+  static const double reference = [] {
+    const auto naive_born = core::naive_born_radii(p.molecule, p.surf);
+    return core::naive_epol(p.molecule, naive_born);
+  }();
+  EngineConfig cfg;
+  cfg.atoms_tree_params.max_leaf_size = GetParam();
+  cfg.qpoints_tree_params.max_leaf_size = 2 * GetParam();
+  GBEngine engine(p.molecule, p.surf, cfg);
+  const auto result = engine.compute();
+  // Tiny leaves fire more (finer-grained) far-field approximations, so
+  // the realized error creeps up slightly below leaf size ~16.
+  const double budget = GetParam() < 16 ? 0.02 : 0.01;
+  EXPECT_LT(std::abs(result.epol - reference) / std::abs(reference), budget)
+      << "leaf size " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafSizes, LeafSizeInvariance,
+                         ::testing::Values(4, 16, 32, 64, 128));
+
+/// Surface resolution sweep: richer quadrature must not destabilize the
+/// octree-vs-naive agreement (both consume the same point set).
+class SurfaceResolution
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SurfaceResolution, OctreeTracksNaiveAtEveryResolution) {
+  const auto [subdivision, degree] = GetParam();
+  const auto m = mol::generate_protein({.target_atoms = 250, .seed = 27});
+  const auto surf = surface::build_surface(
+      m, {.subdivision = subdivision, .quad_degree = degree});
+  const auto naive_born = core::naive_born_radii(m, surf);
+  const double naive_e = core::naive_epol(m, naive_born);
+  GBEngine engine(m, surf);
+  const auto result = engine.compute();
+  EXPECT_LT(std::abs(result.epol - naive_e) / std::abs(naive_e), 0.01)
+      << "subdivision " << subdivision << " degree " << degree;
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, SurfaceResolution,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1, 2, 4)));
+
+// ---- batched SoA kernels -------------------------------------------------
+
+#include "octgb/core/batch_kernels.hpp"
+#include "octgb/core/born.hpp"
+#include "octgb/util/check.hpp"
+#include "octgb/util/rng.hpp"
+
+TEST(BatchKernels, BornIntegralMatchesScalarSum) {
+  util::Xoshiro256 rng(123);
+  const std::size_t n = 257;  // odd size: exercises vector remainders
+  std::vector<geom::Vec3> pts(n), normals(n);
+  std::vector<double> w(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    pts[k] = {rng.uniform(-10, 10), rng.uniform(-10, 10),
+              rng.uniform(-10, 10)};
+    normals[k] = geom::Vec3{rng.normal(), rng.normal(), rng.normal()}
+                     .normalized();
+    w[k] = rng.uniform(0.01, 0.5);
+  }
+  std::vector<double> qx(n), qy(n), qz(n), wnx(n), wny(n), wnz(n);
+  core::split_soa(pts, qx, qy, qz);
+  for (std::size_t k = 0; k < n; ++k) {
+    wnx[k] = w[k] * normals[k].x;
+    wny[k] = w[k] * normals[k].y;
+    wnz[k] = w[k] * normals[k].z;
+  }
+  const geom::Vec3 a{15, -3, 2};  // outside the cloud
+  double scalar = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const geom::Vec3 d = pts[k] - a;
+    scalar += w[k] * normals[k].dot(d) * core::inv_r6(d.norm2(), false);
+  }
+  const double batched = core::batch_born_integral(
+      a.x, a.y, a.z, {qx, qy, qz, wnx, wny, wnz});
+  EXPECT_NEAR(batched, scalar, 1e-12 * (std::abs(scalar) + 1.0));
+}
+
+TEST(BatchKernels, CoincidentPointContributesZero) {
+  // A q-point exactly on the atom center must be skipped, not NaN.
+  std::vector<double> qx = {0.0, 3.0}, qy = {0.0, 0.0}, qz = {0.0, 0.0};
+  std::vector<double> wnx = {1.0, 1.0}, wny = {0.0, 0.0}, wnz = {0.0, 0.0};
+  const double v = core::batch_born_integral(
+      0.0, 0.0, 0.0, {qx, qy, qz, wnx, wny, wnz});
+  EXPECT_TRUE(std::isfinite(v));
+  // Only the second point contributes: wn·d/|d|⁶ = 3/729.
+  EXPECT_NEAR(v, 3.0 / 729.0, 1e-15);
+}
+
+TEST(BatchKernels, EpolSumMatchesScalarFgb) {
+  util::Xoshiro256 rng(321);
+  const std::size_t n = 130;
+  std::vector<double> ux(n), uy(n), uz(n), qu(n), ru(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    ux[k] = rng.uniform(-8, 8);
+    uy[k] = rng.uniform(-8, 8);
+    uz[k] = rng.uniform(-8, 8);
+    qu[k] = rng.uniform(-0.8, 0.8);
+    ru[k] = rng.uniform(1.2, 5.0);
+  }
+  const double vx = 1.0, vy = -2.0, vz = 0.5, qv = -0.6, rv = 2.3;
+  double scalar = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double r2 = (ux[k] - vx) * (ux[k] - vx) +
+                      (uy[k] - vy) * (uy[k] - vy) +
+                      (uz[k] - vz) * (uz[k] - vz);
+    scalar += qu[k] * qv / core::f_gb(r2, ru[k] * rv);
+  }
+  const double batched =
+      core::batch_epol_sum(vx, vy, vz, qv, rv, {ux, uy, uz, qu, ru});
+  EXPECT_NEAR(batched, scalar, 1e-12 * (std::abs(scalar) + 1.0));
+}
+
+TEST(BatchKernels, SplitSoaRoundTrip) {
+  const std::vector<geom::Vec3> pts = {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  std::vector<double> x(3), y(3), z(3);
+  core::split_soa(pts, x, y, z);
+  EXPECT_EQ(x[1], 4.0);
+  EXPECT_EQ(y[2], 8.0);
+  EXPECT_EQ(z[0], 3.0);
+  std::vector<double> bad(2);
+  EXPECT_THROW(core::split_soa(pts, bad, y, z), util::CheckError);
+}

@@ -1,0 +1,143 @@
+// Cross-cutting determinism and reproducibility tests: the whole
+// reproduction rests on bit-stable synthetic inputs and schedule-stable
+// results.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "octgb/core/engine.hpp"
+#include "octgb/core/naive.hpp"
+#include "octgb/mol/generate.hpp"
+#include "octgb/mol/pdb.hpp"
+#include "octgb/mol/zdock.hpp"
+#include "octgb/sim/cluster.hpp"
+#include "octgb/surface/surface.hpp"
+#include "octgb/util/rng.hpp"
+
+using namespace octgb;
+
+namespace {
+
+/// Order-sensitive digest of a molecule's geometry and charges.
+std::uint64_t digest(const mol::Molecule& m) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    h ^= bits;
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& a : m.atoms()) {
+    mix(a.pos.x);
+    mix(a.pos.y);
+    mix(a.pos.z);
+    mix(a.charge);
+    mix(a.radius);
+  }
+  return h;
+}
+
+}  // namespace
+
+TEST(Determinism, BenchmarkMoleculesAreBitStableAcrossCalls) {
+  for (const char* name : {"1PPE_l_b", "1WQ1_l_b", "1BGX_l_b"}) {
+    const auto a = mol::make_benchmark_molecule(name);
+    const auto b = mol::make_benchmark_molecule(name);
+    EXPECT_EQ(digest(a), digest(b)) << name;
+  }
+}
+
+TEST(Determinism, DifferentNamesGiveDifferentMolecules) {
+  const auto a = mol::make_benchmark_molecule("1PPE_l_b");
+  const auto b = mol::make_benchmark_molecule("1PPE_r_b", a.size());
+  EXPECT_NE(digest(a), digest(b));
+}
+
+TEST(Determinism, VirusShellsAreBitStable) {
+  EXPECT_EQ(digest(mol::make_cmv(0.01)), digest(mol::make_cmv(0.01)));
+  EXPECT_EQ(digest(mol::make_btv(0.001)), digest(mol::make_btv(0.001)));
+  EXPECT_NE(digest(mol::make_cmv(0.01)), digest(mol::make_btv(0.001)));
+}
+
+TEST(Determinism, SurfaceSamplingIsDeterministic) {
+  const auto m = mol::generate_protein({.target_atoms = 300, .seed = 3});
+  const auto s1 = surface::build_surface(m);
+  const auto s2 = surface::build_surface(m);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1.positions[i], s2.positions[i]);
+    EXPECT_EQ(s1.weights[i], s2.weights[i]);
+  }
+}
+
+TEST(Determinism, SerialEngineIsBitDeterministic) {
+  const auto m = mol::generate_protein({.target_atoms = 350, .seed = 5});
+  const auto surf = surface::build_surface(m);
+  core::GBEngine engine(m, surf);
+  const auto r1 = engine.compute();
+  const auto r2 = engine.compute();
+  EXPECT_EQ(r1.epol, r2.epol);  // exact bit equality, serial path
+  EXPECT_EQ(r1.born, r2.born);
+}
+
+TEST(Determinism, SimulatedClusterIsBitDeterministic) {
+  const auto m = mol::generate_protein({.target_atoms = 350, .seed = 5});
+  const auto surf = surface::build_surface(m);
+  core::GBEngine engine(m, surf);
+  sim::ClusterConfig cfg;
+  cfg.ranks = 7;
+  const auto r1 = sim::simulate_cluster(engine, cfg);
+  const auto r2 = sim::simulate_cluster(engine, cfg);
+  EXPECT_EQ(r1.epol, r2.epol);
+  EXPECT_EQ(r1.total_seconds, r2.total_seconds);
+  for (int r = 0; r < 7; ++r) {
+    EXPECT_EQ(r1.work_per_rank[r].born_exact,
+              r2.work_per_rank[r].born_exact);
+    EXPECT_EQ(r1.work_per_rank[r].epol_bins, r2.work_per_rank[r].epol_bins);
+  }
+}
+
+TEST(Determinism, JitterIsSeededNotRandom) {
+  const auto m = mol::generate_protein({.target_atoms = 200, .seed = 6});
+  const auto surf = surface::build_surface(m);
+  core::GBEngine engine(m, surf);
+  sim::ClusterConfig cfg;
+  cfg.ranks = 4;
+  const auto base = sim::simulate_cluster(engine, cfg);
+  EXPECT_EQ(sim::jittered_total_seconds(base, cfg, 42),
+            sim::jittered_total_seconds(base, cfg, 42));
+  EXPECT_NE(sim::jittered_total_seconds(base, cfg, 42),
+            sim::jittered_total_seconds(base, cfg, 43));
+}
+
+TEST(Determinism, PdbTextIsByteStable) {
+  const auto m = mol::generate_protein({.target_atoms = 120, .seed = 7});
+  std::ostringstream a, b;
+  mol::write_pdb(m, a);
+  mol::write_pdb(m, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Determinism, ChargeAssignmentIsPure) {
+  // protein_partial_charge must be a pure function of its arguments.
+  EXPECT_EQ(mol::protein_partial_charge("CA", "ALA"),
+            mol::protein_partial_charge("CA", "ALA"));
+  EXPECT_EQ(mol::protein_partial_charge("NZ", "LYS"),
+            mol::protein_partial_charge("NZ", "LYS"));
+}
+
+TEST(Determinism, GeneratorsCoverAllTwentyResidueFamilies) {
+  // A large molecule should sample every template (probabilistic but with
+  // margin: 19 templates, ~600 residues).
+  const auto m = mol::generate_protein({.target_atoms = 12000, .seed = 8});
+  ASSERT_TRUE(m.has_labels());
+  std::set<std::string> seen;
+  for (const auto& l : m.labels()) seen.insert(l.residue_name);
+  EXPECT_GE(seen.size(), 15u);
+  // Spot-check the newer templates appear.
+  EXPECT_TRUE(seen.count("TRP"));
+  EXPECT_TRUE(seen.count("ARG"));
+  EXPECT_TRUE(seen.count("VAL"));
+}

@@ -1,0 +1,289 @@
+// Tests for the extension features: the legacy dual-tree traversal [6],
+// the data-distribution variant (paper's future work), dynamic octree
+// refitting [8], and external-Born-radius energy evaluation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "octgb/baselines/descreening.hpp"
+#include "octgb/core/data_distributed.hpp"
+#include "octgb/core/dual_traversal.hpp"
+#include "octgb/core/engine.hpp"
+#include "octgb/core/naive.hpp"
+#include "octgb/mol/generate.hpp"
+#include "octgb/octree/dynamic.hpp"
+#include "octgb/surface/surface.hpp"
+#include "octgb/util/rng.hpp"
+
+using namespace octgb;
+using core::GBEngine;
+
+namespace {
+
+struct Problem {
+  mol::Molecule molecule;
+  surface::Surface surf;
+  explicit Problem(std::size_t atoms, std::uint64_t seed = 61)
+      : molecule(mol::generate_protein({.target_atoms = atoms, .seed = seed})),
+        surf(surface::build_surface(molecule, {.subdivision = 1})) {}
+};
+
+}  // namespace
+
+// ---- dual-tree traversal ---------------------------------------------------
+
+TEST(DualTraversal, MatchesNaiveForSmallEps) {
+  const Problem p(400);
+  const auto naive = core::naive_born_radii(p.molecule, p.surf);
+  core::EngineConfig cfg;
+  cfg.approx.eps_born = 0.05;
+  GBEngine engine(p.molecule, p.surf, cfg);
+  const auto result = engine.compute_dual();
+  for (std::size_t i = 0; i < naive.size(); ++i)
+    EXPECT_NEAR(result.born[i], naive[i], 0.02 * naive[i]) << "atom " << i;
+}
+
+TEST(DualTraversal, CloseToOneTreeAlgorithmAtDefaultEps) {
+  const Problem p(800);
+  GBEngine engine(p.molecule, p.surf);
+  const auto one_tree = engine.compute();
+  const auto dual = engine.compute_dual();
+  EXPECT_NEAR(dual.epol, one_tree.epol, 0.01 * std::abs(one_tree.epol));
+}
+
+TEST(DualTraversal, ApproximatesAtInternalQNodes) {
+  // The defining difference from the one-tree algorithm: Q-side
+  // approximation can happen above the leaves, so the dual pass does
+  // fewer (or equal) total interactions.
+  const Problem p(2500);
+  GBEngine engine(p.molecule, p.surf);
+  const auto one_tree = engine.compute();
+  const auto dual = engine.compute_dual();
+  EXPECT_LE(dual.work.born_exact + dual.work.born_approx,
+            one_tree.work.born_exact + one_tree.work.born_approx);
+  EXPECT_GT(dual.work.born_approx, 0u);
+}
+
+TEST(DualTraversal, ParallelMatchesSerial) {
+  const Problem p(600);
+  GBEngine engine(p.molecule, p.surf);
+  const auto serial = engine.compute_dual();
+  ws::Scheduler sched(3);
+  const auto parallel = engine.compute_dual(&sched);
+  EXPECT_NEAR(parallel.epol, serial.epol, 1e-8 * std::abs(serial.epol));
+}
+
+TEST(DualTraversal, ErrorShrinksWithEps) {
+  const Problem p(500);
+  const auto naive_born = core::naive_born_radii(p.molecule, p.surf);
+  const double naive_e = core::naive_epol(p.molecule, naive_born);
+  double prev_err = 1e300;
+  for (double eps : {2.0, 0.5, 0.05}) {
+    core::EngineConfig cfg;
+    cfg.approx.eps_born = eps;
+    cfg.approx.eps_epol = 0.05;
+    GBEngine engine(p.molecule, p.surf, cfg);
+    const double err =
+        std::abs(engine.compute_dual().epol - naive_e) / std::abs(naive_e);
+    EXPECT_LE(err, prev_err + 1e-6) << "eps=" << eps;
+    prev_err = err;
+  }
+}
+
+// ---- data distribution --------------------------------------------------------
+
+TEST(DataDistributed, EnergyMatchesReplicatedAlgorithm) {
+  const Problem p(700);
+  GBEngine engine(p.molecule, p.surf);
+  const auto replicated = engine.compute();
+  for (int ranks : {1, 2, 4, 8}) {
+    const auto dd = core::run_data_distributed(engine, ranks);
+    EXPECT_NEAR(dd.epol, replicated.epol, 1e-9 * std::abs(replicated.epol))
+        << "ranks=" << ranks;
+  }
+}
+
+TEST(DataDistributed, OwnedDataPartitionsTheProblem) {
+  const Problem p(900);
+  GBEngine engine(p.molecule, p.surf);
+  const auto dd = core::run_data_distributed(engine, 4);
+  std::size_t atoms = 0, qpoints = 0;
+  for (const auto& r : dd.ranks) {
+    atoms += r.owned_atoms;
+    qpoints += r.owned_qpoints;
+  }
+  EXPECT_EQ(atoms, engine.num_atoms());
+  EXPECT_EQ(qpoints, engine.qpoints_tree().num_points());
+}
+
+TEST(DataDistributed, PerRankMemoryBelowReplication) {
+  // The point of distributing data: even with ghosts, the worst rank
+  // holds less than a full replica (for enough ranks).
+  const Problem p(3000);
+  GBEngine engine(p.molecule, p.surf);
+  const auto dd = core::run_data_distributed(engine, 8);
+  EXPECT_LT(dd.max_rank_bytes(), dd.replicated_bytes_per_rank);
+}
+
+TEST(DataDistributed, GhostsShrinkAsRanksGrow) {
+  // More ranks → smaller owned regions → each rank's near field is a
+  // larger *fraction* of its data but smaller in absolute bytes than the
+  // whole molecule.
+  const Problem p(2000);
+  GBEngine engine(p.molecule, p.surf);
+  const auto dd2 = core::run_data_distributed(engine, 2);
+  const auto dd8 = core::run_data_distributed(engine, 8);
+  std::size_t worst2 = 0, worst8 = 0;
+  for (const auto& r : dd2.ranks)
+    worst2 = std::max(worst2, r.owned_bytes + r.ghost_bytes);
+  for (const auto& r : dd8.ranks)
+    worst8 = std::max(worst8, r.owned_bytes + r.ghost_bytes);
+  EXPECT_LT(worst8, worst2);
+}
+
+TEST(DataDistributed, NearLeavesCoverNonFarRegions) {
+  // Property: for every (Q leaf, T_A leaf) pair that fails the far test
+  // at the leaf level, the T_A leaf must be in the collected near set.
+  const Problem p(400);
+  GBEngine engine(p.molecule, p.surf);
+  const auto& ta = engine.atoms_tree();
+  const auto& tq = engine.qpoints_tree();
+  const auto& q_leaves = engine.q_leaves();
+  const double eps = engine.config().approx.eps_born;
+  const auto near =
+      core::collect_near_ta_leaves(ta, tq, q_leaves, eps, false);
+  std::vector<bool> in_near(ta.tree.nodes().size(), false);
+  for (auto id : near) in_near[id] = true;
+  const double threshold = 1.0 + eps;
+  for (std::uint32_t q_id : q_leaves) {
+    const auto& q = ta.tree.node(0);  // placate unused warnings
+    (void)q;
+    const auto& qn = tq.tree.node(q_id);
+    for (std::uint32_t a_id : ta.tree.leaf_ids()) {
+      const auto& an = ta.tree.node(a_id);
+      const double d = geom::dist(an.centroid, qn.centroid);
+      if (!core::born_far_enough(d, an.radius, qn.radius, threshold)) {
+        EXPECT_TRUE(in_near[a_id])
+            << "leaf " << a_id << " near q-leaf " << q_id
+            << " missing from near set";
+      }
+    }
+  }
+}
+
+// ---- dynamic octree -------------------------------------------------------------
+
+TEST(DynamicOctree, RefitTracksSmallDisplacements) {
+  util::Xoshiro256 rng(71);
+  std::vector<geom::Vec3> pts(600);
+  for (auto& v : pts)
+    v = {rng.uniform(-20, 20), rng.uniform(-20, 20), rng.uniform(-20, 20)};
+  octree::DynamicOctree dyn(pts);
+  EXPECT_EQ(dyn.rebuilds(), 0u);
+
+  // Jiggle by 0.05 Å — typical MD step scale.
+  for (auto& v : pts)
+    v += geom::Vec3{rng.normal(), rng.normal(), rng.normal()} * 0.05;
+  const bool rebuilt = dyn.update(pts);
+  EXPECT_FALSE(rebuilt);
+  EXPECT_EQ(dyn.refits(), 1u);
+  EXPECT_TRUE(dyn.tree().validate());
+}
+
+TEST(DynamicOctree, RefitRadiiStillEncloseAllPoints) {
+  util::Xoshiro256 rng(72);
+  std::vector<geom::Vec3> pts(500);
+  for (auto& v : pts)
+    v = {rng.uniform(-15, 15), rng.uniform(-15, 15), rng.uniform(-15, 15)};
+  octree::DynamicOctree dyn(pts);
+  for (int step = 0; step < 5; ++step) {
+    for (auto& v : pts)
+      v += geom::Vec3{rng.normal(), rng.normal(), rng.normal()} * 0.1;
+    dyn.update(pts);
+    EXPECT_TRUE(dyn.tree().validate()) << "step " << step;
+  }
+}
+
+TEST(DynamicOctree, LargeMotionTriggersRebuild) {
+  util::Xoshiro256 rng(73);
+  std::vector<geom::Vec3> pts(400);
+  for (auto& v : pts)
+    v = {rng.uniform(-15, 15), rng.uniform(-15, 15), rng.uniform(-15, 15)};
+  octree::DynamicOctree dyn(pts);
+  // Blow the molecule apart: every leaf inflates far past the threshold.
+  for (auto& v : pts) v = v * 4.0 + geom::Vec3{rng.normal() * 10, 0, 0};
+  const bool rebuilt = dyn.update(pts);
+  EXPECT_TRUE(rebuilt);
+  EXPECT_EQ(dyn.rebuilds(), 1u);
+  EXPECT_TRUE(dyn.tree().validate());
+  EXPECT_LE(dyn.worst_leaf_inflation(), 1.0 + 1e-9);  // fresh build
+}
+
+TEST(DynamicOctree, RefittedTreeGivesSameEnergyAsRebuilt) {
+  // The refit keeps admissibility sound: energies from a refitted tree
+  // match a from-scratch build on the same coordinates to approximation
+  // tolerance.
+  const Problem base(500);
+  std::vector<geom::Vec3> moved(base.molecule.size());
+  util::Xoshiro256 rng(74);
+  for (std::size_t i = 0; i < moved.size(); ++i)
+    moved[i] = base.molecule.atom(i).pos +
+               geom::Vec3{rng.normal(), rng.normal(), rng.normal()} * 0.02;
+
+  mol::Molecule moved_mol = base.molecule;
+  for (std::size_t i = 0; i < moved.size(); ++i)
+    moved_mol.atoms()[i].pos = moved[i];
+  const auto moved_surf = surface::build_surface(moved_mol,
+                                                 {.subdivision = 1});
+  GBEngine rebuilt(moved_mol, moved_surf);
+  const double e_rebuilt = rebuilt.compute().epol;
+
+  // Refit path: same molecule/surface but tree topology from the original
+  // coordinates.
+  core::AtomsTree refit_ta = core::AtomsTree::build(base.molecule, {});
+  refit_ta.tree.refit(moved);
+  // Energies via the kernels directly (radii from the rebuilt engine,
+  // isolating the tree-structure difference).
+  perf::WorkCounters wc;
+  const auto born = rebuilt.compute().born;
+  std::vector<double> born_tree(born.size());
+  const auto idx = refit_ta.tree.point_index();
+  for (std::size_t pos = 0; pos < idx.size(); ++pos)
+    born_tree[pos] = born[idx[pos]];
+  const auto ctx = core::EpolContext::build(refit_ta, born_tree, 0.9);
+  const double e_refit =
+      core::approx_epol(refit_ta, ctx, born_tree,
+                        refit_ta.tree.leaf_ids(), 0.9, false, {}, wc);
+  EXPECT_NEAR(e_refit, e_rebuilt, 0.01 * std::abs(e_rebuilt));
+}
+
+// ---- external Born radii ---------------------------------------------------------
+
+TEST(EpolWithRadii, MatchesNaiveEpolOnSameRadii) {
+  const Problem p(500);
+  GBEngine engine(p.molecule, p.surf);
+  // Use HCT radii — a different GB model feeding the same octree kernel.
+  std::vector<geom::Vec3> centers(p.molecule.size());
+  for (std::size_t i = 0; i < centers.size(); ++i)
+    centers[i] = p.molecule.atom(i).pos;
+  const auto nb = octree::NbList::build(centers, {.cutoff = 20.0,
+                                                  .max_bytes = 0});
+  const auto hct = baselines::pairwise_born_radii(p.molecule, nb,
+                                                  baselines::BornModel::HCT);
+  perf::WorkCounters wc;
+  const double octree_e = engine.epol_with_radii(hct, wc);
+  const double naive_e = core::naive_epol(p.molecule, hct);
+  EXPECT_NEAR(octree_e, naive_e, 0.01 * std::abs(naive_e));
+}
+
+TEST(EpolWithRadii, UniformRadiiClosedFormCrossCheck) {
+  // All radii equal R: the self-energy part is exactly −τ/2 Σq²/R.
+  const Problem p(300);
+  GBEngine engine(p.molecule, p.surf);
+  std::vector<double> radii(p.molecule.size(), 3.0);
+  perf::WorkCounters wc;
+  const double octree_e = engine.epol_with_radii(radii, wc);
+  const double naive_e = core::naive_epol(p.molecule, radii);
+  EXPECT_NEAR(octree_e, naive_e, 0.01 * std::abs(naive_e));
+}

@@ -1,0 +1,405 @@
+// Tests for the in-process message-passing runtime.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "octgb/mpp/mpp.hpp"
+#include "octgb/util/check.hpp"
+#include "octgb/util/rng.hpp"
+
+using octgb::mpp::Comm;
+using octgb::mpp::Runtime;
+using octgb::mpp::Topology;
+
+namespace {
+
+Runtime::Options opts(int ranks, int ranks_per_node = 12) {
+  Runtime::Options o;
+  o.ranks = ranks;
+  o.topology.ranks_per_node = ranks_per_node;
+  return o;
+}
+
+}  // namespace
+
+TEST(Topology, NodeMapping) {
+  Topology t{12};
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(11), 0);
+  EXPECT_EQ(t.node_of(12), 1);
+  EXPECT_TRUE(t.same_node(3, 11));
+  EXPECT_FALSE(t.same_node(11, 12));
+}
+
+TEST(Mpp, SingleRankRunsTrivially) {
+  int visits = 0;
+  Runtime::run(opts(1), [&](Comm& c) {
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(Mpp, PointToPointRoundTrip) {
+  Runtime::run(opts(2), [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 7, 42.5);
+      EXPECT_DOUBLE_EQ(c.recv_value<double>(1, 8), 43.5);
+    } else {
+      EXPECT_DOUBLE_EQ(c.recv_value<double>(0, 7), 42.5);
+      c.send_value(0, 8, 43.5);
+    }
+  });
+}
+
+TEST(Mpp, TagMatchingOutOfOrder) {
+  // Rank 0 sends tag 2 then tag 1; rank 1 receives tag 1 first.
+  Runtime::run(opts(2), [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 2, 200);
+      c.send_value(1, 1, 100);
+    } else {
+      EXPECT_EQ(c.recv_value<int>(0, 1), 100);
+      EXPECT_EQ(c.recv_value<int>(0, 2), 200);
+    }
+  });
+}
+
+TEST(Mpp, SendToSelfIsRejected) {
+  EXPECT_THROW(Runtime::run(opts(1),
+                            [](Comm& c) { c.send_value(0, 0, 1); }),
+               octgb::util::CheckError);
+}
+
+TEST(Mpp, MessageSizeMismatchIsRejected) {
+  EXPECT_THROW(Runtime::run(opts(2),
+                            [](Comm& c) {
+                              if (c.rank() == 0) {
+                                c.send_value<double>(1, 0, 1.0);
+                              } else {
+                                (void)c.recv_value<int>(0, 0);
+                              }
+                            }),
+               octgb::util::CheckError);
+}
+
+TEST(Mpp, RankFailurePropagatesWithoutDeadlock) {
+  // Rank 1 throws while rank 0 blocks in recv: the abort flag must wake
+  // rank 0 and the first error must be rethrown.
+  EXPECT_THROW(
+      Runtime::run(opts(2),
+                   [](Comm& c) {
+                     if (c.rank() == 0) {
+                       (void)c.recv_value<int>(1, 0);  // never arrives
+                     } else {
+                       throw std::runtime_error("rank 1 exploded");
+                     }
+                   }),
+      std::runtime_error);
+}
+
+class MppCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(MppCollectives, BarrierCompletes) {
+  Runtime::run(opts(GetParam()), [](Comm& c) { c.barrier(); });
+}
+
+TEST_P(MppCollectives, BcastFromEveryRoot) {
+  const int P = GetParam();
+  for (int root = 0; root < P; ++root) {
+    Runtime::run(opts(P), [root](Comm& c) {
+      std::vector<double> data(5, c.rank() == root ? 3.25 : 0.0);
+      c.bcast(std::span<double>(data), root);
+      for (double v : data) EXPECT_DOUBLE_EQ(v, 3.25);
+    });
+  }
+}
+
+TEST_P(MppCollectives, AllreduceSumMatchesSerialReference) {
+  const int P = GetParam();
+  constexpr int kLen = 37;
+  // Reference: per-rank values are deterministic functions of (rank, i).
+  std::vector<double> expected(kLen, 0.0);
+  for (int r = 0; r < P; ++r)
+    for (int i = 0; i < kLen; ++i) expected[i] += r * 1000.0 + i;
+
+  Runtime::run(opts(P), [&](Comm& c) {
+    std::vector<double> mine(kLen);
+    for (int i = 0; i < kLen; ++i) mine[i] = c.rank() * 1000.0 + i;
+    c.allreduce_sum(std::span<double>(mine));
+    for (int i = 0; i < kLen; ++i) EXPECT_DOUBLE_EQ(mine[i], expected[i]);
+  });
+}
+
+TEST_P(MppCollectives, ScalarAllreduceVariants) {
+  const int P = GetParam();
+  Runtime::run(opts(P), [P](Comm& c) {
+    const double r = static_cast<double>(c.rank());
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(r), P * (P - 1) / 2.0);
+    EXPECT_DOUBLE_EQ(c.allreduce_min(r + 5.0), 5.0);
+    EXPECT_DOUBLE_EQ(c.allreduce_max(r), static_cast<double>(P - 1));
+    EXPECT_EQ(c.allreduce_sum(std::uint64_t{1}),
+              static_cast<std::uint64_t>(P));
+  });
+}
+
+TEST_P(MppCollectives, ReduceSumOntoNonzeroRoot) {
+  const int P = GetParam();
+  const int root = P - 1;
+  Runtime::run(opts(P), [&](Comm& c) {
+    std::vector<double> v(3, 1.0);
+    c.reduce_sum(std::span<double>(v), root);
+    if (c.rank() == root) {
+      for (double x : v) EXPECT_DOUBLE_EQ(x, static_cast<double>(P));
+    }
+  });
+}
+
+TEST_P(MppCollectives, AllgathervConcatenatesInRankOrder) {
+  const int P = GetParam();
+  Runtime::run(opts(P), [](Comm& c) {
+    // Rank r contributes r+1 values, all equal to r.
+    std::vector<int> mine(c.rank() + 1, c.rank());
+    const auto all = c.allgatherv(std::span<const int>(mine));
+    std::size_t pos = 0;
+    for (int r = 0; r < c.size(); ++r) {
+      for (int k = 0; k <= r; ++k) {
+        ASSERT_LT(pos, all.size());
+        EXPECT_EQ(all[pos++], r);
+      }
+    }
+    EXPECT_EQ(pos, all.size());
+  });
+}
+
+TEST_P(MppCollectives, GathervHandlesEmptyContributions) {
+  const int P = GetParam();
+  Runtime::run(opts(P), [](Comm& c) {
+    std::vector<double> mine;
+    if (c.rank() % 2 == 0) mine.assign(2, static_cast<double>(c.rank()));
+    const auto all = c.gatherv(std::span<const double>(mine), 0);
+    if (c.rank() == 0) {
+      std::size_t expected = 0;
+      for (int r = 0; r < c.size(); r += 2) expected += 2;
+      EXPECT_EQ(all.size(), expected);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MppCollectives,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13));
+
+TEST(Mpp, TrafficAccountingClassifiesIntraVsInterNode) {
+  // 4 ranks, 2 per node: 0,1 on node 0; 2,3 on node 1.
+  auto counters = Runtime::run(opts(4, 2), [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 0, 1.0);  // intra-node
+      c.send_value(2, 0, 1.0);  // inter-node
+    }
+    if (c.rank() == 1) (void)c.recv_value<double>(0, 0);
+    if (c.rank() == 2) (void)c.recv_value<double>(0, 0);
+  });
+  EXPECT_EQ(counters[0].messages_intranode, 1u);
+  EXPECT_EQ(counters[0].messages_internode, 1u);
+  EXPECT_EQ(counters[0].bytes_intranode, sizeof(double));
+  EXPECT_EQ(counters[0].bytes_internode, sizeof(double));
+  EXPECT_EQ(counters[1].messages_intranode + counters[1].messages_internode,
+            0u);
+}
+
+TEST(Mpp, CollectiveCountsIncrease) {
+  auto counters = Runtime::run(opts(3), [](Comm& c) {
+    c.barrier();
+    double v = 1.0;
+    std::span<double> s(&v, 1);
+    c.allreduce_sum(s);
+  });
+  for (const auto& cc : counters) {
+    EXPECT_GE(cc.collectives, 2u);  // barrier counts reduce+bcast
+  }
+}
+
+TEST(Mpp, ManyRanksStress) {
+  // 32 ranks exchanging a ring of messages plus collectives.
+  Runtime::run(opts(32, 12), [](Comm& c) {
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() + c.size() - 1) % c.size();
+    if (c.rank() % 2 == 0) {
+      c.send_value(next, 1, c.rank());
+      EXPECT_EQ(c.recv_value<int>(prev, 1), prev);
+    } else {
+      EXPECT_EQ(c.recv_value<int>(prev, 1), prev);
+      c.send_value(next, 1, c.rank());
+    }
+    const double total = c.allreduce_sum(1.0);
+    EXPECT_DOUBLE_EQ(total, 32.0);
+  });
+}
+
+// ---- nonblocking / combined p2p ---------------------------------------------
+
+TEST(MppNonblocking, IrecvWaitDeliversMessage) {
+  Runtime::run(opts(2), [](Comm& c) {
+    if (c.rank() == 0) {
+      double buf = 0.0;
+      auto req = c.irecv(1, 5, std::span<double>(&buf, 1));
+      EXPECT_TRUE(req.valid());
+      c.wait(req);
+      EXPECT_FALSE(req.valid());
+      EXPECT_DOUBLE_EQ(buf, 2.5);
+    } else {
+      c.send_value(0, 5, 2.5);
+    }
+  });
+}
+
+TEST(MppNonblocking, TestReportsArrivalWithoutConsuming) {
+  Runtime::run(opts(2), [](Comm& c) {
+    if (c.rank() == 0) {
+      int buf = 0;
+      auto req = c.irecv(1, 9, std::span<int>(&buf, 1));
+      // Synchronize so the message is definitely in the mailbox.
+      c.barrier();
+      EXPECT_TRUE(c.test(req));
+      EXPECT_TRUE(c.test(req));  // not consumed
+      c.wait(req);
+      EXPECT_EQ(buf, 77);
+    } else {
+      c.send_value(0, 9, 77);
+      c.barrier();
+    }
+  });
+}
+
+TEST(MppNonblocking, OverlapComputeWithPendingReceive) {
+  Runtime::run(opts(2), [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> buf(64, 0.0);
+      auto req = c.irecv(1, 3, std::span<double>(buf));
+      // "Compute" while the message is (possibly) in flight.
+      double acc = 0.0;
+      for (int i = 0; i < 1000; ++i) acc += i * 0.5;
+      c.wait(req);
+      EXPECT_DOUBLE_EQ(buf[63], 63.0);
+      EXPECT_GT(acc, 0.0);
+    } else {
+      std::vector<double> out(64);
+      for (int i = 0; i < 64; ++i) out[i] = i;
+      c.send(0, 3, std::span<const double>(out));
+    }
+  });
+}
+
+TEST(MppSendrecv, RingExchangeDoesNotDeadlock) {
+  // Every rank sends right and receives from the left simultaneously —
+  // the pattern blocking send/recv orderings must be careful with.
+  Runtime::run(opts(5), [](Comm& c) {
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() + c.size() - 1) % c.size();
+    const double mine = 100.0 + c.rank();
+    double got = 0.0;
+    c.sendrecv(next, 4, std::span<const double>(&mine, 1), prev, 4,
+               std::span<double>(&got, 1));
+    EXPECT_DOUBLE_EQ(got, 100.0 + prev);
+  });
+}
+
+TEST(MppSendrecv, PairwiseSwap) {
+  Runtime::run(opts(2), [](Comm& c) {
+    const int peer = 1 - c.rank();
+    std::vector<int> mine(3, c.rank()), theirs(3, -1);
+    c.sendrecv(peer, 8, std::span<const int>(mine), peer, 8,
+               std::span<int>(theirs));
+    for (int v : theirs) EXPECT_EQ(v, peer);
+  });
+}
+
+// ---- alltoallv / scan ---------------------------------------------------------
+
+TEST(MppAlltoall, PersonalizedExchange) {
+  Runtime::run(opts(4), [](Comm& c) {
+    // Rank r sends r*10+dest repeated (dest+1) times to each dest.
+    std::vector<std::vector<int>> out(c.size());
+    for (int dest = 0; dest < c.size(); ++dest)
+      out[dest].assign(dest + 1, c.rank() * 10 + dest);
+    const auto in = c.alltoallv(out);
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(c.size()));
+    for (int src = 0; src < c.size(); ++src) {
+      ASSERT_EQ(in[src].size(), static_cast<std::size_t>(c.rank() + 1))
+          << "src " << src;
+      for (int v : in[src]) EXPECT_EQ(v, src * 10 + c.rank());
+    }
+  });
+}
+
+TEST(MppAlltoall, EmptyBucketsAreFine) {
+  Runtime::run(opts(3), [](Comm& c) {
+    std::vector<std::vector<double>> out(c.size());  // all empty
+    const auto in = c.alltoallv(out);
+    for (const auto& bucket : in) EXPECT_TRUE(bucket.empty());
+  });
+}
+
+TEST(MppScan, InclusivePrefixSum) {
+  Runtime::run(opts(6), [](Comm& c) {
+    const double prefix = c.scan_sum(static_cast<double>(c.rank() + 1));
+    // Σ_{k=1..rank+1} k
+    const double expected = (c.rank() + 1) * (c.rank() + 2) / 2.0;
+    EXPECT_DOUBLE_EQ(prefix, expected);
+  });
+}
+
+TEST(MppScan, SingleRankIsIdentity) {
+  Runtime::run(opts(1), [](Comm& c) {
+    EXPECT_DOUBLE_EQ(c.scan_sum(7.5), 7.5);
+  });
+}
+
+// ---- randomized collective property sweep -------------------------------------
+
+TEST(MppProperty, RandomAllreducePayloadsMatchSerialSums) {
+  // Property: for random rank counts, payload lengths and values, the
+  // allreduce equals the serial fold.
+  octgb::util::Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int P = 1 + static_cast<int>(rng.below(9));
+    const int len = 1 + static_cast<int>(rng.below(257));
+    // Deterministic per-(rank, index) values so every rank can recompute
+    // the expectation independently.
+    const std::uint64_t seed = rng();
+    std::vector<double> expected(len, 0.0);
+    for (int r = 0; r < P; ++r) {
+      octgb::util::Xoshiro256 g(seed + r);
+      for (int i = 0; i < len; ++i) expected[i] += g.uniform(-1, 1);
+    }
+    Runtime::run(opts(P), [&](Comm& c) {
+      octgb::util::Xoshiro256 g(seed + c.rank());
+      std::vector<double> mine(len);
+      for (int i = 0; i < len; ++i) mine[i] = g.uniform(-1, 1);
+      c.allreduce_sum(std::span<double>(mine));
+      for (int i = 0; i < len; ++i)
+        ASSERT_NEAR(mine[i], expected[i], 1e-12)
+            << "trial " << trial << " P=" << P << " i=" << i;
+    });
+  }
+}
+
+TEST(MppProperty, BackToBackCollectivesKeepTagIsolation) {
+  // Many collectives in a row must never cross-match (the sequence-number
+  // tag scheme under test).
+  Runtime::run(opts(5), [](Comm& c) {
+    for (int round = 0; round < 25; ++round) {
+      double v = c.rank() + round * 100.0;
+      std::span<double> s(&v, 1);
+      c.allreduce_sum(s);
+      const double expected = 10.0 + 5 * round * 100.0;  // Σranks + P·round·100
+      ASSERT_DOUBLE_EQ(v, expected) << "round " << round;
+      c.barrier();
+    }
+  });
+}

@@ -1,0 +1,263 @@
+// Tests for the octree and the nblist baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "octgb/mol/generate.hpp"
+#include "octgb/octree/nblist.hpp"
+#include "octgb/octree/octree.hpp"
+#include "octgb/util/rng.hpp"
+
+using namespace octgb;
+using octree::BuildParams;
+using octree::NbList;
+using octree::Octree;
+
+namespace {
+
+std::vector<geom::Vec3> random_points(std::size_t n, std::uint64_t seed,
+                                      double extent = 50.0) {
+  util::Xoshiro256 rng(seed);
+  std::vector<geom::Vec3> pts(n);
+  for (auto& p : pts)
+    p = {rng.uniform(-extent, extent), rng.uniform(-extent, extent),
+         rng.uniform(-extent, extent)};
+  return pts;
+}
+
+}  // namespace
+
+TEST(Octree, EmptyInput) {
+  const Octree t = Octree::build({});
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.num_points(), 0u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(Octree, SinglePointIsRootLeaf) {
+  const std::vector<geom::Vec3> pts = {{1, 2, 3}};
+  const Octree t = Octree::build(pts);
+  ASSERT_EQ(t.nodes().size(), 1u);
+  EXPECT_TRUE(t.root().is_leaf());
+  EXPECT_EQ(t.root().centroid, (geom::Vec3{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(t.root().radius, 0.0);
+  EXPECT_TRUE(t.validate());
+}
+
+class OctreeBuild : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OctreeBuild, InvariantsHoldForRandomClouds) {
+  const auto [n, leaf] = GetParam();
+  BuildParams params;
+  params.max_leaf_size = static_cast<std::uint32_t>(leaf);
+  const auto pts = random_points(n, 1000 + n + leaf);
+  const Octree t = Octree::build(pts, params);
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.num_points(), static_cast<std::size_t>(n));
+  // Every leaf within the size bound (except depth-capped degenerates,
+  // which random clouds don't produce).
+  for (const auto id : t.leaf_ids())
+    EXPECT_LE(t.node(id).size(), params.max_leaf_size);
+  // Leaves partition the point range in order.
+  std::uint32_t cursor = 0;
+  for (const auto id : t.leaf_ids()) {
+    EXPECT_EQ(t.node(id).begin, cursor);
+    cursor = t.node(id).end;
+  }
+  EXPECT_EQ(cursor, t.num_points());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Clouds, OctreeBuild,
+    ::testing::Combine(::testing::Values(1, 7, 64, 500, 3000),
+                       ::testing::Values(1, 8, 32, 128)));
+
+TEST(Octree, PermutationIsABijection) {
+  const auto pts = random_points(777, 2);
+  const Octree t = Octree::build(pts);
+  std::set<std::uint32_t> seen(t.point_index().begin(),
+                               t.point_index().end());
+  EXPECT_EQ(seen.size(), pts.size());
+  // Permuted points match originals through the index.
+  for (std::size_t pos = 0; pos < pts.size(); ++pos)
+    EXPECT_EQ(t.points()[pos], pts[t.point_index()[pos]]);
+}
+
+TEST(Octree, CoincidentPointsTerminates) {
+  // 100 identical points can never be separated spatially; the depth cap
+  // and degenerate-split guard must produce a valid (leaf-heavy) tree.
+  std::vector<geom::Vec3> pts(100, {1, 1, 1});
+  BuildParams params;
+  params.max_leaf_size = 8;
+  const Octree t = Octree::build(pts, params);
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.num_points(), 100u);
+}
+
+TEST(Octree, RadiusEnclosesSubtreePoints) {
+  const auto pts = random_points(2000, 3);
+  const Octree t = Octree::build(pts);
+  for (const auto& n : t.nodes()) {
+    for (std::uint32_t i = n.begin; i < n.end; ++i)
+      EXPECT_LE(geom::dist(n.centroid, t.points()[i]), n.radius + 1e-9);
+  }
+}
+
+TEST(Octree, FootprintLinearInPoints) {
+  // The paper's memory claim: octree size is linear in the point count and
+  // independent of any approximation parameter.
+  const auto small = Octree::build(random_points(1000, 4));
+  const auto large = Octree::build(random_points(8000, 5));
+  const double ratio = static_cast<double>(large.footprint_bytes()) /
+                       static_cast<double>(small.footprint_bytes());
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 16.0);
+}
+
+TEST(Octree, DepthIsLogarithmicForUniformClouds) {
+  const auto pts = random_points(10000, 6);
+  BuildParams params;
+  params.max_leaf_size = 16;
+  const Octree t = Octree::build(pts, params);
+  EXPECT_LE(t.max_depth(), 12);
+}
+
+TEST(Octree, ChildrenAreContiguousAndAfterParent) {
+  const auto pts = random_points(3000, 7);
+  const Octree t = Octree::build(pts);
+  for (std::uint32_t id = 0; id < t.nodes().size(); ++id) {
+    const auto& n = t.node(id);
+    if (n.is_leaf()) continue;
+    EXPECT_GT(n.first_child, id);  // enables bottom-up reverse sweeps
+    for (std::uint8_t c = 1; c < n.child_count; ++c) {
+      EXPECT_EQ(t.node(n.first_child + c).begin,
+                t.node(n.first_child + c - 1).end);
+    }
+  }
+}
+
+// ---- nblist ------------------------------------------------------------------
+
+TEST(NbList, MatchesBruteForceOnRandomCloud) {
+  const auto pts = random_points(400, 8, 15.0);
+  const double cutoff = 6.0;
+  const NbList list = NbList::build(pts, {.cutoff = cutoff, .max_bytes = 0});
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::set<std::uint32_t> expected;
+    for (std::uint32_t j = 0; j < pts.size(); ++j) {
+      if (j != i && geom::dist(pts[i], pts[j]) <= cutoff) expected.insert(j);
+    }
+    const auto got = list.neighbors(i);
+    std::set<std::uint32_t> actual(got.begin(), got.end());
+    EXPECT_EQ(actual, expected) << "atom " << i;
+  }
+}
+
+TEST(NbList, PairsAreSymmetric) {
+  const auto pts = random_points(300, 9, 20.0);
+  const NbList list = NbList::build(pts, {.cutoff = 8.0, .max_bytes = 0});
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::uint32_t j : list.neighbors(i)) {
+      const auto back = list.neighbors(j);
+      EXPECT_NE(std::find(back.begin(), back.end(), i), back.end());
+    }
+  }
+}
+
+TEST(NbList, MemoryGrowsCubicallyWithCutoff) {
+  // The §II claim driving the whole octree-vs-nblist argument.
+  const auto m = mol::generate_protein({.target_atoms = 3000, .seed = 10});
+  std::vector<geom::Vec3> pts(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) pts[i] = m.atom(i).pos;
+  const NbList c6 = NbList::build(pts, {.cutoff = 6.0, .max_bytes = 0});
+  const NbList c12 = NbList::build(pts, {.cutoff = 12.0, .max_bytes = 0});
+  const double growth = static_cast<double>(c12.total_pairs()) /
+                        static_cast<double>(c6.total_pairs());
+  // (12/6)³ = 8 in the bulk; surface effects pull it below.
+  EXPECT_GT(growth, 3.0);
+  EXPECT_LT(growth, 9.0);
+}
+
+TEST(NbList, ByteBudgetThrowsSimulatedOom) {
+  const auto pts = random_points(2000, 11, 10.0);  // dense
+  EXPECT_THROW(NbList::build(pts, {.cutoff = 15.0, .max_bytes = 1024}),
+               octree::NbListOutOfMemory);
+  // Unlimited budget succeeds on the same input.
+  EXPECT_NO_THROW(NbList::build(pts, {.cutoff = 15.0, .max_bytes = 0}));
+}
+
+TEST(NbList, EmptyAndSinglePoint) {
+  const NbList empty = NbList::build({}, {.cutoff = 5.0});
+  EXPECT_EQ(empty.num_points(), 0u);
+  const std::vector<geom::Vec3> one = {{0, 0, 0}};
+  const NbList single = NbList::build(one, {.cutoff = 5.0});
+  EXPECT_EQ(single.num_points(), 1u);
+  EXPECT_TRUE(single.neighbors(0).empty());
+}
+
+TEST(NbList, OctreeFootprintIndependentOfCutoffUnlikeNblist) {
+  const auto m = mol::generate_protein({.target_atoms = 2000, .seed = 12});
+  std::vector<geom::Vec3> pts(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) pts[i] = m.atom(i).pos;
+  const Octree t = Octree::build(pts);
+  const std::size_t octree_bytes = t.footprint_bytes();  // no cutoff at all
+  const NbList small_cut = NbList::build(pts, {.cutoff = 4.0, .max_bytes = 0});
+  const NbList big_cut = NbList::build(pts, {.cutoff = 16.0, .max_bytes = 0});
+  EXPECT_GT(big_cut.footprint_bytes(), 4 * small_cut.footprint_bytes());
+  EXPECT_LT(octree_bytes, big_cut.footprint_bytes());
+}
+
+// ---- serialization -----------------------------------------------------------
+
+#include <sstream>
+
+#include "octgb/octree/serialize.hpp"
+#include "octgb/util/check.hpp"
+
+TEST(OctreeSerialize, RoundTripPreservesEverything) {
+  const auto pts = random_points(1234, 21);
+  const Octree original = Octree::build(pts);
+  std::stringstream buf;
+  octree::write_octree(original, buf);
+  const Octree loaded = octree::read_octree(buf);
+  EXPECT_TRUE(loaded.validate());
+  ASSERT_EQ(loaded.nodes().size(), original.nodes().size());
+  ASSERT_EQ(loaded.num_points(), original.num_points());
+  for (std::size_t i = 0; i < original.nodes().size(); ++i) {
+    EXPECT_EQ(loaded.node(i).centroid, original.node(i).centroid);
+    EXPECT_EQ(loaded.node(i).begin, original.node(i).begin);
+    EXPECT_EQ(loaded.node(i).first_child, original.node(i).first_child);
+  }
+  EXPECT_EQ(loaded.leaf_ids(), original.leaf_ids());
+  EXPECT_EQ(loaded.max_depth(), original.max_depth());
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_EQ(loaded.points()[i], original.points()[i]);
+}
+
+TEST(OctreeSerialize, RejectsGarbageAndTruncation) {
+  std::stringstream garbage("this is not an octree");
+  EXPECT_THROW(octree::read_octree(garbage), octgb::util::CheckError);
+
+  const auto pts = random_points(100, 22);
+  const Octree t = Octree::build(pts);
+  std::stringstream buf;
+  octree::write_octree(t, buf);
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() / 2);  // truncate
+  std::stringstream truncated(bytes);
+  EXPECT_THROW(octree::read_octree(truncated), octgb::util::CheckError);
+}
+
+TEST(OctreeSerialize, FileRoundTrip) {
+  const auto pts = random_points(300, 23);
+  const Octree t = Octree::build(pts);
+  const std::string path = "serialize_test.octree";
+  octree::write_octree_file(t, path);
+  const Octree loaded = octree::read_octree_file(path);
+  EXPECT_TRUE(loaded.validate());
+  EXPECT_EQ(loaded.num_points(), t.num_points());
+  std::remove(path.c_str());
+  EXPECT_THROW(octree::read_octree_file(path), octgb::util::CheckError);
+}

@@ -1,0 +1,168 @@
+// Tests for the perf module: run statistics, work counters, and the
+// machine/network model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "octgb/perf/counters.hpp"
+#include "octgb/perf/machine_model.hpp"
+#include "octgb/perf/stats.hpp"
+
+using namespace octgb::perf;
+
+// ---- RunStats --------------------------------------------------------------
+
+TEST(RunStats, EmptyIsZeroed) {
+  RunStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunStats, SingleSample) {
+  RunStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunStats, MatchesClosedFormMoments) {
+  RunStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance with n−1 = 7: Σ(x−5)² = 32 → 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunStats, WelfordIsNumericallyStableForLargeOffsets) {
+  RunStats s;
+  const double base = 1e12;
+  for (int i = 0; i < 1000; ++i) s.add(base + (i % 5));
+  EXPECT_NEAR(s.mean(), base + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 2.0, 0.05);  // variance of {0..4} uniform-ish
+}
+
+TEST(PercentError, SignsAndZeroReference) {
+  EXPECT_DOUBLE_EQ(percent_error(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percent_error(-110.0, -100.0), -10.0);
+  EXPECT_DOUBLE_EQ(percent_error(90.0, 100.0), -10.0);
+  EXPECT_DOUBLE_EQ(percent_error(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(percent_error(1.0, 0.0)));
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += i;
+  const double first = t.seconds();
+  EXPECT_GT(first, 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), first + 1.0);
+}
+
+// ---- WorkCounters ------------------------------------------------------------
+
+TEST(WorkCounters, AccumulateFieldwise) {
+  WorkCounters a, b;
+  a.born_exact = 10;
+  a.epol_bins = 3;
+  a.steals = 1;
+  b.born_exact = 5;
+  b.epol_exact = 7;
+  a += b;
+  EXPECT_EQ(a.born_exact, 15u);
+  EXPECT_EQ(a.epol_exact, 7u);
+  EXPECT_EQ(a.epol_bins, 3u);
+  EXPECT_EQ(a.steals, 1u);
+}
+
+TEST(WorkCounters, TotalInteractionsSumsKernelWork) {
+  WorkCounters w;
+  w.born_exact = 1;
+  w.born_approx = 2;
+  w.epol_exact = 3;
+  w.epol_bins = 4;
+  w.pairlist_pairs = 5;
+  w.grid_cells = 6;
+  w.born_visits = 100;  // traversal, not interaction
+  EXPECT_EQ(w.total_interactions(), 21u);
+}
+
+// ---- MachineModel ---------------------------------------------------------------
+
+TEST(MachineModel, TableIConstants) {
+  MachineModel m;
+  EXPECT_DOUBLE_EQ(m.clock_hz, 3.33e9);
+  EXPECT_EQ(m.cores_per_node, 12);
+  EXPECT_EQ(m.sockets_per_node, 2);
+  EXPECT_DOUBLE_EQ(m.l3_bytes, 12.0 * 1024 * 1024);
+}
+
+TEST(MachineModel, ComputeSecondsLinearInWork) {
+  MachineModel m;
+  WorkCounters w1, w2;
+  w1.epol_exact = 1000000;
+  w2.epol_exact = 2000000;
+  const double t1 = m.compute_seconds(w1, 0.0, 1, false);
+  const double t2 = m.compute_seconds(w2, 0.0, 1, false);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-15);
+  EXPECT_NEAR(t1, 1e6 * m.cyc_epol_exact / m.clock_hz, 1e-12);
+}
+
+TEST(MachineModel, ApproxMathSpeedsUpInteractionsOnly) {
+  MachineModel m;
+  WorkCounters w;
+  w.born_exact = 1000000;
+  w.born_visits = 1000000;  // traversal is not accelerated
+  const double exact = m.compute_seconds(w, 0.0, 1, false);
+  const double fast = m.compute_seconds(w, 0.0, 1, true);
+  EXPECT_LT(fast, exact);
+  // Lower bound: only the interaction share shrinks.
+  const double interact = 1e6 * m.cyc_born_exact / m.clock_hz;
+  const double traverse = 1e6 * m.cyc_born_visit / m.clock_hz;
+  EXPECT_NEAR(fast, interact / m.approx_math_speedup + traverse, 1e-12);
+}
+
+TEST(MachineModel, CacheFactorMonotoneAndBounded) {
+  MachineModel m;
+  double prev = 0.0;
+  for (double ws : {1e5, 1e6, 1e7, 1e8, 1e9, 1e12}) {
+    const double f = m.cache_factor(ws, 6);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 1.0);
+    EXPECT_LE(f, m.cache_miss_penalty);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(m.cache_factor(0.0, 6), 1.0);
+}
+
+TEST(MachineModel, CommSecondsPricesTrafficByLocality) {
+  MachineModel m;
+  CommCounters intra, inter;
+  intra.messages_intranode = 10;
+  intra.bytes_intranode = 1 << 20;
+  inter.messages_internode = 10;
+  inter.bytes_internode = 1 << 20;
+  // Inter-node traffic is strictly more expensive at equal volume.
+  EXPECT_GT(comm_seconds(m, inter), comm_seconds(m, intra));
+  EXPECT_DOUBLE_EQ(comm_seconds(m, CommCounters{}), 0.0);
+}
+
+TEST(MachineModel, CommCountersAccumulate) {
+  CommCounters a, b;
+  a.bytes_internode = 100;
+  a.collectives = 1;
+  b.bytes_internode = 50;
+  b.messages_intranode = 2;
+  a += b;
+  EXPECT_EQ(a.bytes_internode, 150u);
+  EXPECT_EQ(a.messages_intranode, 2u);
+  EXPECT_EQ(a.collectives, 1u);
+}

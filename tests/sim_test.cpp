@@ -1,0 +1,200 @@
+// Tests for the cluster simulation harness: physics identical to the real
+// hybrid runtime, modeled times behave like the paper's curves.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "octgb/core/hybrid.hpp"
+#include "octgb/mol/generate.hpp"
+#include "octgb/sim/cluster.hpp"
+#include "octgb/surface/surface.hpp"
+
+using namespace octgb;
+using core::GBEngine;
+using sim::ClusterConfig;
+using sim::simulate_cluster;
+
+namespace {
+
+struct Fixture {
+  mol::Molecule molecule;
+  surface::Surface surf;
+  GBEngine engine;
+  Fixture()
+      : molecule(mol::generate_virus_shell({.target_atoms = 6000, .seed = 5})),
+        surf(surface::build_surface(molecule, {.subdivision = 0})),
+        engine(molecule, surf) {}
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+}  // namespace
+
+TEST(Sim, EnergyMatchesRealHybridRuntime) {
+  ClusterConfig sim_cfg;
+  sim_cfg.ranks = 4;
+  const auto sim_r = simulate_cluster(fixture().engine, sim_cfg);
+
+  core::HybridConfig hyb_cfg;
+  hyb_cfg.ranks = 4;
+  const auto hyb_r = run_hybrid(fixture().engine, hyb_cfg);
+
+  EXPECT_NEAR(sim_r.epol, hyb_r.epol, 1e-9 * std::abs(hyb_r.epol));
+  ASSERT_EQ(sim_r.born.size(), hyb_r.born.size());
+  for (std::size_t i = 0; i < sim_r.born.size(); ++i)
+    EXPECT_NEAR(sim_r.born[i], hyb_r.born[i], 1e-9 * hyb_r.born[i] + 1e-12);
+}
+
+TEST(Sim, WorkCountersMatchRealHybridRuntime) {
+  ClusterConfig sim_cfg;
+  sim_cfg.ranks = 3;
+  const auto sim_r = simulate_cluster(fixture().engine, sim_cfg);
+  core::HybridConfig hyb_cfg;
+  hyb_cfg.ranks = 3;
+  const auto hyb_r = run_hybrid(fixture().engine, hyb_cfg);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(sim_r.work_per_rank[r].born_exact,
+              hyb_r.work_per_rank[r].born_exact);
+    EXPECT_EQ(sim_r.work_per_rank[r].epol_exact,
+              hyb_r.work_per_rank[r].epol_exact);
+    EXPECT_EQ(sim_r.work_per_rank[r].epol_bins,
+              hyb_r.work_per_rank[r].epol_bins);
+  }
+}
+
+TEST(Sim, EnergyIndependentOfClusterShape) {
+  double ref = 0;
+  for (int P : {1, 2, 6, 24}) {
+    ClusterConfig cfg;
+    cfg.ranks = P;
+    const auto r = simulate_cluster(fixture().engine, cfg);
+    if (P == 1)
+      ref = r.epol;
+    else
+      EXPECT_NEAR(r.epol, ref, 1e-9 * std::abs(ref)) << "P=" << P;
+  }
+}
+
+TEST(Sim, ComputeTimeScalesDownWithRanks) {
+  double prev = 1e300;
+  for (int P : {1, 2, 4, 8, 16}) {
+    ClusterConfig cfg;
+    cfg.ranks = P;
+    const auto r = simulate_cluster(fixture().engine, cfg);
+    EXPECT_LT(r.compute_seconds, prev) << "P=" << P;
+    prev = r.compute_seconds;
+  }
+}
+
+TEST(Sim, ThreadsAlsoScaleComputeDown) {
+  ClusterConfig one, six;
+  one.ranks = 2;
+  one.threads_per_rank = 1;
+  six.ranks = 2;
+  six.threads_per_rank = 6;
+  const auto r1 = simulate_cluster(fixture().engine, one);
+  const auto r6 = simulate_cluster(fixture().engine, six);
+  EXPECT_LT(r6.compute_seconds, r1.compute_seconds);
+  EXPECT_GT(r6.compute_seconds, r1.compute_seconds / 6.5);
+}
+
+TEST(Sim, CommTimeGrowsWithRanks) {
+  ClusterConfig small, big;
+  small.ranks = 2;
+  big.ranks = 64;
+  const auto rs = simulate_cluster(fixture().engine, small);
+  const auto rb = simulate_cluster(fixture().engine, big);
+  EXPECT_GT(rb.comm_seconds, rs.comm_seconds);
+}
+
+TEST(Sim, HybridHasLessCommThanPureMpiAtSameCoreCount) {
+  // 24 cores: OCT_MPI = 24×1, hybrid = 4×6 (2 nodes of 12 cores).
+  ClusterConfig mpi, hybrid;
+  mpi.ranks = 24;
+  mpi.threads_per_rank = 1;
+  hybrid.ranks = 4;
+  hybrid.threads_per_rank = 6;
+  // Isolate collective volume from the fixed cilk/MPI interfacing cost.
+  hybrid.mpi_cilk_interface_seconds = 0.0;
+  const auto rm = simulate_cluster(fixture().engine, mpi);
+  const auto rh = simulate_cluster(fixture().engine, hybrid);
+  EXPECT_EQ(rm.total_cores, rh.total_cores);
+  EXPECT_LT(rh.comm_seconds, rm.comm_seconds);
+}
+
+TEST(Sim, ReplicatedMemoryRatioMatchesRankRatio) {
+  // §V-B: 12 single-thread ranks per node use ≈ 6× the memory of
+  // 2 ranks × 6 threads (5.86× measured in the paper — slightly below 6
+  // because per-rank working arrays don't shrink with P).
+  ClusterConfig mpi, hybrid;
+  mpi.ranks = 12;
+  hybrid.ranks = 2;
+  hybrid.threads_per_rank = 6;
+  const auto rm = simulate_cluster(fixture().engine, mpi);
+  const auto rh = simulate_cluster(fixture().engine, hybrid);
+  const double node_bytes_mpi = 12.0 * double(rm.bytes_per_rank);
+  const double node_bytes_hybrid = 2.0 * double(rh.bytes_per_rank);
+  const double ratio = node_bytes_mpi / node_bytes_hybrid;
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LE(ratio, 6.0);
+}
+
+TEST(Sim, JitterProducesSpreadAboveBase) {
+  ClusterConfig cfg;
+  cfg.ranks = 8;
+  const auto base = simulate_cluster(fixture().engine, cfg);
+  double min_t = 1e300, max_t = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    const double t = sim::jittered_total_seconds(base, cfg, 1000 + rep);
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+  }
+  EXPECT_GE(min_t, base.total_seconds * 0.90);
+  EXPECT_GT(max_t, min_t);           // there is actual spread
+  EXPECT_LT(max_t, base.total_seconds * 1.6);
+}
+
+TEST(Sim, MaxJitterGrowsWithRankCount) {
+  // More ranks → the slowest straggler is slower (Fig. 6's OCT_MPI max
+  // curve sitting above the hybrid one).
+  ClusterConfig few, many;
+  few.ranks = 4;
+  many.ranks = 64;
+  const auto rf = simulate_cluster(fixture().engine, few);
+  const auto rm = simulate_cluster(fixture().engine, many);
+  double worst_few = 0, worst_many = 0;
+  for (int rep = 0; rep < 30; ++rep) {
+    worst_few = std::max(
+        worst_few, sim::jittered_total_seconds(rf, few, rep) /
+                       rf.total_seconds);
+    worst_many = std::max(
+        worst_many, sim::jittered_total_seconds(rm, many, rep) /
+                        rm.total_seconds);
+  }
+  EXPECT_GT(worst_many, worst_few);
+}
+
+TEST(Sim, CollectiveCostsAreMonotone) {
+  perf::MachineModel m;
+  mpp::Topology topo{12};
+  sim::CollectiveCosts c12{m, topo, 12}, c144{m, topo, 144};
+  EXPECT_GT(c144.tree_collective(1e6), c12.tree_collective(1e6));
+  EXPECT_GT(c12.tree_collective(1e7), c12.tree_collective(1e6));
+  EXPECT_GT(c144.allgatherv(1e6), c12.allgatherv(1e6));
+  EXPECT_DOUBLE_EQ((sim::CollectiveCosts{m, topo, 1}).allreduce(1e6), 0.0);
+}
+
+TEST(Sim, CacheFactorPenalizesOversubscribedSockets) {
+  perf::MachineModel m;
+  // Working set below the L3 share: no penalty.
+  EXPECT_DOUBLE_EQ(m.cache_factor(1e6, 1), 1.0);
+  // Far above: penalty approaches the cap.
+  EXPECT_GT(m.cache_factor(1e9, 6), 1.3);
+  EXPECT_LE(m.cache_factor(1e12, 6), m.cache_miss_penalty);
+  // More cores sharing the L3 → more pressure at the same working set.
+  EXPECT_GE(m.cache_factor(6e6, 6), m.cache_factor(6e6, 1));
+}

@@ -1,0 +1,134 @@
+// Tests for the molecular surface sampler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "octgb/mol/generate.hpp"
+#include "octgb/surface/surface.hpp"
+
+using namespace octgb;
+using surface::build_sphere_surface;
+using surface::build_surface;
+using surface::Surface;
+using surface::SurfaceParams;
+
+TEST(Surface, IsolatedSphereAreaIsExact) {
+  // The polyhedral-deficit correction makes a full sphere integrate to
+  // exactly 4πr² at any subdivision level.
+  for (int level = 0; level <= 3; ++level) {
+    for (double r : {1.0, 1.7, 3.5}) {
+      const Surface s =
+          build_sphere_surface({0, 0, 0}, r, {.subdivision = level});
+      EXPECT_NEAR(s.total_area(), 4.0 * std::numbers::pi * r * r,
+                  1e-9 * r * r)
+          << "level=" << level << " r=" << r;
+    }
+  }
+}
+
+TEST(Surface, SphereNormalsAreRadialAndUnit) {
+  const Surface s = build_sphere_surface({1, 2, 3}, 2.0, {.subdivision = 1});
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    EXPECT_NEAR(s.normals[k].norm(), 1.0, 1e-12);
+    const geom::Vec3 radial = (s.positions[k] - geom::Vec3{1, 2, 3});
+    EXPECT_NEAR(radial.norm(), 2.0, 1e-9);  // points on the sphere
+    EXPECT_NEAR(radial.normalized().dot(s.normals[k]), 1.0, 1e-12);
+  }
+}
+
+TEST(Surface, BornIntegralOfIsolatedSphereRecoversRadius) {
+  // (1/4π) Σ w (r−x)·n/|r−x|⁶ must equal 1/R³ for a sphere of radius R —
+  // this is the identity the whole r⁶ method rests on.
+  for (double R : {1.2, 1.7, 2.5}) {
+    const Surface s =
+        build_sphere_surface({0, 0, 0}, R, {.subdivision = 2});
+    double integral = 0.0;
+    for (std::size_t k = 0; k < s.size(); ++k) {
+      const geom::Vec3 d = s.positions[k];  // atom at origin
+      integral += s.weights[k] * d.dot(s.normals[k]) / std::pow(d.norm2(), 3);
+    }
+    const double r_est =
+        1.0 / std::cbrt(integral / (4.0 * std::numbers::pi));
+    EXPECT_NEAR(r_est, R, 1e-9) << "R=" << R;
+  }
+}
+
+TEST(Surface, QuadratureDegreeMultipliesPointCount) {
+  const Surface d1 = build_sphere_surface({0, 0, 0}, 1.5,
+                                          {.subdivision = 1, .quad_degree = 1});
+  const Surface d2 = build_sphere_surface({0, 0, 0}, 1.5,
+                                          {.subdivision = 1, .quad_degree = 2});
+  EXPECT_EQ(d2.size(), 3 * d1.size());  // 3-point rule vs 1-point rule
+}
+
+TEST(Surface, BuriedPointsAreCulled) {
+  // Two overlapping spheres: total exposed area < sum of full areas, and
+  // every surviving point lies outside the other sphere.
+  mol::Molecule m;
+  m.add_atom({{0, 0, 0}, 1.7, 0, mol::Element::C});
+  m.add_atom({{1.5, 0, 0}, 1.7, 0, mol::Element::C});
+  const Surface s = build_surface(m, {.subdivision = 2});
+  const double full = 2.0 * 4.0 * std::numbers::pi * 1.7 * 1.7;
+  EXPECT_LT(s.total_area(), 0.95 * full);
+  EXPECT_GT(s.total_area(), 0.40 * full);
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    const auto owner = s.owner_atom[k];
+    const auto other = 1 - owner;
+    EXPECT_GE(geom::dist(s.positions[k], m.atom(other).pos),
+              0.99 * 1.7 - 1e-9);
+  }
+}
+
+TEST(Surface, DisjointAtomsKeepFullSpheres) {
+  mol::Molecule m;
+  m.add_atom({{0, 0, 0}, 1.5, 0, mol::Element::C});
+  m.add_atom({{100, 0, 0}, 1.5, 0, mol::Element::C});
+  const Surface s = build_surface(m, {.subdivision = 1});
+  EXPECT_NEAR(s.total_area(), 2 * 4.0 * std::numbers::pi * 1.5 * 1.5, 1e-8);
+}
+
+TEST(Surface, FullyBuriedAtomContributesNothing) {
+  mol::Molecule m;
+  m.add_atom({{0, 0, 0}, 1.0, 0, mol::Element::H});  // inside the big one
+  m.add_atom({{0, 0, 0}, 3.0, 0, mol::Element::S});
+  const Surface s = build_surface(m, {.subdivision = 1});
+  for (std::size_t k = 0; k < s.size(); ++k)
+    EXPECT_EQ(s.owner_atom[k], 1u) << "buried atom leaked a point";
+  EXPECT_NEAR(s.total_area(), 4.0 * std::numbers::pi * 9.0, 1e-8);
+}
+
+TEST(Surface, ProteinSurfaceIsPlausible) {
+  const auto m = mol::generate_protein({.target_atoms = 500, .seed = 11});
+  const Surface s = build_surface(m, {.subdivision = 1});
+  EXPECT_GT(s.size(), m.size());  // several q-points per exposed atom
+  // Exposed area below the sum of all spheres, above a single sphere.
+  double full = 0;
+  for (const auto& a : m.atoms())
+    full += 4.0 * std::numbers::pi * a.radius * a.radius;
+  EXPECT_LT(s.total_area(), full);
+  EXPECT_GT(s.total_area(), 0.02 * full);
+  // All weights positive; owners valid.
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    EXPECT_GT(s.weights[k], 0.0);
+    EXPECT_LT(s.owner_atom[k], m.size());
+  }
+}
+
+TEST(Surface, HigherSubdivisionConvergesToSameArea) {
+  const auto m = mol::generate_protein({.target_atoms = 200, .seed = 13});
+  const Surface coarse = build_surface(m, {.subdivision = 1});
+  const Surface fine = build_surface(m, {.subdivision = 3});
+  EXPECT_NEAR(coarse.total_area(), fine.total_area(),
+              0.05 * fine.total_area());
+}
+
+TEST(Surface, FootprintTracksSize) {
+  const auto m = mol::generate_protein({.target_atoms = 300, .seed = 17});
+  const Surface s1 = build_surface(m, {.subdivision = 0});
+  const Surface s2 = build_surface(m, {.subdivision = 2});
+  EXPECT_GT(s2.footprint_bytes(), s1.footprint_bytes());
+  EXPECT_GE(s1.footprint_bytes(),
+            s1.size() * (2 * sizeof(geom::Vec3) + sizeof(double)));
+}

@@ -1,0 +1,306 @@
+// Tests for the work-stealing scheduler substrate.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "octgb/ws/deque.hpp"
+#include "octgb/ws/scheduler.hpp"
+
+using octgb::ws::ChaseLevDeque;
+using octgb::ws::Scheduler;
+
+// ---- Chase–Lev deque -------------------------------------------------------
+
+TEST(Deque, OwnerLifoOrder) {
+  ChaseLevDeque<int> d;
+  int a = 1, b = 2, c = 3;
+  d.push(&a);
+  d.push(&b);
+  d.push(&c);
+  EXPECT_EQ(d.pop(), &c);
+  EXPECT_EQ(d.pop(), &b);
+  EXPECT_EQ(d.pop(), &a);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(Deque, StealFifoOrder) {
+  ChaseLevDeque<int> d;
+  int a = 1, b = 2, c = 3;
+  d.push(&a);
+  d.push(&b);
+  d.push(&c);
+  EXPECT_EQ(d.steal(), &a);
+  EXPECT_EQ(d.steal(), &b);
+  EXPECT_EQ(d.steal(), &c);
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(Deque, MixedPopAndSteal) {
+  ChaseLevDeque<int> d;
+  int v[4] = {0, 1, 2, 3};
+  for (auto& x : v) d.push(&x);
+  EXPECT_EQ(d.steal(), &v[0]);  // oldest
+  EXPECT_EQ(d.pop(), &v[3]);    // newest
+  EXPECT_EQ(d.steal(), &v[1]);
+  EXPECT_EQ(d.pop(), &v[2]);
+  EXPECT_EQ(d.pop(), nullptr);
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(Deque, GrowsPastInitialCapacity) {
+  ChaseLevDeque<int> d(8);
+  std::vector<int> vals(1000);
+  std::iota(vals.begin(), vals.end(), 0);
+  for (auto& x : vals) d.push(&x);
+  EXPECT_EQ(d.size_approx(), 1000);
+  for (int i = 999; i >= 0; --i) EXPECT_EQ(d.pop(), &vals[i]);
+}
+
+TEST(Deque, ConcurrentStealersReceiveEachItemOnce) {
+  // Owner pushes; several thieves steal concurrently; every item must be
+  // delivered exactly once across all consumers.
+  constexpr int kItems = 20000;
+  ChaseLevDeque<int> d;
+  std::vector<int> vals(kItems);
+  std::vector<std::atomic<int>> delivered(kItems);
+  for (auto& a : delivered) a.store(0);
+
+  std::atomic<bool> done{false};
+  auto thief = [&] {
+    while (!done.load() || d.size_approx() > 0) {
+      if (int* p = d.steal()) {
+        delivered[static_cast<std::size_t>(p - vals.data())].fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < 3; ++t) thieves.emplace_back(thief);
+
+  for (int i = 0; i < kItems; ++i) {
+    vals[i] = i;
+    d.push(&vals[i]);
+    if (i % 7 == 0) {
+      if (int* p = d.pop())
+        delivered[static_cast<std::size_t>(p - vals.data())].fetch_add(1);
+    }
+  }
+  while (int* p = d.pop())
+    delivered[static_cast<std::size_t>(p - vals.data())].fetch_add(1);
+  done.store(true);
+  for (auto& t : thieves) t.join();
+  // Final drain in case thieves exited between the owner's last pop and
+  // the done flag.
+  while (int* p = d.steal())
+    delivered[static_cast<std::size_t>(p - vals.data())].fetch_add(1);
+
+  for (int i = 0; i < kItems; ++i)
+    ASSERT_EQ(delivered[i].load(), 1) << "item " << i;
+}
+
+// ---- scheduler -------------------------------------------------------------
+
+namespace {
+
+/// Recursive parallel sum of [lo, hi) via fork2 — the canonical fork-join
+/// correctness probe.
+long long psum(long long lo, long long hi) {
+  if (hi - lo <= 64) {
+    long long s = 0;
+    for (long long i = lo; i < hi; ++i) s += i;
+    return s;
+  }
+  const long long mid = lo + (hi - lo) / 2;
+  long long left = 0, right = 0;
+  Scheduler::fork2([&] { left = psum(lo, mid); },
+                   [&] { right = psum(mid, hi); });
+  return left + right;
+}
+
+}  // namespace
+
+TEST(Scheduler, SerialFallbackWithoutScheduler) {
+  // No scheduler active: fork2 and parallel_for must run inline.
+  EXPECT_EQ(Scheduler::current(), nullptr);
+  EXPECT_EQ(psum(0, 10000), 10000LL * 9999 / 2);
+  std::atomic<long long> total{0};
+  Scheduler::parallel_for(0, 1000, 16, [&](std::int64_t lo, std::int64_t hi) {
+    long long s = 0;
+    for (auto i = lo; i < hi; ++i) s += i;
+    total += s;
+  });
+  EXPECT_EQ(total.load(), 1000LL * 999 / 2);
+}
+
+class SchedulerWorkers : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerWorkers, RecursiveSumIsCorrect) {
+  Scheduler sched(GetParam());
+  long long result = 0;
+  sched.run([&] { result = psum(0, 200000); });
+  EXPECT_EQ(result, 200000LL * 199999 / 2);
+}
+
+TEST_P(SchedulerWorkers, ParallelForCoversEveryIndexOnce) {
+  Scheduler sched(GetParam());
+  std::vector<std::atomic<int>> hits(5000);
+  for (auto& h : hits) h.store(0);
+  sched.run([&] {
+    Scheduler::parallel_for(0, 5000, 7, [&](std::int64_t lo, std::int64_t hi) {
+      for (auto i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST_P(SchedulerWorkers, ForkAllRunsEveryClosure) {
+  Scheduler sched(GetParam());
+  std::vector<std::atomic<int>> hits(8);
+  for (auto& h : hits) h.store(0);
+  sched.run([&] {
+    std::vector<std::function<void()>> fns;
+    for (int i = 0; i < 8; ++i)
+      fns.emplace_back([&hits, i] { hits[i].fetch_add(1); });
+    Scheduler::fork_all(fns);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(SchedulerWorkers, NestedForksComplete) {
+  Scheduler sched(GetParam());
+  std::atomic<int> count{0};
+  std::function<void(int)> tree = [&](int depth) {
+    count.fetch_add(1);
+    if (depth == 0) return;
+    Scheduler::fork2([&, depth] { tree(depth - 1); },
+                     [&, depth] { tree(depth - 1); });
+  };
+  sched.run([&] { tree(10); });
+  EXPECT_EQ(count.load(), (1 << 11) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, SchedulerWorkers,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Scheduler, StatsCountSpawnsAndExecutions) {
+  Scheduler sched(4);
+  sched.reset_stats();
+  long long result = 0;
+  sched.run([&] { result = psum(0, 50000); });
+  const auto st = sched.stats();
+  EXPECT_GT(st.spawns, 0u);
+  EXPECT_EQ(st.executed, st.spawns);  // every spawned task ran exactly once
+  EXPECT_EQ(result, 50000LL * 49999 / 2);
+}
+
+TEST(Scheduler, ReusableAcrossRuns) {
+  Scheduler sched(3);
+  for (int iter = 0; iter < 5; ++iter) {
+    long long result = 0;
+    sched.run([&] { result = psum(0, 10000); });
+    EXPECT_EQ(result, 10000LL * 9999 / 2);
+  }
+}
+
+TEST(Scheduler, CurrentIsSetInsideRunOnly) {
+  Scheduler sched(2);
+  EXPECT_EQ(Scheduler::current(), nullptr);
+  sched.run([&] { EXPECT_EQ(Scheduler::current(), &sched); });
+  EXPECT_EQ(Scheduler::current(), nullptr);
+}
+
+TEST(Scheduler, ParallelForGrainRespectsEmptyAndTinyRanges) {
+  Scheduler sched(2);
+  int calls = 0;
+  sched.run([&] {
+    Scheduler::parallel_for(5, 5, 4, [&](std::int64_t, std::int64_t) {
+      ++calls;
+    });
+  });
+  EXPECT_EQ(calls, 0);
+  std::atomic<long long> sum{0};
+  sched.run([&] {
+    Scheduler::parallel_for(3, 4, 100, [&](std::int64_t lo, std::int64_t hi) {
+      sum += hi - lo;
+    });
+  });
+  EXPECT_EQ(sum.load(), 1);
+}
+
+// ---- parallel_reduce ---------------------------------------------------------
+
+TEST(Scheduler, ParallelReduceMatchesSerialSum) {
+  Scheduler sched(4);
+  double result = 0.0;
+  sched.run([&] {
+    result = Scheduler::parallel_reduce(
+        1, 100001, 128, [](std::int64_t lo, std::int64_t hi) {
+          double s = 0;
+          for (auto i = lo; i < hi; ++i) s += 1.0 / double(i);
+          return s;
+        });
+  });
+  double expected = 0;
+  for (int i = 1; i <= 100000; ++i) expected += 1.0 / i;
+  // Fixed tree-shaped combination: equal every run, near-serial value.
+  EXPECT_NEAR(result, expected, 1e-9);
+  double second = 0.0;
+  sched.run([&] {
+    second = Scheduler::parallel_reduce(
+        1, 100001, 128, [](std::int64_t lo, std::int64_t hi) {
+          double s = 0;
+          for (auto i = lo; i < hi; ++i) s += 1.0 / double(i);
+          return s;
+        });
+  });
+  EXPECT_DOUBLE_EQ(result, second);  // schedule-independent
+}
+
+TEST(Scheduler, ParallelReduceSerialFallback) {
+  EXPECT_EQ(Scheduler::current(), nullptr);
+  const double r = Scheduler::parallel_reduce(
+      0, 100, 8, [](std::int64_t lo, std::int64_t hi) {
+        return double(hi - lo);
+      });
+  EXPECT_DOUBLE_EQ(r, 100.0);
+  EXPECT_DOUBLE_EQ(Scheduler::parallel_reduce(
+                       5, 5, 1, [](std::int64_t, std::int64_t) { return 9.0; }),
+                   0.0);
+}
+
+TEST(Scheduler, ConcurrentIndependentSchedulers) {
+  // The hybrid driver runs one scheduler per mpp rank, all in the same
+  // process at the same time — their thread-local worker contexts must
+  // not interfere.
+  constexpr int kRanks = 4;
+  std::vector<long long> results(kRanks, 0);
+  std::vector<std::thread> ranks;
+  for (int r = 0; r < kRanks; ++r) {
+    ranks.emplace_back([&, r] {
+      Scheduler sched(2);
+      sched.run([&] { results[r] = psum(0, 50000 + r); });
+    });
+  }
+  for (auto& t : ranks) t.join();
+  for (int r = 0; r < kRanks; ++r) {
+    const long long n = 50000 + r;
+    EXPECT_EQ(results[r], n * (n - 1) / 2) << "rank " << r;
+  }
+}
+
+TEST(Scheduler, DeepRecursionDoesNotStarve) {
+  // A narrow, deep fork chain (worst case for help-first stacking).
+  Scheduler sched(3);
+  std::atomic<int> depth_reached{0};
+  std::function<void(int)> chain = [&](int d) {
+    if (d == 0) return;
+    depth_reached.fetch_add(1);
+    Scheduler::fork2([&, d] { chain(d - 1); }, [] {});
+  };
+  sched.run([&] { chain(300); });
+  EXPECT_EQ(depth_reached.load(), 300);
+}
