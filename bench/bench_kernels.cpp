@@ -68,6 +68,164 @@ static void BM_SurfaceBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_SurfaceBuild)->Arg(1000)->Arg(4000);
 
+// --- scalar vs batched near-field kernels on real leaf distributions ----
+//
+// The *Kernel benches run the same phase with the kernel switch flipped:
+// range(1) == 0 selects KernelKind::Scalar, 1 selects KernelKind::Batched.
+// The *Leaf benches strip away the traversal and time the raw leaf×leaf
+// kernels over the engine's actual leaf batches (sizes and point layouts
+// as the octree produced them, not synthetic uniform batches).
+
+static core::KernelKind bench_kernel(const benchmark::State& state) {
+  return state.range(1) == 0 ? core::KernelKind::Scalar
+                             : core::KernelKind::Batched;
+}
+
+static void BM_BornPhaseKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::EngineConfig cfg;
+  cfg.approx.kernel = bench_kernel(state);
+  core::GBEngine engine(test_molecule(n), test_surface(n), cfg);
+  std::vector<double> node_s(engine.num_ta_nodes());
+  std::vector<double> atom_s(engine.num_atoms());
+  std::uint64_t interactions = 0;
+  for (auto _ : state) {
+    std::fill(node_s.begin(), node_s.end(), 0.0);
+    std::fill(atom_s.begin(), atom_s.end(), 0.0);
+    perf::WorkCounters wc;
+    engine.phase_integrals(
+        {0, static_cast<std::uint32_t>(engine.q_leaves().size())}, node_s,
+        atom_s, wc);
+    interactions += wc.born_exact;
+    benchmark::DoNotOptimize(atom_s.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(interactions));
+  state.SetLabel(state.range(1) == 0 ? "scalar" : "batched");
+}
+BENCHMARK(BM_BornPhaseKernel)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({4000, 0})
+    ->Args({4000, 1});
+
+static void BM_EpolPhaseKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::EngineConfig cfg;
+  cfg.approx.kernel = bench_kernel(state);
+  core::GBEngine engine(test_molecule(n), test_surface(n), cfg);
+  const auto result = engine.compute();
+  std::vector<double> born_tree(engine.num_atoms());
+  const auto idx = engine.atoms_tree().tree.point_index();
+  for (std::size_t pos = 0; pos < idx.size(); ++pos)
+    born_tree[pos] = result.born[idx[pos]];
+  const auto ctx = engine.build_epol_context(born_tree);
+  std::uint64_t interactions = 0;
+  for (auto _ : state) {
+    perf::WorkCounters wc;
+    const double e = engine.phase_epol(
+        ctx, born_tree,
+        {0, static_cast<std::uint32_t>(engine.a_leaves().size())}, wc);
+    interactions += wc.epol_exact;
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(interactions));
+  state.SetLabel(state.range(1) == 0 ? "scalar" : "batched");
+}
+BENCHMARK(BM_EpolPhaseKernel)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({4000, 0})
+    ->Args({4000, 1});
+
+static void BM_LeafBornKernel(benchmark::State& state) {
+  const std::size_t n = 4000;
+  core::GBEngine engine(test_molecule(n), test_surface(n));
+  const auto& ta = engine.atoms_tree();
+  const auto& tq = engine.qpoints_tree();
+  const bool batched = state.range(1) != 0;
+  std::uint64_t pairs = 0;
+  for (auto _ : state) {
+    double acc = 0.0;
+    // Every T_A leaf against a striding sample of real T_Q leaves.
+    const auto& a_leaves = ta.tree.leaf_ids();
+    const auto& q_leaves = tq.tree.leaf_ids();
+    for (std::size_t i = 0; i < a_leaves.size(); ++i) {
+      const auto& a = ta.tree.node(a_leaves[i]);
+      const auto& q = tq.tree.node(q_leaves[i % q_leaves.size()]);
+      if (batched) {
+        const core::QPointBatch qb = tq.node_batch(q);
+        for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
+          acc += core::batch_born_integral(ta.soa_x[ai], ta.soa_y[ai],
+                                           ta.soa_z[ai], qb);
+      } else {
+        const auto atom_pts = ta.tree.points();
+        const auto q_pts = tq.tree.points();
+        for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
+          const geom::Vec3 pa = atom_pts[ai];
+          double s = 0.0;
+          for (std::uint32_t qi = q.begin; qi < q.end; ++qi) {
+            const geom::Vec3 delta = q_pts[qi] - pa;
+            const double r2 = delta.norm2();
+            if (r2 < 1e-12) continue;
+            s += tq.wnormal[qi].dot(delta) * core::inv_r6(r2, false);
+          }
+          acc += s;
+        }
+      }
+      pairs += static_cast<std::uint64_t>(a.size()) * q.size();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
+  state.SetLabel(batched ? "batched" : "scalar");
+}
+BENCHMARK(BM_LeafBornKernel)->Args({0, 0})->Args({0, 1});
+
+static void BM_LeafEpolKernel(benchmark::State& state) {
+  const std::size_t n = 4000;
+  core::GBEngine engine(test_molecule(n), test_surface(n));
+  const auto result = engine.compute();
+  const auto& ta = engine.atoms_tree();
+  std::vector<double> born_tree(engine.num_atoms());
+  const auto idx = ta.tree.point_index();
+  for (std::size_t pos = 0; pos < idx.size(); ++pos)
+    born_tree[pos] = result.born[idx[pos]];
+  const bool batched = state.range(1) != 0;
+  std::uint64_t pairs = 0;
+  for (auto _ : state) {
+    double acc = 0.0;
+    const auto& leaves = ta.tree.leaf_ids();
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      const auto& v = ta.tree.node(leaves[i]);
+      const auto& u = ta.tree.node(leaves[(i + 1) % leaves.size()]);
+      if (batched) {
+        const core::AtomBatch ub = ta.node_batch(u, born_tree);
+        for (std::uint32_t vi = v.begin; vi < v.end; ++vi)
+          acc += core::batch_epol_sum(ta.soa_x[vi], ta.soa_y[vi],
+                                      ta.soa_z[vi], ta.charge[vi],
+                                      born_tree[vi], ub);
+      } else {
+        const auto pts = ta.tree.points();
+        for (std::uint32_t vi = v.begin; vi < v.end; ++vi) {
+          const geom::Vec3 pv = pts[vi];
+          const double qv = ta.charge[vi];
+          const double rv = born_tree[vi];
+          for (std::uint32_t ui = u.begin; ui < u.end; ++ui) {
+            const double r2 = geom::dist2(pts[ui], pv);
+            acc += ta.charge[ui] * qv /
+                   core::f_gb(r2, born_tree[ui] * rv);
+          }
+        }
+      }
+      pairs += static_cast<std::uint64_t>(u.size()) * v.size();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
+  state.SetLabel(batched ? "batched" : "scalar");
+}
+BENCHMARK(BM_LeafEpolKernel)->Args({0, 0})->Args({0, 1});
+
 static void BM_BornPhase(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   core::GBEngine engine(test_molecule(n), test_surface(n));

@@ -46,6 +46,18 @@ double batch_born_integral(double ax, double ay, double az,
 double batch_epol_sum(double vx, double vy, double vz, double qv, double rv,
                       const AtomBatch& atoms);
 
+/// Approximate-math variant of batch_born_integral (§V-C): per-term math
+/// matches the scalar path's inv_r6(r², approx_math = true), i.e. 1/r⁶
+/// via fast_rsqrt, so the batched fastmath mode differs from the scalar
+/// fastmath mode only by reassociation.
+double batch_born_integral_fast(double ax, double ay, double az,
+                                const QPointBatch& q);
+
+/// Approximate-math variant of batch_epol_sum: 1/f_GB via fast_rsqrt and
+/// fast_exp, matching the scalar path's approximate inv_f_gb term by term.
+double batch_epol_sum_fast(double vx, double vy, double vz, double qv,
+                           double rv, const AtomBatch& atoms);
+
 /// Convert AoS Vec3 positions to three SoA arrays (helper for adapters
 /// and tests).
 void split_soa(std::span<const geom::Vec3> pts, std::span<double> x,

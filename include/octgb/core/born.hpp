@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <span>
 
+#include "octgb/core/gb_params.hpp"
 #include "octgb/core/trees.hpp"
 #include "octgb/perf/counters.hpp"
 
@@ -23,13 +24,16 @@ namespace octgb::core {
 /// `node_s` (one slot per T_A node) and `atom_s` (one slot per atom, tree
 /// order). Both spans must be pre-sized and are added to, not overwritten —
 /// ranks each process disjoint leaf sets and then Allreduce the arrays.
-/// Thread-safe. Counter updates are batched per leaf.
+/// Thread-safe. Counter updates are batched per leaf. `kernel` selects
+/// the exact leaf×leaf implementation (SoA batch vs scalar AoS); both
+/// compute the same sums up to floating-point reassociation.
 void approx_integrals(const AtomsTree& ta, const QPointsTree& tq,
                       std::span<const std::uint32_t> q_leaf_ids,
                       double eps_born, bool approx_math,
                       std::span<double> node_s, std::span<double> atom_s,
                       perf::WorkCounters& counters,
-                      bool strict_criterion = false);
+                      bool strict_criterion = false,
+                      KernelKind kernel = KernelKind::Batched);
 
 /// Finalize Born radii for atoms whose *tree position* lies in
 /// [atom_begin, atom_end): descend T_A accumulating the ancestor prefix

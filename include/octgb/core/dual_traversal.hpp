@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <span>
 
+#include "octgb/core/gb_params.hpp"
 #include "octgb/core/trees.hpp"
 #include "octgb/perf/counters.hpp"
 
@@ -33,6 +34,7 @@ void approx_integrals_dual(const AtomsTree& ta, const QPointsTree& tq,
                            std::span<double> node_s,
                            std::span<double> atom_s,
                            perf::WorkCounters& counters,
-                           bool strict_criterion = false);
+                           bool strict_criterion = false,
+                           KernelKind kernel = KernelKind::Batched);
 
 }  // namespace octgb::core

@@ -19,7 +19,10 @@
 namespace octgb::core {
 
 /// Engine configuration: approximation parameters, GB constants, octree
-/// build knobs.
+/// build knobs. `approx.kernel` selects the exact near-field kernel
+/// implementation (KernelKind::Batched SoA by default; KernelKind::Scalar
+/// keeps the original AoS loops for A/B benchmarking and the differential
+/// tests) — it changes results only by floating-point reassociation.
 struct EngineConfig {
   ApproxParams approx;
   GBParams gb;

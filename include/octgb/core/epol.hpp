@@ -48,12 +48,14 @@ struct EpolContext {
 /// Node-based division: energy from the interaction of every atom under
 /// the given T_A leaves (the "V" side) with the entire tree. Summing over
 /// a partition of all leaves yields the full ordered-pair sum of Eq. 2,
-/// diagonal included. Thread-safe; parallelizes over leaves.
+/// diagonal included. Thread-safe; parallelizes over leaves. `kernel`
+/// selects the exact leaf×leaf implementation (SoA batch vs scalar AoS).
 double approx_epol(const AtomsTree& ta, const EpolContext& ctx,
                    std::span<const double> born_tree,
                    std::span<const std::uint32_t> v_leaf_ids, double eps_epol,
                    bool approx_math, const GBParams& gb,
-                   perf::WorkCounters& counters);
+                   perf::WorkCounters& counters,
+                   KernelKind kernel = KernelKind::Batched);
 
 /// Atom-based division: energy from the interaction of atoms in tree
 /// positions [atom_begin, atom_end) with the entire tree.
@@ -62,6 +64,7 @@ double approx_epol_atom_based(const AtomsTree& ta, const EpolContext& ctx,
                               std::uint32_t atom_begin, std::uint32_t atom_end,
                               double eps_epol, bool approx_math,
                               const GBParams& gb,
-                              perf::WorkCounters& counters);
+                              perf::WorkCounters& counters,
+                              KernelKind kernel = KernelKind::Batched);
 
 }  // namespace octgb::core

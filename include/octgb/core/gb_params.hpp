@@ -19,6 +19,13 @@ struct GBParams {
   double tau() const { return kCoulomb * (1.0 / eps_in - 1.0 / eps_solv); }
 };
 
+/// Inner-kernel selection for the exact near-field loops (leaf×leaf Born
+/// integral and leaf×leaf GB energy). `Batched` routes them through the
+/// SoA kernels of batch_kernels.hpp (vectorization-friendly, identical
+/// sums up to floating-point reassociation); `Scalar` keeps the original
+/// AoS loops for A/B comparison and differential testing.
+enum class KernelKind { Scalar, Batched };
+
 /// Tunable approximation parameters of the octree algorithms (§II, §IV).
 struct ApproxParams {
   double eps_born = 0.9;  ///< ε for APPROX-INTEGRALS (Born radii)
@@ -33,6 +40,11 @@ struct ApproxParams {
   /// measured energy error well under the paper's 1 % budget (see
   /// DESIGN.md §2 and bench_criterion). Default: false (first power).
   bool strict_born_criterion = false;
+  /// Exact near-field kernel implementation. Batched (the default) runs
+  /// the leaf×leaf loops over the trees' cached SoA leaf planes; Scalar
+  /// is the original AoS formulation, kept selectable for benchmarking
+  /// and the differential tests.
+  KernelKind kernel = KernelKind::Batched;
 
   /// Threshold k used by born_far_enough: far iff (d+s) ≤ k·(d−s).
   double born_threshold() const;

@@ -16,16 +16,24 @@
 namespace octgb::core {
 
 /// Exact surface-based r⁶ Born radii (Eq. 4 + the intrinsic-radius clamp),
-/// one entry per atom in input order.
+/// one entry per atom in input order. `kernel` selects the inner loop:
+/// Batched (default) gathers the surface into SoA scratch once and sweeps
+/// it with batch_born_integral; Scalar is the original AoS loop. The two
+/// differ only by floating-point reassociation.
 std::vector<double> naive_born_radii(const mol::Molecule& mol,
                                      const surface::Surface& surf,
-                                     perf::WorkCounters* counters = nullptr);
+                                     perf::WorkCounters* counters = nullptr,
+                                     KernelKind kernel = KernelKind::Batched);
 
 /// Exact GB polarization energy (Eq. 2) over all ordered atom pairs,
-/// including the i = j self terms. `born` is in input order.
+/// including the i = j self terms. `born` is in input order. The batched
+/// kernel evaluates the full ordered-pair sum row by row (diagonal
+/// included); the scalar path sums diagonal + 2 × unordered off-diagonal
+/// pairs — identical up to reassociation.
 double naive_epol(const mol::Molecule& mol, std::span<const double> born,
                   const GBParams& gb = {},
-                  perf::WorkCounters* counters = nullptr);
+                  perf::WorkCounters* counters = nullptr,
+                  KernelKind kernel = KernelKind::Batched);
 
 /// Finalize one Born radius from its accumulated surface integral S
 /// (Fig. 2, PUSH-INTEGRALS-TO-ATOMS line 1): R = max(r_vdw, (S/4π)^(−1/3)).

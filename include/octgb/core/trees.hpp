@@ -8,8 +8,10 @@
 /// order) so every node's data is contiguous — the cache-friendliness the
 /// paper leans on. point_index() maps back to input order.
 
+#include <span>
 #include <vector>
 
+#include "octgb/core/batch_kernels.hpp"
 #include "octgb/mol/molecule.hpp"
 #include "octgb/octree/octree.hpp"
 #include "octgb/surface/surface.hpp"
@@ -17,19 +19,46 @@
 namespace octgb::core {
 
 /// Atoms octree T_A with payloads in tree order.
+///
+/// Besides the AoS point copy inside the octree, the tree caches the atom
+/// coordinates as three SoA planes (`soa_x/y/z`, tree order, built once at
+/// construction). Any node's atoms occupy the contiguous range
+/// [begin, end) of those planes, so a leaf's SoA batch for the batched
+/// kernels is just a set of subspans — no per-call gather.
 struct AtomsTree {
   octree::Octree tree;
   std::vector<double> charge;     ///< tree order
   std::vector<double> vdw_radius; ///< intrinsic radius, tree order
+  std::vector<double> soa_x, soa_y, soa_z;  ///< coordinates, tree order
 
   static AtomsTree build(const mol::Molecule& mol,
                          const octree::BuildParams& params = {});
 
   std::size_t num_atoms() const { return charge.size(); }
   std::size_t footprint_bytes() const;
+
+  /// SoA view of one node's atoms for batch_epol_sum. The Born plane is
+  /// supplied by the caller as a tree-order span: Born radii are produced
+  /// per evaluation by PUSH-INTEGRALS-TO-ATOMS (each simulated rank holds
+  /// its own `born_tree`), so passing that array *is* the refreshed Born
+  /// plane — caching it in the shared tree would race across ranks.
+  AtomBatch node_batch(const octree::Octree::Node& n,
+                       std::span<const double> born_tree) const {
+    return AtomBatch{
+        std::span<const double>(soa_x).subspan(n.begin, n.size()),
+        std::span<const double>(soa_y).subspan(n.begin, n.size()),
+        std::span<const double>(soa_z).subspan(n.begin, n.size()),
+        std::span<const double>(charge).subspan(n.begin, n.size()),
+        born_tree.subspan(n.begin, n.size())};
+  }
 };
 
 /// Quadrature-points octree T_Q with payloads in tree order.
+///
+/// Caches SoA planes of the point coordinates and weighted normals
+/// ({x, y, z, wnx, wny, wnz}, tree order, built once at construction) so
+/// each leaf's batch for batch_born_integral is a set of contiguous
+/// subspans.
 struct QPointsTree {
   octree::Octree tree;
   std::vector<geom::Vec3> wnormal;  ///< w_q · n_q per point, tree order
@@ -38,12 +67,25 @@ struct QPointsTree {
   /// leaf entries are read by APPROX-INTEGRALS, but internal aggregates
   /// are cheap and used by tests.
   std::vector<geom::Vec3> node_wnormal;
+  std::vector<double> soa_x, soa_y, soa_z;        ///< positions, tree order
+  std::vector<double> soa_wnx, soa_wny, soa_wnz;  ///< w·n, tree order
 
   static QPointsTree build(const surface::Surface& surf,
                            const octree::BuildParams& params = {});
 
   std::size_t num_points() const { return weight.size(); }
   std::size_t footprint_bytes() const;
+
+  /// SoA view of one node's quadrature points for batch_born_integral.
+  QPointBatch node_batch(const octree::Octree::Node& n) const {
+    return QPointBatch{
+        std::span<const double>(soa_x).subspan(n.begin, n.size()),
+        std::span<const double>(soa_y).subspan(n.begin, n.size()),
+        std::span<const double>(soa_z).subspan(n.begin, n.size()),
+        std::span<const double>(soa_wnx).subspan(n.begin, n.size()),
+        std::span<const double>(soa_wny).subspan(n.begin, n.size()),
+        std::span<const double>(soa_wnz).subspan(n.begin, n.size())};
+  }
 };
 
 }  // namespace octgb::core

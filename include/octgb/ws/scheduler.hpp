@@ -97,10 +97,13 @@ class Scheduler {
   struct Worker {
     ChaseLevDeque<detail::Task> deque;
     util::Xoshiro256 rng;
-    std::uint64_t spawns = 0;
-    std::uint64_t steals = 0;
-    std::uint64_t steal_attempts = 0;
-    std::uint64_t executed = 0;
+    // Relaxed atomics: each counter is written by its own thread only, but
+    // stats() reads them from the caller's thread while idle workers may
+    // still be bumping steal_attempts mid-iteration.
+    std::atomic<std::uint64_t> spawns{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> steal_attempts{0};
+    std::atomic<std::uint64_t> executed{0};
     int id = 0;
     Scheduler* sched = nullptr;
   };

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "octgb/core/fastmath.hpp"
 #include "octgb/util/check.hpp"
 
 namespace octgb::core {
@@ -58,6 +59,52 @@ double batch_epol_sum(double vx, double vy, double vz, double qv, double rv,
     const double d = ru[k] * rv;
     const double f2 = r2 + d * std::exp(-r2 / (4.0 * d));
     sum += qu[k] / std::sqrt(f2);
+  }
+  return qv * sum;
+}
+
+double batch_born_integral_fast(double ax, double ay, double az,
+                                const QPointBatch& q) {
+  const std::size_t n = q.size();
+  const double* __restrict qx = q.x.data();
+  const double* __restrict qy = q.y.data();
+  const double* __restrict qz = q.z.data();
+  const double* __restrict wnx = q.wnx.data();
+  const double* __restrict wny = q.wny.data();
+  const double* __restrict wnz = q.wnz.data();
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double dx = qx[k] - ax;
+    const double dy = qy[k] - ay;
+    const double dz = qz[k] - az;
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    const double mask = r2 > 1e-12 ? 1.0 : 0.0;
+    const double safe_r2 = r2 + (1.0 - mask);
+    const double t = fast_rsqrt(safe_r2);
+    const double t2 = t * t;
+    const double inv_r6 = t2 * t2 * t2;
+    sum += mask * (wnx[k] * dx + wny[k] * dy + wnz[k] * dz) * inv_r6;
+  }
+  return sum;
+}
+
+double batch_epol_sum_fast(double vx, double vy, double vz, double qv,
+                           double rv, const AtomBatch& atoms) {
+  const std::size_t n = atoms.size();
+  const double* __restrict ux = atoms.x.data();
+  const double* __restrict uy = atoms.y.data();
+  const double* __restrict uz = atoms.z.data();
+  const double* __restrict qu = atoms.charge.data();
+  const double* __restrict ru = atoms.born.data();
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double dx = ux[k] - vx;
+    const double dy = uy[k] - vy;
+    const double dz = uz[k] - vz;
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    const double d = ru[k] * rv;
+    const double f2 = r2 + d * fast_exp(-r2 / (4.0 * d));
+    sum += qu[k] * fast_rsqrt(f2);
   }
   return qv * sum;
 }

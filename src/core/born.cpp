@@ -38,6 +38,7 @@ struct IntegralsPass {
   Vec3 q_wnormal;            ///< Σ w·n over the leaf
   double one_plus_eps_pow6;  ///< (1+ε)^(1/6)
   bool approx_math;
+  KernelKind kernel;
   std::span<double> node_s;
   std::span<double> atom_s;
 
@@ -55,18 +56,32 @@ struct IntegralsPass {
       return;
     }
     if (a.is_leaf()) {
-      const auto atom_pts = ta.tree.points();
-      const auto q_pts = tq.tree.points();
-      for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
-        const Vec3 pa = atom_pts[ai];
-        double s = 0.0;
-        for (std::uint32_t qi = q.begin; qi < q.end; ++qi) {
-          const Vec3 delta = q_pts[qi] - pa;
-          const double r2 = delta.norm2();
-          if (r2 < 1e-12) continue;
-          s += tq.wnormal[qi].dot(delta) * inv_r6(r2, approx_math);
+      if (kernel == KernelKind::Batched) {
+        const QPointBatch qb = tq.node_batch(q);
+        const double* __restrict ax = ta.soa_x.data();
+        const double* __restrict ay = ta.soa_y.data();
+        const double* __restrict az = ta.soa_z.data();
+        for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
+          const double s =
+              approx_math
+                  ? batch_born_integral_fast(ax[ai], ay[ai], az[ai], qb)
+                  : batch_born_integral(ax[ai], ay[ai], az[ai], qb);
+          atomic_add(atom_s[ai], s);
         }
-        atomic_add(atom_s[ai], s);
+      } else {
+        const auto atom_pts = ta.tree.points();
+        const auto q_pts = tq.tree.points();
+        for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
+          const Vec3 pa = atom_pts[ai];
+          double s = 0.0;
+          for (std::uint32_t qi = q.begin; qi < q.end; ++qi) {
+            const Vec3 delta = q_pts[qi] - pa;
+            const double r2 = delta.norm2();
+            if (r2 < 1e-12) continue;
+            s += tq.wnormal[qi].dot(delta) * inv_r6(r2, approx_math);
+          }
+          atomic_add(atom_s[ai], s);
+        }
       }
       lc.exact += static_cast<std::uint64_t>(a.size()) * q.size();
       return;
@@ -116,7 +131,8 @@ void approx_integrals(const AtomsTree& ta, const QPointsTree& tq,
                       std::span<const std::uint32_t> q_leaf_ids,
                       double eps_born, bool approx_math,
                       std::span<double> node_s, std::span<double> atom_s,
-                      perf::WorkCounters& counters, bool strict_criterion) {
+                      perf::WorkCounters& counters, bool strict_criterion,
+                      KernelKind kernel) {
   OCTGB_CHECK_MSG(eps_born > 0.0, "eps_born must be positive");
   OCTGB_CHECK(node_s.size() == ta.tree.nodes().size());
   OCTGB_CHECK(atom_s.size() == ta.num_atoms());
@@ -138,6 +154,7 @@ void approx_integrals(const AtomsTree& ta, const QPointsTree& tq,
                              tq.node_wnormal[q_leaf_ids[li]],
                              pow6,
                              approx_math,
+                             kernel,
                              node_s,
                              atom_s,
                              &counters};

@@ -32,6 +32,7 @@ struct DualPass {
   const QPointsTree& tq;
   double threshold;  ///< admissibility factor k: far iff (d+s) ≤ k(d−s)
   bool approx_math;
+  KernelKind kernel;
   std::span<double> node_s;
   std::span<double> atom_s;
   perf::WorkCounters* shared;
@@ -44,18 +45,31 @@ struct DualPass {
 
   void exact_pair(const Octree::Node& a, const Octree::Node& q,
                   DualCounts& lc) const {
-    const auto atom_pts = ta.tree.points();
-    const auto q_pts = tq.tree.points();
-    for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
-      const Vec3 pa = atom_pts[ai];
-      double s = 0.0;
-      for (std::uint32_t qi = q.begin; qi < q.end; ++qi) {
-        const Vec3 delta = q_pts[qi] - pa;
-        const double r2 = delta.norm2();
-        if (r2 < 1e-12) continue;
-        s += tq.wnormal[qi].dot(delta) * inv_r6(r2, approx_math);
+    if (kernel == KernelKind::Batched) {
+      const QPointBatch qb = tq.node_batch(q);
+      const double* __restrict ax = ta.soa_x.data();
+      const double* __restrict ay = ta.soa_y.data();
+      const double* __restrict az = ta.soa_z.data();
+      for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
+        const double s =
+            approx_math ? batch_born_integral_fast(ax[ai], ay[ai], az[ai], qb)
+                        : batch_born_integral(ax[ai], ay[ai], az[ai], qb);
+        atomic_add(atom_s[ai], s);
       }
-      atomic_add(atom_s[ai], s);
+    } else {
+      const auto atom_pts = ta.tree.points();
+      const auto q_pts = tq.tree.points();
+      for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
+        const Vec3 pa = atom_pts[ai];
+        double s = 0.0;
+        for (std::uint32_t qi = q.begin; qi < q.end; ++qi) {
+          const Vec3 delta = q_pts[qi] - pa;
+          const double r2 = delta.norm2();
+          if (r2 < 1e-12) continue;
+          s += tq.wnormal[qi].dot(delta) * inv_r6(r2, approx_math);
+        }
+        atomic_add(atom_s[ai], s);
+      }
     }
     lc.exact += static_cast<std::uint64_t>(a.size()) * q.size();
   }
@@ -114,7 +128,7 @@ void approx_integrals_dual(const AtomsTree& ta, const QPointsTree& tq,
                            double eps_born, bool approx_math,
                            std::span<double> node_s, std::span<double> atom_s,
                            perf::WorkCounters& counters,
-                           bool strict_criterion) {
+                           bool strict_criterion, KernelKind kernel) {
   OCTGB_CHECK_MSG(eps_born > 0.0, "eps_born must be positive");
   OCTGB_CHECK(node_s.size() == ta.tree.nodes().size());
   OCTGB_CHECK(atom_s.size() == ta.num_atoms());
@@ -122,7 +136,7 @@ void approx_integrals_dual(const AtomsTree& ta, const QPointsTree& tq,
   const double threshold = strict_criterion
                                ? std::pow(1.0 + eps_born, 1.0 / 6.0)
                                : 1.0 + eps_born;
-  DualPass pass{ta,     tq,     threshold, approx_math,
+  DualPass pass{ta,     tq,     threshold, approx_math, kernel,
                 node_s, atom_s, &counters};
   DualCounts lc;
   pass.descend(0, 0, lc);

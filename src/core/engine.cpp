@@ -26,7 +26,7 @@ void GBEngine::phase_integrals(Segment q_leaf_segment,
       std::span<const std::uint32_t>(leaves).subspan(
           q_leaf_segment.begin, q_leaf_segment.size()),
       config_.approx.eps_born, config_.approx.approx_math, node_s, atom_s,
-      counters, config_.approx.strict_born_criterion);
+      counters, config_.approx.strict_born_criterion, config_.approx.kernel);
 }
 
 void GBEngine::phase_push(Segment atom_segment,
@@ -54,7 +54,7 @@ double GBEngine::phase_epol(const EpolContext& ctx,
                      std::span<const std::uint32_t>(leaves).subspan(
                          a_leaf_segment.begin, a_leaf_segment.size()),
                      config_.approx.eps_epol, config_.approx.approx_math,
-                     config_.gb, counters);
+                     config_.gb, counters, config_.approx.kernel);
 }
 
 double GBEngine::phase_epol_atom_based(const EpolContext& ctx,
@@ -64,7 +64,7 @@ double GBEngine::phase_epol_atom_based(const EpolContext& ctx,
   return approx_epol_atom_based(
       ta_, ctx, born_tree, atom_segment.begin, atom_segment.end,
       config_.approx.eps_epol, config_.approx.approx_math, config_.gb,
-      counters);
+      counters, config_.approx.kernel);
 }
 
 std::vector<double> GBEngine::born_to_input_order(
@@ -140,7 +140,8 @@ EnergyResult GBEngine::compute_dual(ws::Scheduler* sched) const {
           perf::WorkCounters& work) {
         approx_integrals_dual(ta_, tq_, config_.approx.eps_born,
                               config_.approx.approx_math, node_s, atom_s,
-                              work, config_.approx.strict_born_criterion);
+                              work, config_.approx.strict_born_criterion,
+                              config_.approx.kernel);
       });
 }
 

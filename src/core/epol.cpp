@@ -120,6 +120,7 @@ struct EpolPass {
   std::span<const double> born;  // tree order
   double eps;
   bool approx_math;
+  KernelKind kernel;
 
   // V side: either a leaf node (node-based division)…
   const Octree::Node* v_node = nullptr;
@@ -156,6 +157,7 @@ struct EpolPass {
   }
 
   double exact_leaf(const Octree::Node& u, EpolCounts& lc) const {
+    if (kernel == KernelKind::Batched) return exact_leaf_batched(u, lc);
     const auto pts = ta.tree.points();
     double sum = 0.0;
     if (v_node) {
@@ -177,6 +179,35 @@ struct EpolPass {
         const double r2 = geom::dist2(pts[ui], pv);
         sum += ta.charge[ui] * qv * inv_f_gb(r2, born[ui] * rv, approx_math);
       }
+      lc.exact += u.size();
+    }
+    return sum;
+  }
+
+  /// Batched leaf×leaf kernel: each V-side atom sweeps U's SoA batch. The
+  /// self term (r ≈ 0) is included by the kernel's contract, matching the
+  /// scalar loop.
+  double exact_leaf_batched(const Octree::Node& u, EpolCounts& lc) const {
+    const AtomBatch ub = ta.node_batch(u, born);
+    const double* __restrict vx = ta.soa_x.data();
+    const double* __restrict vy = ta.soa_y.data();
+    const double* __restrict vz = ta.soa_z.data();
+    double sum = 0.0;
+    if (v_node) {
+      for (std::uint32_t vi = v_node->begin; vi < v_node->end; ++vi) {
+        sum += approx_math
+                   ? batch_epol_sum_fast(vx[vi], vy[vi], vz[vi],
+                                         ta.charge[vi], born[vi], ub)
+                   : batch_epol_sum(vx[vi], vy[vi], vz[vi], ta.charge[vi],
+                                    born[vi], ub);
+      }
+      lc.exact += static_cast<std::uint64_t>(u.size()) * v_node->size();
+    } else {
+      sum = approx_math
+                ? batch_epol_sum_fast(vx[v_atom], vy[v_atom], vz[v_atom],
+                                      ta.charge[v_atom], born[v_atom], ub)
+                : batch_epol_sum(vx[v_atom], vy[v_atom], vz[v_atom],
+                                 ta.charge[v_atom], born[v_atom], ub);
       lc.exact += u.size();
     }
     return sum;
@@ -219,7 +250,7 @@ double approx_epol(const AtomsTree& ta, const EpolContext& ctx,
                    std::span<const double> born_tree,
                    std::span<const std::uint32_t> v_leaf_ids, double eps_epol,
                    bool approx_math, const GBParams& gb,
-                   perf::WorkCounters& counters) {
+                   perf::WorkCounters& counters, KernelKind kernel) {
   OCTGB_CHECK(born_tree.size() == ta.num_atoms());
   if (ta.tree.empty() || v_leaf_ids.empty()) return 0.0;
   double total = 0.0;
@@ -229,9 +260,10 @@ double approx_epol(const AtomsTree& ta, const EpolContext& ctx,
         double mine = 0.0;
         EpolCounts lc;
         for (std::int64_t li = lo; li < hi; ++li) {
-          EpolPass pass{ta,   ctx,        born_tree,
-                        eps_epol, approx_math, &ta.tree.node(v_leaf_ids[li]),
-                        0};
+          EpolPass pass{ta,     ctx,
+                        born_tree,   eps_epol,
+                        approx_math, kernel,
+                        &ta.tree.node(v_leaf_ids[li]), 0};
           pass.v_node_id = v_leaf_ids[li];
           mine += pass.descend(0, lc);
         }
@@ -248,7 +280,8 @@ double approx_epol_atom_based(const AtomsTree& ta, const EpolContext& ctx,
                               std::uint32_t atom_begin, std::uint32_t atom_end,
                               double eps_epol, bool approx_math,
                               const GBParams& gb,
-                              perf::WorkCounters& counters) {
+                              perf::WorkCounters& counters,
+                              KernelKind kernel) {
   OCTGB_CHECK(born_tree.size() == ta.num_atoms());
   if (ta.tree.empty() || atom_begin >= atom_end) return 0.0;
 
@@ -282,8 +315,8 @@ double approx_epol_atom_based(const AtomsTree& ta, const EpolContext& ctx,
             r2max = std::max(r2max, geom::dist2(v.centroid, pts[i]));
           v.radius = std::sqrt(r2max);
 
-          EpolPass pass{ta,          ctx, born_tree, eps_epol,
-                        approx_math, &v,  0};
+          EpolPass pass{ta,          ctx,    born_tree, eps_epol,
+                        approx_math, kernel, &v,        0};
           // The clipped leaf is not a persistent node; bin lookups on the
           // V side must use its own charge-by-bin table, so fall back to
           // the per-atom path when the clip is partial.
@@ -292,8 +325,8 @@ double approx_epol_atom_based(const AtomsTree& ta, const EpolContext& ctx,
             mine += pass.descend(0, lc);
           } else {
             for (std::uint32_t ai = b; ai < e; ++ai) {
-              EpolPass atom_pass{ta,          ctx,     born_tree, eps_epol,
-                                 approx_math, nullptr, ai};
+              EpolPass atom_pass{ta,          ctx,    born_tree, eps_epol,
+                                 approx_math, kernel, nullptr,   ai};
               mine += atom_pass.descend(0, lc);
             }
           }

@@ -16,12 +16,18 @@ AtomsTree AtomsTree::build(const mol::Molecule& mol,
     t.charge[pos] = atoms[idx[pos]].charge;
     t.vdw_radius[pos] = atoms[idx[pos]].radius;
   }
+  t.soa_x.resize(atoms.size());
+  t.soa_y.resize(atoms.size());
+  t.soa_z.resize(atoms.size());
+  split_soa(t.tree.points(), t.soa_x, t.soa_y, t.soa_z);
   return t;
 }
 
 std::size_t AtomsTree::footprint_bytes() const {
   return tree.footprint_bytes() + charge.capacity() * sizeof(double) +
-         vdw_radius.capacity() * sizeof(double);
+         vdw_radius.capacity() * sizeof(double) +
+         (soa_x.capacity() + soa_y.capacity() + soa_z.capacity()) *
+             sizeof(double);
 }
 
 QPointsTree QPointsTree::build(const surface::Surface& surf,
@@ -51,13 +57,24 @@ QPointsTree QPointsTree::build(const surface::Surface& surf,
     }
     t.node_wnormal[id] = s;
   }
+  t.soa_x.resize(idx.size());
+  t.soa_y.resize(idx.size());
+  t.soa_z.resize(idx.size());
+  split_soa(t.tree.points(), t.soa_x, t.soa_y, t.soa_z);
+  t.soa_wnx.resize(idx.size());
+  t.soa_wny.resize(idx.size());
+  t.soa_wnz.resize(idx.size());
+  split_soa(t.wnormal, t.soa_wnx, t.soa_wny, t.soa_wnz);
   return t;
 }
 
 std::size_t QPointsTree::footprint_bytes() const {
   return tree.footprint_bytes() + wnormal.capacity() * sizeof(geom::Vec3) +
          weight.capacity() * sizeof(double) +
-         node_wnormal.capacity() * sizeof(geom::Vec3);
+         node_wnormal.capacity() * sizeof(geom::Vec3) +
+         (soa_x.capacity() + soa_y.capacity() + soa_z.capacity() +
+          soa_wnx.capacity() + soa_wny.capacity() + soa_wnz.capacity()) *
+             sizeof(double);
 }
 
 }  // namespace octgb::core

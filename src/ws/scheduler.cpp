@@ -74,7 +74,7 @@ void Scheduler::worker_loop(int id) {
 void Scheduler::spawn_task(Worker& w, std::function<void()> fn,
                            std::atomic<std::int64_t>* join) {
   auto* t = new detail::Task{std::move(fn), join};
-  ++w.spawns;
+  w.spawns.fetch_add(1, std::memory_order_relaxed);
   w.deque.push(t);
 }
 
@@ -86,9 +86,9 @@ detail::Task* Scheduler::try_acquire(Worker& w) {
   for (int attempt = 0; attempt < 4; ++attempt) {
     std::size_t victim = w.rng.below(n);
     if (victim == static_cast<std::size_t>(w.id)) continue;
-    ++w.steal_attempts;
+    w.steal_attempts.fetch_add(1, std::memory_order_relaxed);
     if (detail::Task* t = all_workers_[victim]->deque.steal()) {
-      ++w.steals;
+      w.steals.fetch_add(1, std::memory_order_relaxed);
       return t;
     }
   }
@@ -96,7 +96,7 @@ detail::Task* Scheduler::try_acquire(Worker& w) {
 }
 
 void Scheduler::execute(Worker& w, detail::Task* t) {
-  ++w.executed;
+  w.executed.fetch_add(1, std::memory_order_relaxed);
   t->fn();
   if (t->join) t->join->fetch_sub(1, std::memory_order_acq_rel);
   delete t;
@@ -185,17 +185,20 @@ double Scheduler::parallel_reduce(
 SchedulerStats Scheduler::stats() const {
   SchedulerStats s;
   for (const auto& w : all_workers_) {
-    s.spawns += w->spawns;
-    s.steals += w->steals;
-    s.steal_attempts += w->steal_attempts;
-    s.executed += w->executed;
+    s.spawns += w->spawns.load(std::memory_order_relaxed);
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    s.steal_attempts += w->steal_attempts.load(std::memory_order_relaxed);
+    s.executed += w->executed.load(std::memory_order_relaxed);
   }
   return s;
 }
 
 void Scheduler::reset_stats() {
   for (auto& w : all_workers_) {
-    w->spawns = w->steals = w->steal_attempts = w->executed = 0;
+    w->spawns.store(0, std::memory_order_relaxed);
+    w->steals.store(0, std::memory_order_relaxed);
+    w->steal_attempts.store(0, std::memory_order_relaxed);
+    w->executed.store(0, std::memory_order_relaxed);
   }
 }
 

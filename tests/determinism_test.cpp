@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "octgb/core/engine.hpp"
+#include "octgb/core/hybrid.hpp"
 #include "octgb/core/naive.hpp"
 #include "octgb/mol/generate.hpp"
 #include "octgb/mol/pdb.hpp"
@@ -80,6 +81,85 @@ TEST(Determinism, SerialEngineIsBitDeterministic) {
   const auto r2 = engine.compute();
   EXPECT_EQ(r1.epol, r2.epol);  // exact bit equality, serial path
   EXPECT_EQ(r1.born, r2.born);
+}
+
+TEST(Determinism, BatchedAndScalarEnginesAreBitDeterministic) {
+  // The SoA batched kernels (the default) must be exactly as reproducible
+  // as the scalar path they replaced: repeated serial runs are bitwise
+  // identical for both kernel kinds.
+  const auto m = mol::generate_protein({.target_atoms = 350, .seed = 5});
+  const auto surf = surface::build_surface(m);
+  for (core::KernelKind kind :
+       {core::KernelKind::Scalar, core::KernelKind::Batched}) {
+    core::EngineConfig cfg;
+    cfg.approx.kernel = kind;
+    core::GBEngine engine(m, surf, cfg);
+    const auto r1 = engine.compute();
+    const auto r2 = engine.compute();
+    EXPECT_EQ(r1.epol, r2.epol);
+    EXPECT_EQ(r1.born, r2.born);
+  }
+}
+
+/// Batched path across hybrid rank/thread shapes. Single-threaded ranks
+/// ((P, p) with p = 1) are bitwise reproducible run to run: rank work is
+/// serial and the mpp collectives reduce in fixed rank order. Shapes with
+/// p > 1 accumulate into the shared s-arrays in work-stealing order, so —
+/// exactly like the scalar path — they are reproducible only up to
+/// reassociation; all shapes must agree with the serial engine to the
+/// same tight tolerance the scalar hybrid tests use.
+TEST(Determinism, BatchedHybridIsDeterministicAcrossRankShapes) {
+  const auto m = mol::generate_protein({.target_atoms = 350, .seed = 5});
+  const auto surf = surface::build_surface(m);
+  core::EngineConfig cfg;
+  cfg.approx.kernel = core::KernelKind::Batched;
+  core::GBEngine engine(m, surf, cfg);
+  const auto serial = engine.compute();
+
+  const std::pair<int, int> shapes[] = {{1, 1}, {2, 2}, {4, 1}};
+  for (const auto& [P, p] : shapes) {
+    core::HybridConfig hc;
+    hc.ranks = P;
+    hc.threads_per_rank = p;
+    const auto r1 = core::run_hybrid(engine, hc);
+    const auto r2 = core::run_hybrid(engine, hc);
+    if (p == 1) {
+      EXPECT_EQ(r1.epol, r2.epol) << "P=" << P << " p=" << p;
+      EXPECT_EQ(r1.born, r2.born) << "P=" << P << " p=" << p;
+    } else {
+      EXPECT_NEAR(r1.epol, r2.epol, 1e-11 * std::abs(r2.epol))
+          << "P=" << P << " p=" << p;
+    }
+    EXPECT_NEAR(r1.epol, serial.epol, 1e-9 * std::abs(serial.epol))
+        << "P=" << P << " p=" << p;
+    ASSERT_EQ(r1.born.size(), serial.born.size());
+    for (std::size_t i = 0; i < r1.born.size(); ++i)
+      EXPECT_NEAR(r1.born[i], serial.born[i],
+                  1e-9 * serial.born[i] + 1e-12)
+          << "P=" << P << " p=" << p << " atom " << i;
+  }
+}
+
+TEST(Determinism, BatchedHybridWorkCountersMatchScalarHybrid) {
+  // Kernel choice changes arithmetic layout, never traversal decisions:
+  // the per-rank interaction counts must be identical scalar vs batched.
+  const auto m = mol::generate_protein({.target_atoms = 300, .seed = 9});
+  const auto surf = surface::build_surface(m);
+  core::EngineConfig scalar_cfg, batched_cfg;
+  scalar_cfg.approx.kernel = core::KernelKind::Scalar;
+  batched_cfg.approx.kernel = core::KernelKind::Batched;
+  core::GBEngine scalar_engine(m, surf, scalar_cfg);
+  core::GBEngine batched_engine(m, surf, batched_cfg);
+  core::HybridConfig hc;
+  hc.ranks = 4;
+  const auto rs = core::run_hybrid(scalar_engine, hc);
+  const auto rb = core::run_hybrid(batched_engine, hc);
+  for (int r = 0; r < hc.ranks; ++r) {
+    EXPECT_EQ(rs.work_per_rank[r].born_exact,
+              rb.work_per_rank[r].born_exact) << "rank " << r;
+    EXPECT_EQ(rs.work_per_rank[r].epol_exact,
+              rb.work_per_rank[r].epol_exact) << "rank " << r;
+  }
 }
 
 TEST(Determinism, SimulatedClusterIsBitDeterministic) {
