@@ -15,7 +15,10 @@ using namespace octgb;
 
 int main(int argc, char** argv) {
   util::Args args;
+  bench::TraceSession ts;
+  ts.register_args(args);
   args.parse(argc, argv);
+  ts.begin();
 
   perf::MachineModel machine;
   bench::print_environment(machine);
@@ -53,6 +56,12 @@ int main(int argc, char** argv) {
       cfg.approx.eps_epol = eps;
       core::GBEngine engine(item.prepared.molecule, item.prepared.surf, cfg);
       const auto sim = bench::run_config(engine, bench::oct_hybrid_config(12));
+      if (ts.active())
+        bench::add_sim_metrics(
+            ts.metrics(),
+            util::format("oct_hybrid.eps%02d.", int(eps * 10 + 0.5)) +
+                std::to_string(item.prepared.atoms()) + "atoms",
+            sim);
       err.add(perf::percent_error(sim.epol, item.naive_e));
       (item.prepared.atoms() < 2500 ? small_times : large_times)
           .push_back(sim.total_seconds);
@@ -73,6 +82,7 @@ int main(int argc, char** argv) {
   std::puts("");
   t.print();
   bench::save_csv(t, "fig10_epsilon");
+  ts.finish();
 
   std::puts(
       "\nPaper shape check: |error| grows with eps but stays within the "

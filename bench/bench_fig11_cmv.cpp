@@ -18,7 +18,10 @@ int main(int argc, char** argv) {
   double scale = bench::quick_mode() ? 0.02 : 0.06;  // of 509,640 atoms
   util::Args args;
   args.add("scale", &scale, "CMV scale factor (1.0 = 509,640 atoms)");
+  bench::TraceSession ts;
+  ts.register_args(args);
   args.parse(argc, argv);
+  ts.begin();
 
   perf::MachineModel machine;
   bench::print_environment(machine);
@@ -47,6 +50,13 @@ int main(int argc, char** argv) {
       bench::run_config(*p.engine, bench::oct_mpi_config(144));
   const auto hyb144 =
       bench::run_config(*p.engine, bench::oct_hybrid_config(144));
+  if (ts.active()) {
+    bench::add_sim_metrics(ts.metrics(), "oct_cilk.cores12", cilk12);
+    bench::add_sim_metrics(ts.metrics(), "oct_mpi.cores12", mpi12);
+    bench::add_sim_metrics(ts.metrics(), "oct_hybrid.cores12", hyb12);
+    bench::add_sim_metrics(ts.metrics(), "oct_mpi.cores144", mpi144);
+    bench::add_sim_metrics(ts.metrics(), "oct_hybrid.cores144", hyb144);
+  }
 
   // Amber stand-in (12 cores; 144-core Amber scales per its efficiency —
   // the paper notes Amber cannot exceed 256 cores). Amber's GB runs with
@@ -98,6 +108,7 @@ int main(int argc, char** argv) {
          "-"});
   t.print();
   bench::save_csv(t, "fig11_cmv");
+  ts.finish();
 
   std::puts(
       "\nPaper shape check: all octree variants hundreds of times faster "

@@ -19,7 +19,10 @@ int main(int argc, char** argv) {
   util::Args args;
   args.add("scale", &scale, "BTV scale factor (1.0 = 6M atoms)");
   args.add("max-nodes", &max_nodes, "largest node count to simulate");
+  bench::TraceSession ts;
+  ts.register_args(args);
   args.parse(argc, argv);
+  ts.begin();
 
   perf::MachineModel machine;
   bench::print_environment(machine);
@@ -43,6 +46,12 @@ int main(int argc, char** argv) {
         bench::run_config(*p.engine, bench::oct_mpi_config(cores));
     const auto hyb =
         bench::run_config(*p.engine, bench::oct_hybrid_config(cores));
+    if (ts.active()) {
+      bench::add_sim_metrics(ts.metrics(),
+                             util::format("oct_mpi.nodes%d", nodes), mpi);
+      bench::add_sim_metrics(ts.metrics(),
+                             util::format("oct_hybrid.nodes%d", nodes), hyb);
+    }
     if (nodes == 1) {
       t12_mpi = mpi.total_seconds;
       t12_hyb = hyb.total_seconds;
@@ -55,6 +64,7 @@ int main(int argc, char** argv) {
   }
   t.print();
   bench::save_csv(t, "fig5_scalability");
+  ts.finish();
 
   std::puts(
       "\nPaper shape check: both variants scale to tens of nodes; the "

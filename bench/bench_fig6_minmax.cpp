@@ -18,7 +18,10 @@ int main(int argc, char** argv) {
   util::Args args;
   args.add("scale", &scale, "BTV scale factor (1.0 = 6M atoms)");
   args.add("repeats", &repeats, "repeat count (paper: 20)");
+  bench::TraceSession ts;
+  ts.register_args(args);
   args.parse(argc, argv);
+  ts.begin();
 
   perf::MachineModel machine;
   bench::print_environment(machine);
@@ -38,6 +41,12 @@ int main(int argc, char** argv) {
     const auto hyb_cfg = bench::oct_hybrid_config(cores);
     const auto mpi = bench::run_config(*p.engine, mpi_cfg);
     const auto hyb = bench::run_config(*p.engine, hyb_cfg);
+    if (ts.active()) {
+      bench::add_sim_metrics(ts.metrics(),
+                             util::format("oct_mpi.cores%d", cores), mpi);
+      bench::add_sim_metrics(ts.metrics(),
+                             util::format("oct_hybrid.cores%d", cores), hyb);
+    }
     perf::RunStats mpi_stats, hyb_stats;
     for (int rep = 0; rep < repeats; ++rep) {
       mpi_stats.add(sim::jittered_total_seconds(mpi, mpi_cfg,
@@ -52,6 +61,7 @@ int main(int argc, char** argv) {
   }
   t.print();
   bench::save_csv(t, "fig6_minmax");
+  ts.finish();
 
   std::puts(
       "\nPaper shape check: the hybrid max stays below the MPI max at every "

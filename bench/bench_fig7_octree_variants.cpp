@@ -17,7 +17,10 @@ using namespace octgb;
 
 int main(int argc, char** argv) {
   util::Args args;
+  bench::TraceSession ts;
+  ts.register_args(args);
   args.parse(argc, argv);
+  ts.begin();
 
   perf::MachineModel machine;
   bench::print_environment(machine);
@@ -38,12 +41,19 @@ int main(int argc, char** argv) {
     Row r;
     r.name = entry.name;
     r.atoms = p.atoms();
-    r.cilk =
-        bench::run_config(*p.engine, bench::oct_cilk_config(12)).total_seconds;
-    r.mpi =
-        bench::run_config(*p.engine, bench::oct_mpi_config(12)).total_seconds;
-    r.hybrid = bench::run_config(*p.engine, bench::oct_hybrid_config(12))
-                   .total_seconds;
+    const auto cilk =
+        bench::run_config(*p.engine, bench::oct_cilk_config(12));
+    const auto mpi = bench::run_config(*p.engine, bench::oct_mpi_config(12));
+    const auto hyb =
+        bench::run_config(*p.engine, bench::oct_hybrid_config(12));
+    r.cilk = cilk.total_seconds;
+    r.mpi = mpi.total_seconds;
+    r.hybrid = hyb.total_seconds;
+    if (ts.active()) {
+      bench::add_sim_metrics(ts.metrics(), "oct_cilk." + r.name, cilk);
+      bench::add_sim_metrics(ts.metrics(), "oct_mpi." + r.name, mpi);
+      bench::add_sim_metrics(ts.metrics(), "oct_hybrid." + r.name, hyb);
+    }
     rows.push_back(r);
     std::printf("  %-10s %6zu atoms done\n", r.name.c_str(), r.atoms);
   }
@@ -71,6 +81,7 @@ int main(int argc, char** argv) {
   }
   t.print();
   bench::save_csv(t, "fig7_octree_variants");
+  ts.finish();
 
   std::printf(
       "\nPaper shape check: OCT_CILK fastest on %d of the <2500-atom "

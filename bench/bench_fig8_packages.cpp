@@ -16,7 +16,10 @@ using namespace octgb;
 
 int main(int argc, char** argv) {
   util::Args args;
+  bench::TraceSession ts;
+  ts.register_args(args);
   args.parse(argc, argv);
+  ts.begin();
 
   perf::MachineModel machine;
   bench::print_environment(machine);
@@ -38,13 +41,23 @@ int main(int argc, char** argv) {
   const auto selection = bench::zdock_selection();
   for (const auto& entry : selection) {
     bench::Prepared p = bench::prepare(mol::make_benchmark_molecule(entry.name));
-    const double oct_mpi =
-        bench::run_config(*p.engine, bench::oct_mpi_config(12)).total_seconds;
-    const double oct_hyb = bench::run_config(*p.engine,
-                                             bench::oct_hybrid_config(12))
-                               .total_seconds;
-    const double oct_cilk =
-        bench::run_config(*p.engine, bench::oct_cilk_config(12)).total_seconds;
+    const auto mpi_res =
+        bench::run_config(*p.engine, bench::oct_mpi_config(12));
+    const auto hyb_res =
+        bench::run_config(*p.engine, bench::oct_hybrid_config(12));
+    const auto cilk_res =
+        bench::run_config(*p.engine, bench::oct_cilk_config(12));
+    if (ts.active()) {
+      bench::add_sim_metrics(ts.metrics(),
+                             std::string("oct_mpi.") + entry.name, mpi_res);
+      bench::add_sim_metrics(ts.metrics(),
+                             std::string("oct_hybrid.") + entry.name, hyb_res);
+      bench::add_sim_metrics(ts.metrics(),
+                             std::string("oct_cilk.") + entry.name, cilk_res);
+    }
+    const double oct_mpi = mpi_res.total_seconds;
+    const double oct_hyb = hyb_res.total_seconds;
+    const double oct_cilk = cilk_res.total_seconds;
 
     std::map<std::string, double> pkg_time;
     for (const auto& spec : baselines::package_registry()) {
@@ -124,5 +137,6 @@ int main(int argc, char** argv) {
   std::puts("");
   anchors.print();
   bench::save_csv(anchors, "fig8b_anchors");
+  ts.finish();
   return 0;
 }

@@ -15,7 +15,10 @@ using namespace octgb;
 
 int main(int argc, char** argv) {
   util::Args args;
+  bench::TraceSession ts;
+  ts.register_args(args);
   args.parse(argc, argv);
+  ts.begin();
 
   perf::MachineModel machine;
   bench::print_environment(machine);
@@ -31,6 +34,8 @@ int main(int argc, char** argv) {
     const auto naive_born = core::naive_born_radii(p.molecule, p.surf);
     const double naive_e = core::naive_epol(p.molecule, naive_born);
     const auto oct = p.engine->compute();
+    if (ts.active())
+      ts.metrics().add_work(std::string("oct.") + entry.name, oct.work);
 
     std::map<std::string, double> pkg;
     for (const auto& spec : baselines::package_registry()) {
@@ -58,6 +63,7 @@ int main(int argc, char** argv) {
   std::puts("");
   t.print();
   bench::save_csv(t, "fig9_energy");
+  ts.finish();
 
   std::printf(
       "\nPaper shape check:\n"

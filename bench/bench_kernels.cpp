@@ -2,8 +2,17 @@
 // sampling, the Born and Epol kernels, fast math, the work-stealing
 // scheduler, and mpp collectives. These measure *real wall time on this
 // host* (unlike the figure benches, which model the paper's cluster).
+//
+// `--trace` (consumed before google-benchmark sees argv) records every
+// phase/worker span into bench_out/kernels_trace.json — the sample trace
+// CI uploads (OBSERVABILITY.md). Leave it off when measuring: the
+// overhead numbers in OBSERVABILITY.md are for tracing disabled.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 
 #include "octgb/octgb.hpp"
 
@@ -329,4 +338,47 @@ static void BM_MppAllreduce(benchmark::State& state) {
 }
 BENCHMARK(BM_MppAllreduce)->Arg(2)->Arg(4)->Arg(8);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): pre-scan argv for --trace,
+// which google-benchmark's own parser would reject as an unknown flag.
+int main(int argc, char** argv) {
+  bool want_trace = false;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      want_trace = true;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+
+  if (want_trace) {
+    // Benchmarks iterate kernels thousands of times; cap each thread's
+    // buffer well below the default so the JSON stays loadable.
+    trace::Tracer::instance().set_max_events_per_thread(1 << 18);
+    trace::Tracer::instance().set_enabled(true);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (want_trace) {
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    const char* path = "bench_out/kernels_trace.json";
+    auto& tracer = trace::Tracer::instance();
+    if (tracer.save_chrome_trace(path)) {
+      std::printf("[trace] wrote %s (%zu events", path,
+                  tracer.event_count());
+      if (tracer.dropped_count() > 0)
+        std::printf(", %llu dropped",
+                    static_cast<unsigned long long>(tracer.dropped_count()));
+      std::printf(") — open in https://ui.perfetto.dev\n");
+    } else {
+      std::printf("[trace] FAILED to write %s\n", path);
+    }
+  }
+  return 0;
+}

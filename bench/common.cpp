@@ -111,6 +111,54 @@ sim::SimResult run_config(const core::GBEngine& engine,
   return sim::simulate_cluster(engine, config);
 }
 
+void TraceSession::register_args(util::Args& args) {
+  args.add("trace-out", &trace_out_,
+           "write a chrome://tracing JSON (Perfetto) of this run");
+  args.add("metrics-out", &metrics_out_,
+           "write the run's counter metrics as JSON (or .csv)");
+}
+
+void TraceSession::begin() const {
+  if (!trace_out_.empty()) trace::Tracer::instance().set_enabled(true);
+}
+
+void TraceSession::finish() const {
+  if (!trace_out_.empty()) {
+    auto& tracer = trace::Tracer::instance();
+    if (tracer.save_chrome_trace(trace_out_)) {
+      std::printf("[trace] wrote %s (%zu events", trace_out_.c_str(),
+                  tracer.event_count());
+      if (tracer.dropped_count() > 0)
+        std::printf(", %llu dropped",
+                    static_cast<unsigned long long>(tracer.dropped_count()));
+      std::printf(") — open in https://ui.perfetto.dev\n");
+    } else {
+      std::printf("[trace] FAILED to write %s\n", trace_out_.c_str());
+    }
+  }
+  if (!metrics_out_.empty()) {
+    const bool as_csv = metrics_out_.size() >= 4 &&
+                        metrics_out_.compare(metrics_out_.size() - 4, 4,
+                                             ".csv") == 0;
+    const bool ok = as_csv ? metrics_.save_csv(metrics_out_)
+                           : metrics_.save_json(metrics_out_);
+    std::printf("[metrics] %s %s (%zu metrics)\n",
+                ok ? "wrote" : "FAILED to write", metrics_out_.c_str(),
+                metrics_.size());
+  }
+}
+
+void add_sim_metrics(trace::MetricsRegistry& m, const std::string& scope,
+                     const sim::SimResult& r) {
+  m.add_work(scope, r.work_total);
+  m.set("time.compute_s." + scope, r.compute_seconds);
+  m.set("time.comm_s." + scope, r.comm_seconds);
+  m.set("time.total_s." + scope, r.total_seconds);
+  m.set("mem.bytes_per_rank." + scope,
+        static_cast<std::uint64_t>(r.bytes_per_rank));
+  m.set("cores." + scope, static_cast<std::uint64_t>(r.total_cores));
+}
+
 std::string fmt_time(double seconds) {
   if (seconds < 1.0) return util::format("%.2f ms", seconds * 1e3);
   if (seconds < 120.0) return util::format("%.2f s", seconds);

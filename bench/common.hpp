@@ -67,4 +67,49 @@ sim::SimResult run_config(const core::GBEngine& engine,
 /// Format seconds for tables (ms below 1 s, like the paper's plots).
 std::string fmt_time(double seconds);
 
+// --- observability plumbing (OBSERVABILITY.md) -----------------------------
+
+/// `--trace-out` / `--metrics-out` support shared by the figure benches:
+///
+///   bench::TraceSession ts;
+///   ts.register_args(args);
+///   args.parse(argc, argv);
+///   ts.begin();                                  // enables span recording
+///   ... run configurations, ts.metrics().add_work(scope, result.work) ...
+///   ts.finish();                                 // writes the files
+///
+/// `--trace-out f.json` records phase/worker spans during the run and
+/// writes a chrome://tracing file loadable in Perfetto; `--metrics-out
+/// f.json` (or .csv) dumps the bench-filled MetricsRegistry. Either flag
+/// works alone; tracing never changes results or counters.
+class TraceSession {
+ public:
+  /// Add --trace-out and --metrics-out to the bench's argument set.
+  void register_args(util::Args& args);
+
+  /// Start recording when --trace-out was given. Call directly after
+  /// Args::parse, before engines are built (tree-build spans).
+  void begin() const;
+
+  /// True when either output file was requested.
+  bool active() const { return !trace_out_.empty() || !metrics_out_.empty(); }
+
+  /// The metrics the bench accumulates (counter totals per configuration).
+  trace::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Write the requested trace/metrics files and log their paths.
+  void finish() const;
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+  trace::MetricsRegistry metrics_;
+};
+
+/// Record one simulated configuration's measurements under `scope`
+/// (e.g. "oct_mpi.nodes4"): exact work-counter totals plus the modeled
+/// compute/comm/total seconds and the per-rank footprint.
+void add_sim_metrics(trace::MetricsRegistry& m, const std::string& scope,
+                     const sim::SimResult& r);
+
 }  // namespace octgb::bench

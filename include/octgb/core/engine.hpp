@@ -18,16 +18,26 @@
 
 namespace octgb::core {
 
+/// Observability knobs (see OBSERVABILITY.md). `enabled` turns on the
+/// global octgb::trace recorder for the engine's compute paths; the
+/// OCTGB_TRACE=1 environment variable is the no-recompile equivalent.
+struct TraceOptions {
+  bool enabled = false;  ///< record phase/worker spans during compute
+};
+
 /// Engine configuration: approximation parameters, GB constants, octree
 /// build knobs. `approx.kernel` selects the exact near-field kernel
 /// implementation (KernelKind::Batched SoA by default; KernelKind::Scalar
 /// keeps the original AoS loops for A/B benchmarking and the differential
 /// tests) — it changes results only by floating-point reassociation.
+/// `trace.enabled` opts the compute paths into span recording; tracing
+/// never changes results or operation counts.
 struct EngineConfig {
   ApproxParams approx;
   GBParams gb;
   octree::BuildParams atoms_tree_params{.max_leaf_size = 32};
   octree::BuildParams qpoints_tree_params{.max_leaf_size = 64};
+  TraceOptions trace;
 };
 
 /// Result of a full energy evaluation.

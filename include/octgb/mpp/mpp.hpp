@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "octgb/perf/machine_model.hpp"
+#include "octgb/trace/trace.hpp"
 #include "octgb/util/check.hpp"
 
 namespace octgb::mpp {
@@ -202,6 +203,7 @@ inline constexpr int kCollTagBase = 1 << 24;
 template <class T>
 void Comm::bcast(std::span<T> data, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
+  OCTGB_SPAN("mpp.bcast");
   const int tag = next_coll_tag();
   // Binomial tree rooted at `root`: relative rank r receives from
   // r - 2^k (highest set bit), then forwards to r + 2^k for growing k.
@@ -229,6 +231,7 @@ void Comm::bcast(std::span<T> data, int root) {
 template <class T>
 void Comm::reduce_sum(std::span<T> inout, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
+  OCTGB_SPAN("mpp.reduce");
   const int tag = next_coll_tag();
   const int rel = (rank_ - root + size_) % size_;
   std::vector<T> tmp(inout.size());
@@ -258,6 +261,7 @@ void Comm::allreduce_sum(std::span<T> inout) {
 template <class T>
 std::vector<T> Comm::gatherv(std::span<const T> mine, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
+  OCTGB_SPAN("mpp.gatherv");
   const int tag = next_coll_tag();
   const int tag2 = next_coll_tag();
   std::vector<T> out;
@@ -296,6 +300,7 @@ template <class T>
 std::vector<std::vector<T>> Comm::alltoallv(
     const std::vector<std::vector<T>>& outgoing) {
   static_assert(std::is_trivially_copyable_v<T>);
+  OCTGB_SPAN("mpp.alltoallv");
   OCTGB_CHECK_MSG(outgoing.size() == static_cast<std::size_t>(size_),
                   "alltoallv needs one outgoing bucket per rank");
   const int tag_len = next_coll_tag();

@@ -48,6 +48,8 @@
 #include "octgb/perf/stats.hpp"
 #include "octgb/sim/cluster.hpp"
 #include "octgb/surface/surface.hpp"
+#include "octgb/trace/metrics.hpp"
+#include "octgb/trace/trace.hpp"
 #include "octgb/util/args.hpp"
 #include "octgb/util/check.hpp"
 #include "octgb/util/log.hpp"

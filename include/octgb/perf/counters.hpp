@@ -2,20 +2,28 @@
 /// \file counters.hpp
 /// Deterministic work counters.
 ///
-/// The container this reproduction runs in has a single CPU core, so
-/// cluster wall-clock cannot be observed directly. Instead every kernel
-/// counts the operations it performs — exact pair interactions, node-level
+/// This reproduction cannot run on the paper's 36-node cluster, so cluster
+/// wall-clock is modeled rather than timed. Every kernel counts the
+/// operations it performs — exact pair interactions, node-level
 /// pseudo-interactions, tree-node visits — per rank and per worker. The
 /// MachineModel (machine_model.hpp) converts these measured counts into
 /// modeled time on the paper's hardware. Counts are exact and reproducible,
 /// so "who wins and by what factor" is driven entirely by real algorithmic
-/// behaviour.
+/// behaviour. (Host-side per-phase wall time *is* observable: enable the
+/// span recorder in octgb/trace/trace.hpp — see OBSERVABILITY.md.)
 
+#include <cstddef>
 #include <cstdint>
 
+/// Measurement: deterministic operation counters, run statistics, and
+/// the Table I machine model that converts counts into modeled time.
 namespace octgb::perf {
 
 /// Operation counts for one run segment (one rank, or one whole run).
+///
+/// Adding a field? Update operator+=, bump kFieldCount (the static_assert
+/// below and PerfTest.CountersSumCoversEveryField enforce both), and give
+/// it a name in trace::MetricsRegistry::add_work if it should be exported.
 struct WorkCounters {
   // Born-radii phase (APPROX-INTEGRALS)
   std::uint64_t born_exact = 0;      ///< exact atom×q-point interactions
@@ -32,9 +40,16 @@ struct WorkCounters {
   std::uint64_t pairlist_pairs = 0;  ///< nblist pair evaluations
   std::uint64_t grid_cells = 0;      ///< GBr6 volume-grid cell evaluations
   // Scheduler
-  std::uint64_t spawns = 0;
-  std::uint64_t steals = 0;
+  std::uint64_t spawns = 0;          ///< tasks spawned (ws::Scheduler)
+  std::uint64_t steals = 0;          ///< successful steals (ws::Scheduler)
 
+  /// Number of uint64 count fields above. Guards field-coverage: the
+  /// static_assert below fails compilation when a field is added without
+  /// updating this, and the perf_test sum test fails when operator+= or
+  /// the MetricsRegistry export misses one.
+  static constexpr std::size_t kFieldCount = 12;
+
+  /// Field-wise accumulation (per-rank counters into run totals).
   WorkCounters& operator+=(const WorkCounters& o) {
     born_exact += o.born_exact;
     born_approx += o.born_approx;
@@ -52,10 +67,32 @@ struct WorkCounters {
   }
 
   /// Total "interaction-equivalent" operations (for quick logging).
+  ///
+  /// Deliberately sums only the six *interaction* counters — born_exact,
+  /// born_approx, epol_exact, epol_bins, pairlist_pairs, grid_cells —
+  /// i.e. the O(pairs) inner-loop evaluations whose per-op cost is
+  /// comparable. The other six fields are excluded on purpose:
+  ///  - born_visits / push_visits / epol_visits count tree-node
+  ///    *traversal* steps (MAC tests, prefix accumulation), orders of
+  ///    magnitude cheaper than a pair evaluation and priced separately by
+  ///    MachineModel::compute_seconds;
+  ///  - push_atoms counts per-atom finalizations (O(N), not O(pairs));
+  ///  - spawns / steals are scheduler bookkeeping, not numerical work —
+  ///    they feed the model's parallel-overhead term instead.
+  /// Folding any of these in would let a traversal-heavy configuration
+  /// look as "busy" as a pair-heavy one and skew quick comparisons.
   std::uint64_t total_interactions() const {
     return born_exact + born_approx + epol_exact + epol_bins +
            pairlist_pairs + grid_cells;
   }
 };
+
+// Every field is a uint64 count; when this stops holding (someone added a
+// non-count member or forgot to bump kFieldCount) the arithmetic in
+// operator+= and the field-coverage test stop being trustworthy.
+static_assert(sizeof(WorkCounters) ==
+                  WorkCounters::kFieldCount * sizeof(std::uint64_t),
+              "WorkCounters field added: update kFieldCount, operator+=, "
+              "and trace::MetricsRegistry::add_work");
 
 }  // namespace octgb::perf

@@ -21,9 +21,9 @@ struct MachineModel {
   // --- Table I constants -------------------------------------------------
   double clock_hz = 3.33e9;          ///< Westmere core clock
   int cores_per_node = 12;           ///< 2 sockets × 6 cores
-  int sockets_per_node = 2;
+  int sockets_per_node = 2;          ///< sockets (L3 domains) per node
   double l3_bytes = 12.0 * 1024 * 1024;  ///< per-socket shared L3
-  double ram_bytes = 24.0 * 1024 * 1024 * 1024;
+  double ram_bytes = 24.0 * 1024 * 1024 * 1024;  ///< RAM per node
 
   // --- Network (InfiniBand, 40 Gb/s p2p, fat tree) ------------------------
   // Startup terms are software latencies of a collective tree level
@@ -39,16 +39,16 @@ struct MachineModel {
   // form): ~24 cycles. A GB pair term adds exp+sqrt: ~60 cycles. Node-level
   // pseudo-interactions cost the same arithmetic as their exact
   // counterparts; tree visits model pointer chasing + the far/near test.
-  double cyc_born_exact = 24.0;
-  double cyc_born_approx = 24.0;
-  double cyc_born_visit = 14.0;
-  double cyc_push_visit = 10.0;
-  double cyc_push_atom = 20.0;
-  double cyc_epol_exact = 60.0;
-  double cyc_epol_bin = 60.0;
-  double cyc_epol_visit = 14.0;
-  double cyc_pairlist_pair = 60.0;
-  double cyc_grid_cell = 10.0;
+  double cyc_born_exact = 24.0;      ///< exact atom×q-point interaction
+  double cyc_born_approx = 24.0;     ///< node-level Born pseudo-interaction
+  double cyc_born_visit = 14.0;      ///< Born-phase tree-node visit
+  double cyc_push_visit = 10.0;      ///< push-phase prefix-pass node visit
+  double cyc_push_atom = 20.0;       ///< per-atom Born-radius finalization
+  double cyc_epol_exact = 60.0;      ///< exact GB pair term (exp + sqrt)
+  double cyc_epol_bin = 60.0;        ///< bin-pair Epol pseudo-interaction
+  double cyc_epol_visit = 14.0;      ///< Epol-phase tree-node visit
+  double cyc_pairlist_pair = 60.0;   ///< neighbour-list pair evaluation
+  double cyc_grid_cell = 10.0;       ///< GBr6 volume-grid cell evaluation
   double cyc_spawn = 90.0;           ///< cilk-style spawn overhead
   double cyc_steal = 900.0;          ///< successful steal (cold deque access)
 
@@ -73,12 +73,13 @@ struct MachineModel {
 
 /// Traffic summary for one rank (filled by the mpp runtime).
 struct CommCounters {
-  std::uint64_t messages_internode = 0;
-  std::uint64_t messages_intranode = 0;
-  std::uint64_t bytes_internode = 0;
-  std::uint64_t bytes_intranode = 0;
+  std::uint64_t messages_internode = 0;  ///< messages crossing a node boundary
+  std::uint64_t messages_intranode = 0;  ///< messages between co-located ranks
+  std::uint64_t bytes_internode = 0;     ///< payload bytes sent inter-node
+  std::uint64_t bytes_intranode = 0;     ///< payload bytes sent intra-node
   std::uint64_t collectives = 0;  ///< number of collective operations joined
 
+  /// Field-wise accumulation (e.g. totals across ranks).
   CommCounters& operator+=(const CommCounters& o) {
     messages_internode += o.messages_internode;
     messages_intranode += o.messages_intranode;

@@ -14,7 +14,9 @@ namespace octgb::perf {
 /// Monotonic wall-clock timer.
 class Timer {
  public:
+  /// Starts timing immediately.
   Timer() : start_(clock::now()) {}
+  /// Restart the elapsed-time origin at now.
   void reset() { start_ = clock::now(); }
   /// Elapsed seconds since construction / last reset.
   double seconds() const {
@@ -29,6 +31,7 @@ class Timer {
 /// Streaming summary statistics (Welford) with min/max.
 class RunStats {
  public:
+  /// Fold one sample into the running moments and extrema.
   void add(double x) {
     ++n_;
     const double delta = x - mean_;
@@ -38,14 +41,19 @@ class RunStats {
     if (x > max_) max_ = x;
   }
 
+  /// Number of samples added so far.
   std::size_t count() const { return n_; }
+  /// Arithmetic mean; 0 with no samples.
   double mean() const { return n_ ? mean_ : 0.0; }
+  /// Smallest sample; 0 with no samples.
   double min() const { return n_ ? min_ : 0.0; }
+  /// Largest sample; 0 with no samples.
   double max() const { return n_ ? max_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
   double variance() const {
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
   }
+  /// Sample standard deviation (square root of variance()).
   double stddev() const { return std::sqrt(variance()); }
 
  private:

@@ -117,6 +117,9 @@ class Scheduler {
 
   std::vector<std::unique_ptr<Worker>> all_workers_;  // [0] = caller's
   std::vector<std::thread> workers_;                  // background threads
+  // Trace track group (mpp rank) of the constructing thread, inherited by
+  // the background workers so their spans land under the right rank.
+  std::int32_t trace_pid_ = 0;
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> active_{false};
   std::mutex mu_;

@@ -6,6 +6,7 @@
 #include "octgb/core/fastmath.hpp"
 #include "octgb/core/gb_params.hpp"
 #include "octgb/core/naive.hpp"
+#include "octgb/trace/trace.hpp"
 #include "octgb/util/check.hpp"
 #include "octgb/ws/scheduler.hpp"
 
@@ -146,6 +147,9 @@ void approx_integrals(const AtomsTree& ta, const QPointsTree& tq,
   ws::Scheduler::parallel_for(
       0, static_cast<std::int64_t>(q_leaf_ids.size()), 1,
       [&](std::int64_t lo, std::int64_t hi) {
+        // One span per leaf-range task: the per-worker Born activity the
+        // trace shows under the phase-level "born.traversal" span.
+        OCTGB_SPAN("born.leaves");
         for (std::int64_t li = lo; li < hi; ++li) {
           const Octree::Node& q = tq.tree.node(q_leaf_ids[li]);
           IntegralsPass pass{ta,

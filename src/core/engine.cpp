@@ -2,6 +2,7 @@
 
 #include "octgb/core/dual_traversal.hpp"
 #include "octgb/perf/stats.hpp"
+#include "octgb/trace/trace.hpp"
 #include "octgb/util/check.hpp"
 
 namespace octgb::core {
@@ -19,6 +20,7 @@ void GBEngine::phase_integrals(Segment q_leaf_segment,
                                std::span<double> node_s,
                                std::span<double> atom_s,
                                perf::WorkCounters& counters) const {
+  OCTGB_SPAN("born.traversal");
   const auto& leaves = q_leaves();
   OCTGB_CHECK(q_leaf_segment.end <= leaves.size());
   approx_integrals(
@@ -34,6 +36,7 @@ void GBEngine::phase_push(Segment atom_segment,
                           std::span<const double> atom_s,
                           std::span<double> born_tree,
                           perf::WorkCounters& counters) const {
+  OCTGB_SPAN("born.push");
   push_integrals_to_atoms(ta_, node_s, atom_s, atom_segment.begin,
                           atom_segment.end, config_.approx.approx_math,
                           born_tree, counters);
@@ -41,6 +44,7 @@ void GBEngine::phase_push(Segment atom_segment,
 
 EpolContext GBEngine::build_epol_context(
     std::span<const double> born_tree) const {
+  OCTGB_SPAN("epol.context");
   return EpolContext::build(ta_, born_tree, config_.approx.eps_epol);
 }
 
@@ -48,6 +52,7 @@ double GBEngine::phase_epol(const EpolContext& ctx,
                             std::span<const double> born_tree,
                             Segment a_leaf_segment,
                             perf::WorkCounters& counters) const {
+  OCTGB_SPAN("epol.traversal");
   const auto& leaves = a_leaves();
   OCTGB_CHECK(a_leaf_segment.end <= leaves.size());
   return approx_epol(ta_, ctx, born_tree,
@@ -61,6 +66,7 @@ double GBEngine::phase_epol_atom_based(const EpolContext& ctx,
                                        std::span<const double> born_tree,
                                        Segment atom_segment,
                                        perf::WorkCounters& counters) const {
+  OCTGB_SPAN("epol.traversal.atom_based");
   return approx_epol_atom_based(
       ta_, ctx, born_tree, atom_segment.begin, atom_segment.end,
       config_.approx.eps_epol, config_.approx.approx_math, config_.gb,
@@ -83,6 +89,8 @@ namespace {
 template <class IntegralsFn>
 EnergyResult compute_impl(const GBEngine& engine, ws::Scheduler* sched,
                           IntegralsFn&& integrals) {
+  if (engine.config().trace.enabled) trace::Tracer::instance().set_enabled(true);
+  OCTGB_SPAN("engine.compute");
   EnergyResult result;
   perf::Timer timer;
 
@@ -115,7 +123,10 @@ EnergyResult compute_impl(const GBEngine& engine, ws::Scheduler* sched,
   }
 
   result.epol = epol;
-  result.born = engine.born_to_input_order(born_tree);
+  {
+    OCTGB_SPAN("born.remap");
+    result.born = engine.born_to_input_order(born_tree);
+  }
   result.wall_seconds = timer.seconds();
   return result;
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "octgb/core/fastmath.hpp"
+#include "octgb/trace/trace.hpp"
 #include "octgb/util/check.hpp"
 #include "octgb/ws/scheduler.hpp"
 
@@ -257,6 +258,8 @@ double approx_epol(const AtomsTree& ta, const EpolContext& ctx,
   ws::Scheduler::parallel_for(
       0, static_cast<std::int64_t>(v_leaf_ids.size()), 1,
       [&](std::int64_t lo, std::int64_t hi) {
+        // Per-worker Epol activity under the "epol.traversal" phase span.
+        OCTGB_SPAN("epol.leaves");
         double mine = 0.0;
         EpolCounts lc;
         for (std::int64_t li = lo; li < hi; ++li) {
@@ -296,6 +299,7 @@ double approx_epol_atom_based(const AtomsTree& ta, const EpolContext& ctx,
   ws::Scheduler::parallel_for(
       0, static_cast<std::int64_t>(leaves.size()), 1,
       [&](std::int64_t lo, std::int64_t hi) {
+        OCTGB_SPAN("epol.atoms");
         double mine = 0.0;
         EpolCounts lc;
         for (std::int64_t li = lo; li < hi; ++li) {

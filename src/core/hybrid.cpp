@@ -3,11 +3,13 @@
 #include <mutex>
 
 #include "octgb/perf/stats.hpp"
+#include "octgb/trace/trace.hpp"
 #include "octgb/util/check.hpp"
 
 namespace octgb::core {
 
 HybridResult run_hybrid(const GBEngine& engine, const HybridConfig& config) {
+  if (engine.config().trace.enabled) trace::Tracer::instance().set_enabled(true);
   OCTGB_CHECK_MSG(config.ranks >= 1, "need at least one rank");
   OCTGB_CHECK_MSG(config.threads_per_rank >= 1, "need at least one thread");
 
@@ -69,24 +71,34 @@ HybridResult run_hybrid(const GBEngine& engine, const HybridConfig& config) {
     };
 
     // Step 2 (node-based division of T_Q leaves).
-    if (sched)
-      sched->run(step2);
-    else
-      step2();
+    {
+      OCTGB_SPAN("hybrid.integrals");
+      if (sched)
+        sched->run(step2);
+      else
+        step2();
+    }
 
     // Step 3: gather everyone's partial integrals.
-    comm.allreduce_sum(std::span<double>(node_s));
-    comm.allreduce_sum(std::span<double>(atom_s));
+    {
+      OCTGB_SPAN("hybrid.allreduce.integrals");
+      comm.allreduce_sum(std::span<double>(node_s));
+      comm.allreduce_sum(std::span<double>(atom_s));
+    }
 
     // Step 4: Born radii for my atom segment.
-    if (sched)
-      sched->run(step4);
-    else
-      step4();
+    {
+      OCTGB_SPAN("hybrid.push");
+      if (sched)
+        sched->run(step4);
+      else
+        step4();
+    }
 
     // Step 5: exchange Born radii. Atom segments are contiguous in tree
     // order and rank-ordered, so the concatenation is the full array.
     {
+      OCTGB_SPAN("hybrid.allgather.born");
       const auto seg = atom_segments[r];
       std::vector<double> all = comm.allgatherv(std::span<const double>(
           born_tree.data() + seg.begin, seg.size()));
@@ -95,23 +107,30 @@ HybridResult run_hybrid(const GBEngine& engine, const HybridConfig& config) {
     }
 
     // Step 6: partial energy (node- or atom-based division).
-    const EpolContext ctx = engine.build_epol_context(born_tree);
-    auto step6 = [&] {
-      epol_part = config.atom_based_epol
-                      ? engine.phase_epol_atom_based(ctx, born_tree,
-                                                     atom_segments[r], work)
-                      : engine.phase_epol(ctx, born_tree, a_leaf_segments[r],
-                                          work);
-    };
-    if (sched)
-      sched->run(step6);
-    else
-      step6();
+    {
+      OCTGB_SPAN("hybrid.epol");
+      const EpolContext ctx = engine.build_epol_context(born_tree);
+      auto step6 = [&] {
+        epol_part = config.atom_based_epol
+                        ? engine.phase_epol_atom_based(ctx, born_tree,
+                                                       atom_segments[r], work)
+                        : engine.phase_epol(ctx, born_tree,
+                                            a_leaf_segments[r], work);
+      };
+      if (sched)
+        sched->run(step6);
+      else
+        step6();
+    }
 
     // Step 7: total energy on every rank (Allreduce, as in Fig. 4 the
     // master accumulates; allreduce also covers the bcast the examples
     // want).
-    const double epol = comm.allreduce_sum(epol_part);
+    double epol = 0.0;
+    {
+      OCTGB_SPAN("hybrid.reduce.epol");
+      epol = comm.allreduce_sum(epol_part);
+    }
 
     if (sched) {
       const auto st = sched->stats();

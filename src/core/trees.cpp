@@ -1,9 +1,12 @@
 #include "octgb/core/trees.hpp"
 
+#include "octgb/trace/trace.hpp"
+
 namespace octgb::core {
 
 AtomsTree AtomsTree::build(const mol::Molecule& mol,
                            const octree::BuildParams& params) {
+  OCTGB_SPAN("tree.build.atoms");
   AtomsTree t;
   const auto atoms = mol.atoms();
   std::vector<geom::Vec3> centers(atoms.size());
@@ -32,6 +35,7 @@ std::size_t AtomsTree::footprint_bytes() const {
 
 QPointsTree QPointsTree::build(const surface::Surface& surf,
                                const octree::BuildParams& params) {
+  OCTGB_SPAN("tree.build.qpoints");
   QPointsTree t;
   t.tree = octree::Octree::build(surf.positions, params);
   const auto idx = t.tree.point_index();

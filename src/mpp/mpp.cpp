@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <exception>
+#include <string>
 #include <thread>
+
+#include "octgb/trace/trace.hpp"
 
 namespace octgb::mpp {
 
@@ -46,6 +49,11 @@ void Comm::account_send(int dest, std::size_t bytes) {
     ++counters_.messages_internode;
     counters_.bytes_internode += bytes;
   }
+  // Cumulative per-rank transmit volume as a Perfetto counter track.
+  if (trace::enabled())
+    trace::counter("mpp.tx_bytes",
+                   static_cast<double>(counters_.bytes_intranode +
+                                       counters_.bytes_internode));
 }
 
 void Comm::send_bytes(int dest, int tag, const void* data,
@@ -68,6 +76,8 @@ void Comm::send_bytes(int dest, int tag, const void* data,
 
 void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
   OCTGB_CHECK_MSG(src >= 0 && src < size_, "recv from invalid rank " << src);
+  // The span covers matching + blocking, i.e. the rank's wait time.
+  OCTGB_SPAN("mpp.recv");
   detail::Mailbox& box = *state_->mailboxes[rank_];
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
@@ -126,6 +136,7 @@ void Comm::sendrecv_bytes(int dest, int send_tag, const void* send_data,
 }
 
 void Comm::barrier() {
+  OCTGB_SPAN("mpp.barrier");
   // Reduce a dummy byte to rank 0, then broadcast it back.
   std::uint8_t dummy = 0;
   std::span<std::uint8_t> s(&dummy, 1);
@@ -217,6 +228,11 @@ std::vector<perf::CommCounters> Runtime::run(
   std::mutex err_mu;
   auto body = [&](int r) {
     try {
+      if (trace::enabled()) {
+        const std::string label = "rank" + std::to_string(r);
+        trace::Tracer::instance().set_process_name(r, label);
+        trace::set_thread_identity(r, label + ".main");
+      }
       rank_main(comms[r]);
     } catch (...) {
       std::lock_guard<std::mutex> lock(err_mu);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "octgb/trace/trace.hpp"
 #include "octgb/util/check.hpp"
 #include "octgb/util/rng.hpp"
 
@@ -41,8 +42,18 @@ double CollectiveCosts::allgatherv(double total_bytes) const {
   return recv + tree_collective(total_bytes);
 }
 
+namespace {
+
+/// Virtual-track label for a simulated rank ("rank3 (sim)").
+std::string sim_rank_name(int r) {
+  return "rank" + std::to_string(r) + " (sim)";
+}
+
+}  // namespace
+
 SimResult simulate_cluster(const GBEngine& engine,
                            const ClusterConfig& config) {
+  if (engine.config().trace.enabled) trace::Tracer::instance().set_enabled(true);
   OCTGB_CHECK_MSG(config.ranks >= 1 && config.threads_per_rank >= 1,
                   "bad cluster shape");
   const int P = config.ranks;
@@ -82,15 +93,22 @@ SimResult simulate_cluster(const GBEngine& engine,
   std::vector<double> atom_s(n_atoms, 0.0);
   std::vector<double> born_tree(n_atoms, 0.0);
 
-  for (int r = 0; r < P; ++r)
+  // Each simulated rank's spans land on its own virtual Perfetto track
+  // (one OS thread plays every rank in turn — see trace.hpp).
+  for (int r = 0; r < P; ++r) {
+    trace::VirtualThreadScope rank_track(r, sim_rank_name(r));
     engine.phase_integrals(q_segments[r], node_s, atom_s,
                            result.work_per_rank[r]);
-  for (int r = 0; r < P; ++r)
+  }
+  for (int r = 0; r < P; ++r) {
+    trace::VirtualThreadScope rank_track(r, sim_rank_name(r));
     engine.phase_push(atom_segments[r], node_s, atom_s, born_tree,
                       result.work_per_rank[r]);
+  }
   const core::EpolContext ctx = engine.build_epol_context(born_tree);
   double epol = 0.0;
   for (int r = 0; r < P; ++r) {
+    trace::VirtualThreadScope rank_track(r, sim_rank_name(r));
     epol += config.atom_based_epol
                 ? engine.phase_epol_atom_based(ctx, born_tree,
                                                atom_segments[r],

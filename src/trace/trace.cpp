@@ -1,0 +1,296 @@
+#include "octgb/trace/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace octgb::trace {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+// Apply OCTGB_TRACE=1 before main() so benches/tests can opt in without
+// code changes. g_enabled is constant-initialized, so the order is safe.
+const bool g_env_applied = [] {
+  const char* env = std::getenv("OCTGB_TRACE");
+  if (env != nullptr && env[0] == '1') g_enabled.store(true);
+  return true;
+}();
+
+// The tracer epoch: all timestamps are relative to the first time this
+// translation unit is initialized.
+const std::chrono::steady_clock::time_point g_epoch =
+    std::chrono::steady_clock::now();
+
+// Calling thread's buffer (owned by the Tracer registry) and its
+// attribution override (active inside a VirtualThreadScope).
+thread_local Tracer* tls_owner = nullptr;
+thread_local void* tls_buffer = nullptr;  // Tracer::ThreadBuffer*
+thread_local bool tls_override_active = false;
+thread_local std::int32_t tls_override_pid = 0;
+
+}  // namespace
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - g_epoch)
+      .count();
+}
+
+}  // namespace detail
+
+// Private bridge between the detail free functions and Tracer's
+// private ThreadBuffer type.
+struct ThreadBufferAccess {
+  static Tracer::ThreadBuffer* get() {
+    Tracer& t = Tracer::instance();
+    if (detail::tls_buffer == nullptr || detail::tls_owner != &t) {
+      detail::tls_buffer = t.register_thread();
+      detail::tls_owner = &t;
+    }
+    return static_cast<Tracer::ThreadBuffer*>(detail::tls_buffer);
+  }
+};
+
+namespace detail {
+
+void record(const Event& e) {
+  Tracer::ThreadBuffer* b = ThreadBufferAccess::get();
+  const std::size_t cap = Tracer::instance().max_events_per_thread_.load(
+      std::memory_order_relaxed);
+  if (b->events.size() >= cap) {
+    ++b->dropped;
+    return;
+  }
+  b->events.push_back(e);
+}
+
+std::pair<std::int32_t, std::int32_t> current_ids() {
+  Tracer::ThreadBuffer* b = ThreadBufferAccess::get();
+  const std::int32_t pid =
+      tls_override_active ? tls_override_pid : b->pid;
+  return {pid, b->tid};
+}
+
+}  // namespace detail
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuffer* Tracer::register_thread() {
+  auto buf = std::make_unique<ThreadBuffer>();
+  buf->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  ThreadBuffer* raw = buf.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::move(buf));
+  return raw;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& b : buffers_) {
+    b->events.clear();
+    b->dropped = 0;
+  }
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& b : buffers_) n += b->events.size();
+  return n;
+}
+
+std::uint64_t Tracer::dropped_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) n += b->dropped;
+  return n;
+}
+
+void Tracer::set_max_events_per_thread(std::size_t n) {
+  max_events_per_thread_.store(n, std::memory_order_relaxed);
+}
+
+void Tracer::set_process_name(std::int32_t pid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_names_[pid] = std::move(name);
+}
+
+void Tracer::set_thread_name_locked(std::int32_t pid, std::int32_t tid,
+                                    std::string name) {
+  thread_names_[{pid, tid}] = std::move(name);
+}
+
+namespace {
+
+/// JSON string escaping for event/track names.
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Microsecond timestamp with ns precision, as chrome expects.
+std::string us(std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+  // Track-name metadata first: process (rank group) and thread names.
+  for (const auto& [pid, name] : process_names_) {
+    std::string line = "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+                       std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":";
+    append_json_string(line, name);
+    line += "}}";
+    emit(line);
+  }
+  for (const auto& [key, name] : thread_names_) {
+    std::string line = "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+                       std::to_string(key.first) +
+                       ",\"tid\":" + std::to_string(key.second) +
+                       ",\"args\":{\"name\":";
+    append_json_string(line, name);
+    line += "}}";
+    emit(line);
+  }
+  for (const auto& b : buffers_) {
+    for (const auto& e : b->events) {
+      std::string line = "{\"name\":";
+      append_json_string(line, e.name);
+      line += ",\"pid\":" + std::to_string(e.pid) +
+              ",\"tid\":" + std::to_string(e.tid) + ",\"ts\":" + us(e.ts_ns);
+      switch (e.kind) {
+        case detail::EventKind::Complete:
+          line += ",\"ph\":\"X\",\"dur\":" + us(e.dur_ns);
+          break;
+        case detail::EventKind::Counter: {
+          char v[64];
+          std::snprintf(v, sizeof(v), "%.17g", e.value);
+          line += std::string(",\"ph\":\"C\",\"args\":{\"value\":") + v + "}";
+          break;
+        }
+        case detail::EventKind::Instant:
+          line += ",\"ph\":\"i\",\"s\":\"t\"";
+          break;
+      }
+      line += "}";
+      emit(line);
+    }
+  }
+  out += "\n]}\n";
+  os << out;
+}
+
+bool Tracer::save_chrome_trace(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_chrome_trace(f);
+  return f.good();
+}
+
+void counter(const char* name, double value) {
+  if (!enabled()) return;
+  detail::Event e;
+  e.name = name;
+  e.kind = detail::EventKind::Counter;
+  e.ts_ns = detail::now_ns();
+  e.value = value;
+  const auto ids = detail::current_ids();
+  e.pid = ids.first;
+  e.tid = ids.second;
+  detail::record(e);
+}
+
+void instant(const char* name) {
+  if (!enabled()) return;
+  detail::Event e;
+  e.name = name;
+  e.kind = detail::EventKind::Instant;
+  e.ts_ns = detail::now_ns();
+  const auto ids = detail::current_ids();
+  e.pid = ids.first;
+  e.tid = ids.second;
+  detail::record(e);
+}
+
+void set_thread_identity(std::int32_t pid, std::string name) {
+  if (!enabled()) return;
+  Tracer::ThreadBuffer* b = ThreadBufferAccess::get();
+  b->pid = pid;
+  Tracer& t = Tracer::instance();
+  std::lock_guard<std::mutex> lock(t.mu_);
+  t.set_thread_name_locked(pid, b->tid, std::move(name));
+}
+
+std::int32_t current_pid() {
+  if (!enabled()) return 0;
+  if (detail::tls_override_active) return detail::tls_override_pid;
+  if (detail::tls_buffer == nullptr) return 0;
+  return ThreadBufferAccess::get()->pid;
+}
+
+VirtualThreadScope::VirtualThreadScope(std::int32_t pid, std::string name) {
+  if (!enabled()) return;
+  active_ = true;
+  saved_override_ = detail::tls_override_active;
+  saved_pid_ = detail::tls_override_pid;
+  detail::tls_override_active = true;
+  detail::tls_override_pid = pid;
+  Tracer& t = Tracer::instance();
+  Tracer::ThreadBuffer* b = ThreadBufferAccess::get();
+  std::lock_guard<std::mutex> lock(t.mu_);
+  t.process_names_[pid] = name;
+  t.set_thread_name_locked(pid, b->tid, std::move(name));
+}
+
+VirtualThreadScope::~VirtualThreadScope() {
+  if (!active_) return;
+  detail::tls_override_active = saved_override_;
+  detail::tls_override_pid = saved_pid_;
+}
+
+}  // namespace octgb::trace

@@ -1,5 +1,8 @@
 #include "octgb/ws/scheduler.hpp"
 
+#include <string>
+
+#include "octgb/trace/trace.hpp"
 #include "octgb/util/check.hpp"
 
 namespace octgb::ws {
@@ -11,6 +14,7 @@ thread_local void* tls_worker = nullptr;  // Scheduler::Worker*
 
 Scheduler::Scheduler(int workers) {
   OCTGB_CHECK_MSG(workers >= 1, "need at least one worker");
+  trace_pid_ = trace::current_pid();
   for (int i = 0; i < workers; ++i) {
     auto w = std::make_unique<Worker>();
     w->id = i;
@@ -52,6 +56,10 @@ void Scheduler::worker_loop(int id) {
   Worker& w = *all_workers_[id];
   tls_scheduler = this;
   tls_worker = &w;
+  // Label this worker's trace track under the creating rank's group (a
+  // no-op unless tracing was enabled before the scheduler was built).
+  if (trace::enabled())
+    trace::set_thread_identity(trace_pid_, "worker" + std::to_string(id));
   while (!shutdown_.load(std::memory_order_relaxed)) {
     if (!active_.load(std::memory_order_acquire)) {
       std::unique_lock<std::mutex> lock(mu_);
@@ -89,6 +97,7 @@ detail::Task* Scheduler::try_acquire(Worker& w) {
     w.steal_attempts.fetch_add(1, std::memory_order_relaxed);
     if (detail::Task* t = all_workers_[victim]->deque.steal()) {
       w.steals.fetch_add(1, std::memory_order_relaxed);
+      trace::instant("ws.steal");
       return t;
     }
   }

@@ -83,6 +83,47 @@ TEST(WorkCounters, AccumulateFieldwise) {
   EXPECT_EQ(a.steals, 1u);
 }
 
+// operator+= must cover every field. Assign a distinct value to each of
+// the kFieldCount counters, sum, and check each field doubled; the
+// static count makes this fail (alongside the static_assert in
+// counters.hpp) if a field is added without extending the list here.
+TEST(WorkCounters, SumCoversEveryField) {
+  static_assert(WorkCounters::kFieldCount == 12,
+                "new WorkCounters field: extend this test's field list");
+  WorkCounters a;
+  std::uint64_t* const fields[WorkCounters::kFieldCount] = {
+      &a.born_exact, &a.born_approx, &a.born_visits, &a.push_visits,
+      &a.push_atoms, &a.epol_exact,  &a.epol_bins,   &a.epol_visits,
+      &a.pairlist_pairs, &a.grid_cells, &a.spawns, &a.steals};
+  for (std::size_t i = 0; i < WorkCounters::kFieldCount; ++i)
+    *fields[i] = (i + 1) * 1000 + i;  // all distinct, all nonzero
+  WorkCounters b = a;
+  a += b;
+  for (std::size_t i = 0; i < WorkCounters::kFieldCount; ++i)
+    EXPECT_EQ(*fields[i], 2 * ((i + 1) * 1000 + i)) << "field index " << i;
+}
+
+TEST(WorkCounters, TotalInteractionsExcludesTraversalAndScheduler) {
+  // Interaction counters are included...
+  WorkCounters w;
+  w.born_exact = 1;
+  w.born_approx = 2;
+  w.epol_exact = 3;
+  w.epol_bins = 4;
+  w.pairlist_pairs = 5;
+  w.grid_cells = 6;
+  EXPECT_EQ(w.total_interactions(), 21u);
+  // ...and the six traversal/bookkeeping counters are deliberately not
+  // (see the doc comment on total_interactions()).
+  w.born_visits = 1000;
+  w.push_visits = 1000;
+  w.push_atoms = 1000;
+  w.epol_visits = 1000;
+  w.spawns = 1000;
+  w.steals = 1000;
+  EXPECT_EQ(w.total_interactions(), 21u);
+}
+
 TEST(WorkCounters, TotalInteractionsSumsKernelWork) {
   WorkCounters w;
   w.born_exact = 1;

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's handbook documents.
+
+Verifies that every relative link and image target in the given markdown
+files exists on disk (anchors are stripped; http/https/mailto links are
+skipped — CI must not depend on the network). Exits nonzero and lists
+every broken link.
+
+Usage: tools/check_md_links.py README.md DESIGN.md ...
+"""
+
+import os
+import re
+import sys
+
+# Inline links/images: [text](target) — ignores code spans line-wise.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def check_file(md_path):
+    broken = []
+    base = os.path.dirname(os.path.abspath(md_path))
+    in_code_block = False
+    with open(md_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if line.lstrip().startswith("```"):
+                in_code_block = not in_code_block
+                continue
+            if in_code_block:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = os.path.normpath(os.path.join(base, path))
+                if not os.path.exists(resolved):
+                    broken.append((md_path, lineno, target))
+    return broken
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    all_broken = []
+    checked = 0
+    for md in argv[1:]:
+        if not os.path.exists(md):
+            all_broken.append((md, 0, "<file itself missing>"))
+            continue
+        checked += 1
+        all_broken.extend(check_file(md))
+    if all_broken:
+        for md, lineno, target in all_broken:
+            print(f"BROKEN {md}:{lineno}: {target}")
+        print(f"{len(all_broken)} broken link(s) in {checked} file(s)")
+        return 1
+    print(f"OK: all relative links resolve in {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
