@@ -1,0 +1,204 @@
+// Session amortization bench: scoring a stream of rigid ligand poses
+// against a mid-size ZDock receptor, three ways.
+//
+//   cold        — the pre-session workflow: every pose builds the complex
+//                 molecule, resamples the surface, constructs a fresh
+//                 GBEngine and runs compute(). Nothing is reused.
+//   warm-full   — ScoringSession + PoseMode::Full: trees built once, per
+//                 pose a rigid refit (or monitored rebuild) and a full
+//                 Born + Epol evaluation against the reused EvalScratch.
+//   warm-screen — ScoringSession + PoseMode::CrossScreen: frozen-monomer
+//                 Born radii and bin tables, one cross-tree Epol traversal
+//                 per pose (the rigid-docking rescoring approximation).
+//
+// Prints poses/sec and speedup vs cold plus each warm mode's worst-case
+// complex-energy deviation from the cold reference, and asserts the
+// EvalScratch zero-allocation contract (no buffer growth after the first
+// warm pose). `--smoke` shrinks the workload for CI and is expected to be
+// paired with `--metrics-out` for the amortized-vs-cold artifact.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace octgb;
+
+namespace {
+
+mol::Molecule place_ligand(const mol::Molecule& receptor,
+                           mol::Molecule ligand) {
+  const geom::Vec3 center = receptor.centroid();
+  double rec_radius = 0.0;
+  for (const auto& a : receptor.atoms())
+    rec_radius = std::max(rec_radius, geom::dist(a.pos, center) + a.radius);
+  const geom::Vec3 lig_center = ligand.centroid();
+  double lig_radius = 0.0;
+  for (const auto& a : ligand.atoms())
+    lig_radius = std::max(lig_radius, geom::dist(a.pos, lig_center) + a.radius);
+  ligand.transform(geom::RigidTransform::translate(
+      center + geom::Vec3{rec_radius + 0.6 * lig_radius, 0, 0} - lig_center));
+  return ligand;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string molecule_name = "1PPE_r_b";  // mid-size ZDock receptor
+  int ligand_atoms = 300;
+  int poses = 16;
+  int cold_poses = 4;  // cold rows are slow; measure a few and average
+  bool smoke = false;
+  util::Args args;
+  args.add("molecule", &molecule_name, "ZDock receptor entry");
+  args.add("ligand-atoms", &ligand_atoms, "synthetic ligand size");
+  args.add("poses", &poses, "poses per warm mode");
+  args.add("cold-poses", &cold_poses, "poses measured for the cold baseline");
+  args.flag("smoke", &smoke, "CI-size workload");
+  bench::TraceSession ts;
+  ts.register_args(args);
+  args.parse(argc, argv);
+  ts.begin();
+
+  if (smoke) {
+    poses = std::min(poses, 6);
+    cold_poses = std::min(cold_poses, 2);
+  }
+
+  const mol::Molecule receptor = mol::make_benchmark_molecule(
+      molecule_name, smoke ? 900 : mol::find_benchmark(molecule_name)->atoms);
+  const mol::Molecule ligand = place_ligand(
+      receptor, mol::generate_protein(
+                    {.target_atoms = static_cast<std::size_t>(ligand_atoms),
+                     .seed = 17}));
+
+  mol::Molecule complex_mol(receptor.name() + "+ligand");
+  for (const auto& a : receptor.atoms()) complex_mol.add_atom(a);
+  const std::size_t ligand_begin = complex_mol.size();
+  for (const auto& a : ligand.atoms()) complex_mol.add_atom(a);
+
+  const surface::SurfaceParams sp{.subdivision = 1};
+  const auto surf = surface::build_surface(complex_mol, sp);
+  std::printf("complex: %zu atoms (%zu receptor + %zu ligand), %zu q-points, "
+              "%d poses\n\n",
+              complex_mol.size(), ligand_begin, ligand.size(), surf.size(),
+              poses);
+
+  // The pose stream: small rigid wiggles of the ligand around its contact
+  // placement (rotation about the receptor axis + radial breathing).
+  std::vector<geom::RigidTransform> pose_list;
+  const geom::Vec3 lig_center = ligand.centroid();
+  for (int p = 0; p < poses; ++p) {
+    const double angle = 0.05 * p;
+    const double breathe = 0.4 * (p % 5);
+    const geom::RigidTransform about_center =
+        geom::RigidTransform::translate(lig_center) *
+        geom::RigidTransform::rotate(geom::Mat3::axis_angle({0, 0, 1}, angle)) *
+        geom::RigidTransform::translate(-lig_center);
+    pose_list.push_back(
+        geom::RigidTransform::translate({breathe, 0, 0}) * about_center);
+  }
+
+  // --- cold baseline: fresh everything per pose ----------------------------
+  std::vector<double> cold_epol(pose_list.size(), 0.0);
+  perf::Timer cold_timer;
+  for (int p = 0; p < cold_poses; ++p) {
+    mol::Molecule posed = complex_mol;
+    for (std::size_t i = ligand_begin; i < posed.size(); ++i)
+      posed.atoms()[i].pos = pose_list[p].apply(posed.atom(i).pos);
+    const auto posed_surf = surface::build_surface(posed, sp);
+    core::GBEngine engine(posed, posed_surf);
+    cold_epol[p] = engine.compute().epol;
+  }
+  const double cold_per_pose = cold_timer.seconds() / cold_poses;
+
+  // Reference energies for every pose the cold loop skipped (accuracy
+  // columns only, not timed).
+  for (std::size_t p = cold_poses; p < pose_list.size(); ++p) {
+    mol::Molecule posed = complex_mol;
+    for (std::size_t i = ligand_begin; i < posed.size(); ++i)
+      posed.atoms()[i].pos = pose_list[p].apply(posed.atom(i).pos);
+    const auto posed_surf = surface::build_surface(posed, sp);
+    core::GBEngine engine(posed, posed_surf);
+    cold_epol[p] = engine.compute().epol;
+  }
+
+  // --- warm modes through one session --------------------------------------
+  core::ScoringSession session(complex_mol, surf, {}, sp);
+  session.evaluate();  // prime trees, scratch, and monomer caches
+
+  const auto full_scores =
+      session.score_poses(pose_list, ligand_begin, core::PoseMode::Full);
+
+  // Zero-allocation contract: the pose stream must not grow the scratch.
+  const std::size_t events_before = session.scratch().allocation_events;
+  session.reset_to_base();
+  perf::Timer screen_timer;
+  const auto screen_scores =
+      session.score_poses(pose_list, ligand_begin, core::PoseMode::CrossScreen);
+  const double screen_per_pose = screen_timer.seconds() / pose_list.size();
+  perf::Timer full2_timer;
+  const auto full2 =
+      session.score_poses(pose_list, ligand_begin, core::PoseMode::Full);
+  const double full2_per_pose = full2_timer.seconds() / pose_list.size();
+  OCTGB_CHECK_MSG(session.scratch().allocation_events == events_before,
+                  "EvalScratch grew during the warm pose stream");
+  OCTGB_CHECK_MSG(full2.size() == pose_list.size() &&
+                      full2[0].epol == full_scores[0].epol,
+                  "warm Full re-run diverged");
+
+  auto worst_err = [&](const std::vector<core::PoseScore>& scores) {
+    double worst = 0.0;
+    for (std::size_t p = 0; p < scores.size(); ++p)
+      worst = std::max(worst, std::abs(scores[p].epol - cold_epol[p]) /
+                                  std::abs(cold_epol[p]));
+    return 100.0 * worst;
+  };
+  const double err_full = worst_err(full_scores);
+  const double err_screen = worst_err(screen_scores);
+
+  util::Table t("pose-stream scoring: amortized session vs cold rebuild");
+  t.header({"mode", "per pose", "poses/s", "vs cold", "max |dE| %"});
+  auto row = [&](const char* mode, double per_pose, double err) {
+    t.row({mode, bench::fmt_time(per_pose),
+           util::format("%.2f", 1.0 / per_pose),
+           util::format("%.1fx", cold_per_pose / per_pose),
+           util::format("%.3f", err)});
+  };
+  row("cold (rebuild everything)", cold_per_pose, 0.0);
+  row("warm-full (refit + full eval)", full2_per_pose, err_full);
+  row("warm-screen (frozen monomers)", screen_per_pose, err_screen);
+  t.print();
+  bench::save_csv(t, "bench_session");
+
+  const double screen_speedup = cold_per_pose / screen_per_pose;
+  std::printf("\nwarm-screen speedup vs cold: %.1fx (target >= 5x); "
+              "refits %zu, rebuilds %zu, scratch allocation events %zu\n",
+              screen_speedup, session.move_stats().refits,
+              session.move_stats().rebuilds,
+              session.scratch().allocation_events);
+  OCTGB_CHECK_MSG(screen_speedup >= 5.0,
+                  "amortized pose scoring fell below the 5x acceptance");
+
+  if (ts.active()) {
+    auto& m = ts.metrics();
+    m.set("session.poses", static_cast<std::uint64_t>(pose_list.size()));
+    m.set("session.cold.seconds_per_pose", cold_per_pose);
+    m.set("session.warm_full.seconds_per_pose", full2_per_pose);
+    m.set("session.warm_screen.seconds_per_pose", screen_per_pose);
+    m.set("session.warm_full.speedup_vs_cold", cold_per_pose / full2_per_pose);
+    m.set("session.warm_screen.speedup_vs_cold", screen_speedup);
+    m.set("session.warm_full.max_err_pct", err_full);
+    m.set("session.warm_screen.max_err_pct", err_screen);
+    m.set("session.refits",
+          static_cast<std::uint64_t>(session.move_stats().refits));
+    m.set("session.rebuilds",
+          static_cast<std::uint64_t>(session.move_stats().rebuilds));
+    m.set("session.scratch.allocation_events",
+          static_cast<std::uint64_t>(session.scratch().allocation_events));
+    m.set("session.scratch.footprint_bytes",
+          static_cast<std::uint64_t>(session.scratch().footprint_bytes()));
+  }
+  ts.finish();
+  return 0;
+}

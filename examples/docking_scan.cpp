@@ -1,10 +1,13 @@
 // Docking scan: the use case the paper's introduction motivates — scoring
 // a ligand at many poses around a receptor.
 //
-// The octrees are built once; each pose applies a rigid transform to the
-// ligand (the paper: "we can move the same octree to different positions
-// or rotate it ... and then recompute the energy values") and re-evaluates
-// the polarization energy of the complex. The pose with the most negative
+// One ScoringSession holds the complex; each pose is a rigid transform of
+// the ligand *relative to its base placement* (the paper: "we can move the
+// same octree to different positions or rotate it ... and then recompute
+// the energy values"). PoseMode::CrossScreen freezes each body's Born
+// radii at its isolated base evaluation, so a pose costs one rigid octree
+// refit plus a cross-tree Epol traversal; the best pose is then re-scored
+// in PoseMode::Full as a check. The pose with the most negative
 // ΔEpol = Epol(complex) − Epol(receptor) − Epol(ligand) wins.
 
 #include <cstdio>
@@ -12,16 +15,6 @@
 #include "octgb/octgb.hpp"
 
 using namespace octgb;
-
-namespace {
-
-double epol_of(const mol::Molecule& m) {
-  const auto surf = surface::build_surface(m);
-  core::GBEngine engine(m, surf);
-  return engine.compute().epol;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   int receptor_atoms = 2000;
@@ -35,66 +28,87 @@ int main(int argc, char** argv) {
 
   const mol::Molecule receptor = mol::generate_protein(
       {.target_atoms = static_cast<std::size_t>(receptor_atoms), .seed = 7});
-  const mol::Molecule ligand = mol::generate_protein(
+  mol::Molecule ligand = mol::generate_protein(
       {.target_atoms = static_cast<std::size_t>(ligand_atoms), .seed = 8});
 
-  const double e_receptor = epol_of(receptor);
-  const double e_ligand = epol_of(ligand);
-  std::printf("receptor: %zu atoms, Epol %.1f kcal/mol\n", receptor.size(),
-              e_receptor);
-  std::printf("ligand:   %zu atoms, Epol %.1f kcal/mol\n\n", ligand.size(),
-              e_ligand);
-
-  // Place the ligand at `poses` points around the receptor surface and
-  // score each pose.
+  // Contact geometry: poses live on a sphere around the receptor.
   const geom::Vec3 center = receptor.centroid();
   double receptor_radius = 0.0;
   for (const auto& a : receptor.atoms())
     receptor_radius =
         std::max(receptor_radius, geom::dist(a.pos, center) + a.radius);
   double ligand_radius = 0.0;
-  const geom::Vec3 lig_center = ligand.centroid();
+  geom::Vec3 lig_center = ligand.centroid();
   for (const auto& a : ligand.atoms())
     ligand_radius =
         std::max(ligand_radius, geom::dist(a.pos, lig_center) + a.radius);
   const double contact = receptor_radius + 0.65 * ligand_radius;
 
-  util::Table t("docking scan (rigid poses on a sphere around the receptor)");
-  t.header({"pose", "yaw", "pitch", "Epol(complex)", "dEpol"});
+  // Base placement: ligand at the +x contact point. All pose transforms
+  // are relative to these coordinates.
+  ligand.transform(geom::RigidTransform::translate(
+      center + geom::Vec3{contact, 0, 0} - lig_center));
+  lig_center = ligand.centroid();
 
-  double best = 1e300;
-  int best_pose = -1;
+  mol::Molecule complex_mol(receptor.name() + "+" + ligand.name());
+  for (const auto& a : receptor.atoms()) complex_mol.add_atom(a);
+  const std::size_t ligand_begin = complex_mol.size();
+  for (const auto& a : ligand.atoms()) complex_mol.add_atom(a);
+
+  core::ScoringSession session(complex_mol,
+                               surface::build_surface(complex_mol));
+  std::printf("receptor: %zu atoms, ligand: %zu atoms, %d poses\n\n",
+              receptor.size(), ligand.size(), poses);
+
+  // Pose p: rotate the ligand about its own center, then carry it from the
+  // +x contact point to the (yaw, pitch) point on the contact sphere.
+  std::vector<geom::RigidTransform> pose_list;
+  std::vector<double> yaws, pitches;
   util::Xoshiro256 rng(123);
   for (int pose = 0; pose < poses; ++pose) {
     const double yaw = 2.0 * 3.14159265 * pose / poses;
     const double pitch = rng.uniform(-0.6, 0.6);
     const geom::Vec3 dir{std::cos(yaw) * std::cos(pitch),
                          std::sin(yaw) * std::cos(pitch), std::sin(pitch)};
-
-    // Rigid transform: rotate the ligand, then translate it to the pose.
-    mol::Molecule posed = ligand;
-    geom::RigidTransform xform =
+    const geom::RigidTransform spin =
+        geom::RigidTransform::translate(lig_center) *
+        geom::RigidTransform::rotate(geom::Mat3::axis_angle({0, 0, 1}, yaw)) *
+        geom::RigidTransform::translate(-lig_center);
+    pose_list.push_back(
         geom::RigidTransform::translate(center + dir * contact - lig_center) *
-        geom::RigidTransform::rotate(
-            geom::Mat3::axis_angle({0, 0, 1}, yaw));
-    posed.transform(xform);
+        spin);
+    yaws.push_back(yaw);
+    pitches.push_back(pitch);
+  }
 
-    // Score the complex.
-    mol::Molecule complex_mol(receptor.name() + "+" + ligand.name());
-    for (const auto& a : receptor.atoms()) complex_mol.add_atom(a);
-    for (const auto& a : posed.atoms()) complex_mol.add_atom(a);
-    const double e_complex = epol_of(complex_mol);
-    const double delta = e_complex - e_receptor - e_ligand;
-    if (delta < best) {
-      best = delta;
-      best_pose = pose;
+  const auto scores = session.score_poses(pose_list, ligand_begin,
+                                          core::PoseMode::CrossScreen);
+
+  util::Table t("docking scan (rigid poses on a sphere around the receptor)");
+  t.header({"pose", "yaw", "pitch", "Epol(complex)", "dEpol", "ms"});
+  double best = 1e300;
+  std::size_t best_pose = 0;
+  for (const auto& s : scores) {
+    if (s.delta < best) {
+      best = s.delta;
+      best_pose = s.pose;
     }
-    t.row({util::format("%d", pose), util::format("%.2f", yaw),
-           util::format("%.2f", pitch), util::format("%.1f", e_complex),
-           util::format("%+.1f", delta)});
+    t.row({util::format("%zu", s.pose), util::format("%.2f", yaws[s.pose]),
+           util::format("%.2f", pitches[s.pose]),
+           util::format("%.1f", s.epol), util::format("%+.1f", s.delta),
+           util::format("%.2f", 1e3 * s.wall_seconds)});
   }
   t.print();
-  std::printf("\nbest pose: #%d with dEpol = %+.1f kcal/mol\n", best_pose,
-              best);
+
+  // Re-score the winner with the full pipeline (rigid surface, refit
+  // trees, complete Born + Epol) to confirm the screening ranking.
+  const geom::RigidTransform winner = pose_list[best_pose];
+  const auto full =
+      session.score_poses({&winner, 1}, ligand_begin, core::PoseMode::Full);
+  std::printf("\nbest pose: #%zu with dEpol = %+.1f kcal/mol "
+              "(full re-score: Epol %.1f kcal/mol)\n",
+              best_pose, best, full[0].epol);
+  std::printf("tree maintenance: %zu refits, %zu rebuilds\n",
+              session.move_stats().refits, session.move_stats().rebuilds);
   return 0;
 }

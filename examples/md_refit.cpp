@@ -1,7 +1,9 @@
 // Flexible-molecule workflow (the paper's ref [8] use case): run a toy
-// Brownian trajectory and re-evaluate the GB energy every step, keeping
-// the atoms octree alive via O(n) refits instead of rebuilding — with the
-// quality monitor triggering a rebuild when the structure drifts too far.
+// Brownian trajectory and re-evaluate the GB energy every step through one
+// ScoringSession. The session keeps the atoms and quadrature octrees alive
+// via O(n) refits — the RefitMonitor quality policy triggers a rebuild
+// when the structure drifts too far — and reuses its EvalScratch, so the
+// steady-state loop performs no heap allocation.
 
 #include <cstdio>
 
@@ -24,15 +26,18 @@ int main(int argc, char** argv) {
   std::printf("molecule: %zu atoms, %d steps, sigma %.2f A\n\n",
               molecule.size(), steps, step_sigma);
 
-  // The quadrature octree is rebuilt with the surface each step (the
-  // surface itself changes as atoms move); the atoms octree is refitted.
+  // Trees are built once here; every step below refits them in place.
+  // The surface is re-sampled each step (exposure changes as atoms move),
+  // and the session refits its quadrature tree to the new points as long
+  // as the sample count is stable.
+  core::ScoringSession session(molecule, surface::build_surface(molecule));
+
   std::vector<geom::Vec3> positions(molecule.size());
   for (std::size_t i = 0; i < molecule.size(); ++i)
     positions[i] = molecule.atom(i).pos;
-  octree::DynamicOctree dyn(positions);
 
-  util::Table t("trajectory (octree refit per step)");
-  t.header({"step", "Epol", "leaf inflation", "action"});
+  util::Table t("trajectory (session refit per step)");
+  t.header({"step", "Epol", "scratch bytes", "action"});
 
   util::Xoshiro256 rng(99);
   for (int step = 0; step < steps; ++step) {
@@ -42,22 +47,24 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < molecule.size(); ++i)
       molecule.atoms()[i].pos = positions[i];
 
-    const bool rebuilt = dyn.update(positions);
-
-    // Energy on the refitted tree: reuse its topology by constructing the
-    // engine's trees from the current coordinates (the surface must be
-    // re-sampled either way since exposure changes).
-    const auto surf = surface::build_surface(molecule);
-    core::GBEngine engine(molecule, surf);
-    const auto r = engine.compute();
+    const core::MoveStats before = session.move_stats();
+    session.update(positions, surface::build_surface(molecule));
+    const auto r = session.evaluate();
+    const core::MoveStats after = session.move_stats();
 
     t.row({util::format("%d", step), util::format("%.1f", r.epol),
-           util::format("%.3f", dyn.worst_leaf_inflation()),
-           rebuilt ? "REBUILD" : "refit"});
+           util::format("%zu", session.scratch().footprint_bytes()),
+           util::format("%zu refit, %zu rebuild",
+                        after.refits - before.refits,
+                        after.rebuilds - before.rebuilds)});
   }
   t.print();
-  std::printf("\nrefits: %zu, rebuilds: %zu — refits are O(n), rebuilds "
-              "O(n log n); nblist-based codes pay the rebuild every step.\n",
-              dyn.refits(), dyn.rebuilds());
+  std::printf("\nrefits: %zu, rebuilds: %zu — the atoms tree rides O(n) "
+              "refits for thermal-scale motion; the quadrature tree rebuilds "
+              "only when re-sampling changes the surface point count.\n"
+              "scratch allocation events: %zu (steady state allocates "
+              "nothing)\n",
+              session.move_stats().refits, session.move_stats().rebuilds,
+              session.scratch().allocation_events);
   return 0;
 }

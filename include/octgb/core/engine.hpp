@@ -32,6 +32,13 @@ struct TraceOptions {
 /// tests) — it changes results only by floating-point reassociation.
 /// `trace.enabled` opts the compute paths into span recording; tracing
 /// never changes results or operation counts.
+///
+/// Mutability contract: the tree-build knobs (`atoms_tree_params`,
+/// `qpoints_tree_params`) are consumed at construction and *must not*
+/// change afterwards — mutating them on a live engine would silently
+/// desynchronize the config from the trees it describes. GBEngine
+/// therefore exposes only the evaluation-time knobs (`approx`, `gb`,
+/// `trace`) for post-construction mutation; the full config is read-only.
 struct EngineConfig {
   ApproxParams approx;
   GBParams gb;
@@ -48,14 +55,81 @@ struct EnergyResult {
   double wall_seconds = 0.0;       ///< actual wall time of compute()
 };
 
+/// Stage-2 artifact of the evaluation pipeline: all working memory one
+/// evaluation needs — phase-A accumulators, the tree-order Born plane,
+/// the input-order remap target, and the Epol bin tables. Buffers are
+/// *zeroed, not reallocated* between computes: after the first warm
+/// compute on a given engine shape, repeated evaluations perform no heap
+/// allocation (ISSUE acceptance — `allocation_events` is the witness).
+/// One scratch serves any number of engines/evaluations sequentially; it
+/// is not thread-safe across concurrent computes.
+struct EvalScratch {
+  std::vector<double> node_s;      ///< per-T_A-node integrals (phase A)
+  std::vector<double> atom_s;      ///< per-atom near-field integrals
+  std::vector<double> born_tree;   ///< Born radii, tree order (phase B)
+  std::vector<double> born_input;  ///< Born radii, input order (remap)
+  EpolContext epol_ctx;            ///< charge-by-bin tables (energy phase)
+  /// Count of prepare()/context-rebuild steps that had to grow a buffer's
+  /// capacity. Steady-state warm computes leave it unchanged; tests and
+  /// bench_session assert on exactly that.
+  std::size_t allocation_events = 0;
+
+  /// Size-and-zero every phase buffer for an engine with the given tree
+  /// shape, reusing capacity; bumps allocation_events when any vector had
+  /// to grow.
+  void prepare(std::size_t n_nodes, std::size_t n_atoms);
+
+  std::size_t footprint_bytes() const;
+};
+
+/// Result of one evaluation through an EvalScratch. `born` is a view of
+/// the scratch's input-order plane — valid until the scratch's next
+/// prepare()/compute; copy it if you need it longer.
+struct EvalResult {
+  double epol = 0.0;               ///< kcal/mol
+  std::span<const double> born;    ///< Born radii, input order (view)
+  perf::WorkCounters work;         ///< measured operation counts
+  double wall_seconds = 0.0;       ///< actual wall time of this compute
+};
+
 /// Octree-based GB energy engine for one molecule + sampled surface.
 class GBEngine {
  public:
   GBEngine(const mol::Molecule& mol, const surface::Surface& surf,
            EngineConfig config = {});
 
+  /// Adopt already-built stage-1 trees (Preprocessed::build or
+  /// core/persist.hpp). `config`'s tree-build knobs are kept only for
+  /// later rebuild_atoms()/rebuild_qpoints() calls; they are *not*
+  /// re-applied to the adopted trees.
+  GBEngine(Preprocessed pre, EngineConfig config = {});
+
   const EngineConfig& config() const { return config_; }
-  EngineConfig& config() { return config_; }
+  // Post-construction mutation is restricted to the evaluation-time knobs;
+  // the tree-build parameters are fixed once the trees exist (see the
+  // EngineConfig mutability contract).
+  ApproxParams& approx() { return config_.approx; }
+  GBParams& gb() { return config_.gb; }
+  TraceOptions& trace() { return config_.trace; }
+
+  /// Refit T_A in place to moved atom coordinates (input order, same
+  /// count): topology is preserved, centroids/radii and the SoA planes
+  /// are refreshed. Pair with octree::RefitMonitor to decide when drift
+  /// warrants a rebuild instead.
+  void refit_atoms(std::span<const geom::Vec3> positions) {
+    ta_.refit(positions);
+  }
+  /// Refit T_Q in place to a moved surface (same point count and order).
+  void refit_qpoints(const surface::Surface& surf) { tq_.refit(surf); }
+  /// Rebuild T_A from scratch (topology change) with the construction-time
+  /// build parameters.
+  void rebuild_atoms(const mol::Molecule& mol) {
+    ta_ = AtomsTree::build(mol, config_.atoms_tree_params);
+  }
+  /// Rebuild T_Q from scratch with the construction-time build parameters.
+  void rebuild_qpoints(const surface::Surface& surf) {
+    tq_ = QPointsTree::build(surf, config_.qpoints_tree_params);
+  }
 
   const AtomsTree& atoms_tree() const { return ta_; }
   const QPointsTree& qpoints_tree() const { return tq_; }
@@ -79,12 +153,24 @@ class GBEngine {
 
   /// Full computation in this process. When `sched` is non-null, the
   /// phases run under it (the OCT_CILK configuration); otherwise serial.
+  /// Thin compatibility wrapper over compute(EvalScratch&): allocates a
+  /// cold scratch per call, numerically identical to the warm path.
   EnergyResult compute(ws::Scheduler* sched = nullptr) const;
+
+  /// Stage-3 evaluation against caller-owned working memory: all phase
+  /// buffers and the Epol context come from (and are left in) `scratch`,
+  /// so back-to-back computes on the same tree shape allocate nothing.
+  /// This is the hot path of ScoringSession.
+  EvalResult compute(EvalScratch& scratch, ws::Scheduler* sched = nullptr) const;
 
   /// Full computation using the legacy dual-tree Born traversal of
   /// Chowdhury & Bajaj [6] (see dual_traversal.hpp) instead of the
   /// paper's one-tree APPROX-INTEGRALS; the Epol phase is shared.
   EnergyResult compute_dual(ws::Scheduler* sched = nullptr) const;
+
+  /// Dual-tree Born variant of compute(EvalScratch&).
+  EvalResult compute_dual(EvalScratch& scratch,
+                          ws::Scheduler* sched = nullptr) const;
 
   /// Energy only, with externally supplied Born radii (input order) — the
   /// octree Epol kernel runs unchanged on HCT/OBC/Still radii, mirroring
@@ -121,9 +207,15 @@ class GBEngine {
                                Segment atom_segment,
                                perf::WorkCounters& counters) const;
 
-  /// Remap a tree-order Born array to input order.
+  /// Remap a tree-order Born array to input order (allocating convenience
+  /// overload).
   std::vector<double> born_to_input_order(
       std::span<const double> born_tree) const;
+
+  /// Non-allocating remap into caller-owned storage (`out.size()` must
+  /// equal `born_tree.size()`); the overload the EvalScratch path uses.
+  void born_to_input_order(std::span<const double> born_tree,
+                           std::span<double> out) const;
 
  private:
   EngineConfig config_;

@@ -43,6 +43,13 @@ struct EpolContext {
   /// Build from Born radii in tree order.
   static EpolContext build(const AtomsTree& ta,
                            std::span<const double> born_tree, double eps_epol);
+
+  /// In-place rebuild reusing this context's allocated storage (the warm
+  /// path of GBEngine::compute(EvalScratch&)). Returns true when any
+  /// buffer's capacity had to grow — i.e. an allocation happened; repeated
+  /// rebuilds for the same tree shape return false.
+  bool rebuild(const AtomsTree& ta, std::span<const double> born_tree,
+               double eps_epol);
 };
 
 /// Node-based division: energy from the interaction of every atom under
@@ -66,5 +73,25 @@ double approx_epol_atom_based(const AtomsTree& ta, const EpolContext& ctx,
                               const GBParams& gb,
                               perf::WorkCounters& counters,
                               KernelKind kernel = KernelKind::Batched);
+
+/// Cross-tree energy between two *disjoint* atom sets, each with its own
+/// octree, Born radii, and bin table: every leaf of `tb` (the "V" side —
+/// typically the small, moving body) interacts with the whole of `ta`,
+/// with the same near/far admissibility and Born-radius binning as
+/// approx_epol. Returns −τ Σ_{i∈A, j∈B} q_i q_j / f_GB — the factor 2
+/// relative to approx_epol's −τ/2 accounts for Eq. 2's ordered-pair
+/// convention counting every unordered A–B pair twice; there is no
+/// diagonal because the sets are disjoint.
+///
+/// This is the per-pose kernel of ScoringSession's CrossScreen mode: both
+/// bin tables depend only on topology + radii (not positions), so they
+/// survive rigid refits of either tree unchanged.
+double approx_epol_cross(const AtomsTree& ta, const EpolContext& ctx_a,
+                         std::span<const double> born_a, const AtomsTree& tb,
+                         const EpolContext& ctx_b,
+                         std::span<const double> born_b, double eps_epol,
+                         bool approx_math, const GBParams& gb,
+                         perf::WorkCounters& counters,
+                         KernelKind kernel = KernelKind::Batched);
 
 }  // namespace octgb::core

@@ -34,6 +34,18 @@ struct AtomsTree {
   static AtomsTree build(const mol::Molecule& mol,
                          const octree::BuildParams& params = {});
 
+  /// Refit in place to moved coordinates (input order, same length as the
+  /// original build): recompute node centroids/radii bottom-up *and*
+  /// refresh the SoA coordinate planes, preserving topology so leaf
+  /// batches stay contiguous. Charges/radii are untouched (the permutation
+  /// does not change). See octree::RefitMonitor for the rebuild policy.
+  void refit(std::span<const geom::Vec3> positions);
+
+  /// Recompute the derived SoA planes from the tree's (possibly refitted
+  /// or deserialized) point array. build()/refit() call this; persist.hpp
+  /// calls it after loading the authoritative payloads.
+  void rebuild_derived();
+
   std::size_t num_atoms() const { return charge.size(); }
   std::size_t footprint_bytes() const;
 
@@ -73,6 +85,17 @@ struct QPointsTree {
   static QPointsTree build(const surface::Surface& surf,
                            const octree::BuildParams& params = {});
 
+  /// Refit in place to a moved surface with the same point count and input
+  /// order (e.g. rigidly transformed quadrature points): recompute node
+  /// centroids/radii, refresh the weighted-normal payloads from `surf`,
+  /// and rebuild the SoA planes and per-node aggregates — topology and
+  /// leaf contiguity preserved.
+  void refit(const surface::Surface& surf);
+
+  /// Recompute node_wnormal and all SoA planes from the tree points and
+  /// the wnormal payload (after refit or deserialization).
+  void rebuild_derived();
+
   std::size_t num_points() const { return weight.size(); }
   std::size_t footprint_bytes() const;
 
@@ -85,6 +108,32 @@ struct QPointsTree {
         std::span<const double>(soa_wnx).subspan(n.begin, n.size()),
         std::span<const double>(soa_wny).subspan(n.begin, n.size()),
         std::span<const double>(soa_wnz).subspan(n.begin, n.size())};
+  }
+
+ private:
+  /// Fill wnormal/weight from `surf` through the tree's permutation
+  /// (shared by build and refit; sizes must already match).
+  void assign_surface(const surface::Surface& surf);
+};
+
+/// Stage-1 artifact of the evaluation pipeline: both octrees (with their
+/// SoA planes) for one molecule + sampled surface. Immutable as far as the
+/// evaluation stage is concerned — evaluations never write into it, so one
+/// Preprocessed can back any number of evaluations at any approximation
+/// parameters ("once an octree is built, it can be used for any
+/// approximation parameter"), be refitted for moved coordinates, or be
+/// persisted and reloaded across processes (core/persist.hpp).
+struct Preprocessed {
+  AtomsTree atoms;
+  QPointsTree qpoints;
+
+  static Preprocessed build(
+      const mol::Molecule& mol, const surface::Surface& surf,
+      const octree::BuildParams& atoms_params = {.max_leaf_size = 32},
+      const octree::BuildParams& qpoints_params = {.max_leaf_size = 64});
+
+  std::size_t footprint_bytes() const {
+    return atoms.footprint_bytes() + qpoints.footprint_bytes();
   }
 };
 

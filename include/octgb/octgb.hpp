@@ -26,6 +26,8 @@
 #include "octgb/core/gb_params.hpp"
 #include "octgb/core/hybrid.hpp"
 #include "octgb/core/naive.hpp"
+#include "octgb/core/persist.hpp"
+#include "octgb/core/session.hpp"
 #include "octgb/core/trees.hpp"
 #include "octgb/core/workdiv.hpp"
 #include "octgb/geom/aabb.hpp"

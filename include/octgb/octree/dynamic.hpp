@@ -15,10 +15,57 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "octgb/octree/octree.hpp"
 
 namespace octgb::octree {
+
+/// The refit-vs-rebuild quality policy, factored out of DynamicOctree so
+/// engines that own their trees directly (core::ScoringSession refits the
+/// engine's AtomsTree/QPointsTree in place) share the same monitor instead
+/// of wrapping every tree in a DynamicOctree.
+///
+/// The monitor snapshots each leaf's enclosing radius at (re)build time
+/// ("rebase"). After refits, a leaf whose radius has inflated past
+/// rebuild_radius_factor × max(radius_at_rebase, rebuild_radius_slack)
+/// signals that the topology has degraded enough to warrant a rebuild.
+/// Refit tolerance contract: as long as should_rebuild() is honoured, the
+/// far-field admissibility tests stay sound (they only consult the
+/// refreshed centroids/radii), so energies evaluated on a refitted tree
+/// match a from-scratch rebuild on the same coordinates within the
+/// engine's approximation tolerance — ≤ 1 % relative Epol error at the
+/// default ε, the bound the extension tests assert.
+class RefitMonitor {
+ public:
+  struct Policy {
+    /// Rebuild when any leaf's radius exceeds
+    /// rebuild_radius_factor × max(its radius at rebase time, slack).
+    double rebuild_radius_factor = 1.5;
+    double rebuild_radius_slack = 1.0;  ///< Å
+  };
+
+  RefitMonitor() = default;
+  /// Snapshot `tree`'s current radii as the rebase state.
+  explicit RefitMonitor(const Octree& tree);
+  RefitMonitor(const Octree& tree, Policy policy);
+
+  /// Re-snapshot after a rebuild (or any topology change).
+  void rebase(const Octree& tree);
+
+  /// Worst current leaf inflation: max over leaves of
+  /// radius_now / max(radius_at_rebase, slack). ≤ 1 right after rebase.
+  double worst_leaf_inflation(const Octree& tree) const;
+
+  /// True when any leaf's inflation exceeds the rebuild threshold.
+  bool should_rebuild(const Octree& tree) const;
+
+  const Policy& policy() const { return policy_; }
+
+ private:
+  Policy policy_;
+  std::vector<double> base_radius_;  ///< per-node radius at rebase time
+};
 
 /// Octree with cheap refits and quality-triggered rebuilds.
 class DynamicOctree {
@@ -58,7 +105,7 @@ class DynamicOctree {
 
   Params params_;
   Octree tree_;
-  std::vector<double> build_radius_;  ///< per-node radius at build time
+  RefitMonitor monitor_;
   std::size_t refits_ = 0;
   std::size_t rebuilds_ = 0;
 };

@@ -10,8 +10,12 @@
 /// permutation — all little-endian PODs, validated on load.
 
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "octgb/geom/vec3.hpp"
 #include "octgb/octree/octree.hpp"
 
 namespace octgb::octree {
@@ -27,5 +31,30 @@ Octree read_octree(std::istream& in);
 /// File helpers.
 void write_octree_file(const Octree& tree, const std::string& path);
 Octree read_octree_file(const std::string& path);
+
+// --- tagged payload sections ----------------------------------------------
+//
+// Payload-carrying tree round-trips (core/persist.hpp: AtomsTree /
+// QPointsTree with their per-point payloads and SoA planes) append tagged
+// sections after the bare octree: an 8-byte tag + element size + count
+// header followed by raw little-endian elements. Readers pass the tag they
+// expect, so a reordered or truncated stream fails loudly instead of
+// deserializing one payload into another.
+
+/// Write a tagged section of doubles. `tag` must be 1..8 bytes.
+void write_f64_section(std::ostream& out, std::string_view tag,
+                       std::span<const double> data);
+
+/// Read a section previously written with write_f64_section; throws
+/// CheckError when the tag or element size does not match.
+std::vector<double> read_f64_section(std::istream& in, std::string_view tag);
+
+/// Write a tagged section of Vec3s.
+void write_vec3_section(std::ostream& out, std::string_view tag,
+                        std::span<const geom::Vec3> data);
+
+/// Read a section previously written with write_vec3_section.
+std::vector<geom::Vec3> read_vec3_section(std::istream& in,
+                                          std::string_view tag);
 
 }  // namespace octgb::octree

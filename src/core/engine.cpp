@@ -16,6 +16,40 @@ GBEngine::GBEngine(const mol::Molecule& mol, const surface::Surface& surf,
   OCTGB_CHECK_MSG(surf.size() > 0, "surface has no quadrature points");
 }
 
+GBEngine::GBEngine(Preprocessed pre, EngineConfig config)
+    : config_(config),
+      ta_(std::move(pre.atoms)),
+      tq_(std::move(pre.qpoints)) {
+  OCTGB_CHECK_MSG(ta_.num_atoms() > 0, "preprocessed atoms tree is empty");
+  OCTGB_CHECK_MSG(tq_.num_points() > 0, "preprocessed qpoints tree is empty");
+}
+
+void EvalScratch::prepare(std::size_t n_nodes, std::size_t n_atoms) {
+  bool grew = false;
+  const auto size_to = [&grew](std::vector<double>& v, std::size_t n,
+                               bool zero) {
+    const std::size_t cap = v.capacity();
+    if (zero)
+      v.assign(n, 0.0);
+    else
+      v.resize(n);
+    grew |= v.capacity() > cap;
+  };
+  size_to(node_s, n_nodes, /*zero=*/true);
+  size_to(atom_s, n_atoms, /*zero=*/true);
+  size_to(born_tree, n_atoms, /*zero=*/true);
+  // born_input is fully overwritten by the remap permutation; no zeroing.
+  size_to(born_input, n_atoms, /*zero=*/false);
+  if (grew) ++allocation_events;
+}
+
+std::size_t EvalScratch::footprint_bytes() const {
+  return (node_s.capacity() + atom_s.capacity() + born_tree.capacity() +
+          born_input.capacity()) *
+             sizeof(double) +
+         epol_ctx.footprint_bytes();
+}
+
 void GBEngine::phase_integrals(Segment q_leaf_segment,
                                std::span<double> node_s,
                                std::span<double> atom_s,
@@ -75,39 +109,50 @@ double GBEngine::phase_epol_atom_based(const EpolContext& ctx,
 
 std::vector<double> GBEngine::born_to_input_order(
     std::span<const double> born_tree) const {
-  const auto idx = ta_.tree.point_index();
   std::vector<double> out(born_tree.size());
+  born_to_input_order(born_tree, out);
+  return out;
+}
+
+void GBEngine::born_to_input_order(std::span<const double> born_tree,
+                                   std::span<double> out) const {
+  const auto idx = ta_.tree.point_index();
+  OCTGB_CHECK(born_tree.size() == idx.size() && out.size() == idx.size());
   for (std::size_t pos = 0; pos < idx.size(); ++pos)
     out[idx[pos]] = born_tree[pos];
-  return out;
 }
 
 namespace {
 
 /// Shared driver for compute()/compute_dual(): the Born integral pass is
-/// the only difference.
+/// the only difference. All working memory comes from `scratch`; warm
+/// calls on an unchanged tree shape allocate nothing.
 template <class IntegralsFn>
-EnergyResult compute_impl(const GBEngine& engine, ws::Scheduler* sched,
-                          IntegralsFn&& integrals) {
+EvalResult compute_impl(const GBEngine& engine, EvalScratch& scratch,
+                        ws::Scheduler* sched, IntegralsFn&& integrals) {
   if (engine.config().trace.enabled) trace::Tracer::instance().set_enabled(true);
   OCTGB_SPAN("engine.compute");
-  EnergyResult result;
+  EvalResult result;
   perf::Timer timer;
 
-  const auto n_nodes = engine.num_ta_nodes();
   const auto n_atoms = engine.num_atoms();
-  std::vector<double> node_s(n_nodes, 0.0);
-  std::vector<double> atom_s(n_atoms, 0.0);
-  std::vector<double> born_tree(n_atoms, 0.0);
+  scratch.prepare(engine.num_ta_nodes(), n_atoms);
   double epol = 0.0;
 
   auto body = [&] {
-    integrals(node_s, atom_s, result.work);
-    engine.phase_push({0, static_cast<std::uint32_t>(n_atoms)}, node_s,
-                      atom_s, born_tree, result.work);
-    const EpolContext ctx = engine.build_epol_context(born_tree);
+    integrals(std::span<double>(scratch.node_s),
+              std::span<double>(scratch.atom_s), result.work);
+    engine.phase_push({0, static_cast<std::uint32_t>(n_atoms)},
+                      scratch.node_s, scratch.atom_s, scratch.born_tree,
+                      result.work);
+    {
+      OCTGB_SPAN("epol.context");
+      if (scratch.epol_ctx.rebuild(engine.atoms_tree(), scratch.born_tree,
+                                   engine.config().approx.eps_epol))
+        ++scratch.allocation_events;
+    }
     epol = engine.phase_epol(
-        ctx, born_tree,
+        scratch.epol_ctx, scratch.born_tree,
         {0, static_cast<std::uint32_t>(engine.a_leaves().size())},
         result.work);
   };
@@ -125,16 +170,28 @@ EnergyResult compute_impl(const GBEngine& engine, ws::Scheduler* sched,
   result.epol = epol;
   {
     OCTGB_SPAN("born.remap");
-    result.born = engine.born_to_input_order(born_tree);
+    engine.born_to_input_order(scratch.born_tree, scratch.born_input);
   }
+  result.born = scratch.born_input;
   result.wall_seconds = timer.seconds();
   return result;
 }
 
+/// Compat shim: materialize an EvalResult (spans into `scratch`) as an
+/// owning EnergyResult.
+EnergyResult to_energy_result(const EvalResult& r) {
+  EnergyResult out;
+  out.epol = r.epol;
+  out.born.assign(r.born.begin(), r.born.end());
+  out.work = r.work;
+  out.wall_seconds = r.wall_seconds;
+  return out;
+}
+
 }  // namespace
 
-EnergyResult GBEngine::compute(ws::Scheduler* sched) const {
-  return compute_impl(*this, sched,
+EvalResult GBEngine::compute(EvalScratch& scratch, ws::Scheduler* sched) const {
+  return compute_impl(*this, scratch, sched,
                       [&](std::span<double> node_s, std::span<double> atom_s,
                           perf::WorkCounters& work) {
                         phase_integrals(
@@ -144,9 +201,10 @@ EnergyResult GBEngine::compute(ws::Scheduler* sched) const {
                       });
 }
 
-EnergyResult GBEngine::compute_dual(ws::Scheduler* sched) const {
+EvalResult GBEngine::compute_dual(EvalScratch& scratch,
+                                  ws::Scheduler* sched) const {
   return compute_impl(
-      *this, sched,
+      *this, scratch, sched,
       [&](std::span<double> node_s, std::span<double> atom_s,
           perf::WorkCounters& work) {
         approx_integrals_dual(ta_, tq_, config_.approx.eps_born,
@@ -154,6 +212,16 @@ EnergyResult GBEngine::compute_dual(ws::Scheduler* sched) const {
                               work, config_.approx.strict_born_criterion,
                               config_.approx.kernel);
       });
+}
+
+EnergyResult GBEngine::compute(ws::Scheduler* sched) const {
+  EvalScratch scratch;
+  return to_energy_result(compute(scratch, sched));
+}
+
+EnergyResult GBEngine::compute_dual(ws::Scheduler* sched) const {
+  EvalScratch scratch;
+  return to_energy_result(compute_dual(scratch, sched));
 }
 
 double GBEngine::epol_with_radii(std::span<const double> born_input_order,

@@ -51,60 +51,76 @@ std::size_t EpolContext::footprint_bytes() const {
 EpolContext EpolContext::build(const AtomsTree& ta,
                                std::span<const double> born_tree,
                                double eps_epol) {
+  EpolContext ctx;
+  ctx.rebuild(ta, born_tree, eps_epol);
+  return ctx;
+}
+
+bool EpolContext::rebuild(const AtomsTree& ta,
+                          std::span<const double> born_tree,
+                          double eps_epol) {
   OCTGB_CHECK_MSG(eps_epol > 0.0, "eps_epol must be positive");
   OCTGB_CHECK(born_tree.size() == ta.num_atoms());
-  EpolContext ctx;
-  const auto nodes = ta.tree.nodes();
-  if (nodes.empty()) return ctx;
+  const std::size_t cap_bins = bins.capacity();
+  const std::size_t cap_lo = bin_lo.capacity();
+  const std::size_t cap_hi = bin_hi.capacity();
+  const std::size_t cap_rep = rep.capacity();
 
-  double rmin = born_tree[0], rmax = born_tree[0];
-  for (double r : born_tree) {
-    rmin = std::min(rmin, r);
-    rmax = std::max(rmax, r);
+  const auto nodes = ta.tree.nodes();
+  if (nodes.empty()) {
+    *this = EpolContext{};
+    return false;
   }
-  ctx.rmin = rmin;
-  ctx.log1pe = std::log1p(eps_epol);
-  ctx.nbins = std::max(
-      1, static_cast<int>(std::ceil(std::log(rmax / rmin) / ctx.log1pe)) );
+
+  double born_min = born_tree[0], born_max = born_tree[0];
+  for (double r : born_tree) {
+    born_min = std::min(born_min, r);
+    born_max = std::max(born_max, r);
+  }
+  rmin = born_min;
+  log1pe = std::log1p(eps_epol);
+  nbins = std::max(
+      1, static_cast<int>(std::ceil(std::log(born_max / born_min) / log1pe)));
   // A radius exactly equal to rmax must land inside the last bin.
-  while (rmin * std::exp(ctx.log1pe * ctx.nbins) <= rmax) ++ctx.nbins;
-  ctx.rep.resize(ctx.nbins);
+  while (born_min * std::exp(log1pe * nbins) <= born_max) ++nbins;
+  rep.resize(nbins);
   // Geometric mid-bin representative (the paper's Fig. 3 uses the lower
   // edge Rmin(1+ε)^k; the mid-bin value halves the systematic bias of the
   // bin-pair f_GB at no extra cost).
-  for (int k = 0; k < ctx.nbins; ++k)
-    ctx.rep[k] = rmin * std::exp(ctx.log1pe * (k + 0.5));
+  for (int k = 0; k < nbins; ++k)
+    rep[k] = born_min * std::exp(log1pe * (k + 0.5));
 
-  ctx.bins.assign(nodes.size() * static_cast<std::size_t>(ctx.nbins), 0.0);
-  ctx.bin_lo.assign(nodes.size(), static_cast<std::int16_t>(ctx.nbins));
-  ctx.bin_hi.assign(nodes.size(), -1);
+  bins.assign(nodes.size() * static_cast<std::size_t>(nbins), 0.0);
+  bin_lo.assign(nodes.size(), static_cast<std::int16_t>(nbins));
+  bin_hi.assign(nodes.size(), -1);
 
   // Bottom-up: leaves bin their atoms; parents sum children (children have
   // larger ids than parents in the flat layout).
   for (std::size_t id = nodes.size(); id-- > 0;) {
     const auto& n = nodes[id];
-    double* mine = ctx.bins.data() + id * static_cast<std::size_t>(ctx.nbins);
+    double* mine = bins.data() + id * static_cast<std::size_t>(nbins);
     if (n.is_leaf()) {
       for (std::uint32_t ai = n.begin; ai < n.end; ++ai) {
-        const int k = ctx.bin_of(born_tree[ai]);
+        const int k = bin_of(born_tree[ai]);
         mine[k] += ta.charge[ai];
-        ctx.bin_lo[id] = std::min<std::int16_t>(ctx.bin_lo[id],
-                                                static_cast<std::int16_t>(k));
-        ctx.bin_hi[id] = std::max<std::int16_t>(ctx.bin_hi[id],
-                                                static_cast<std::int16_t>(k));
+        bin_lo[id] = std::min<std::int16_t>(bin_lo[id],
+                                            static_cast<std::int16_t>(k));
+        bin_hi[id] = std::max<std::int16_t>(bin_hi[id],
+                                            static_cast<std::int16_t>(k));
       }
     } else {
       for (std::uint8_t c = 0; c < n.child_count; ++c) {
         const std::size_t cid = n.first_child + c;
         const double* theirs =
-            ctx.bins.data() + cid * static_cast<std::size_t>(ctx.nbins);
-        for (int k = 0; k < ctx.nbins; ++k) mine[k] += theirs[k];
-        ctx.bin_lo[id] = std::min(ctx.bin_lo[id], ctx.bin_lo[cid]);
-        ctx.bin_hi[id] = std::max(ctx.bin_hi[id], ctx.bin_hi[cid]);
+            bins.data() + cid * static_cast<std::size_t>(nbins);
+        for (int k = 0; k < nbins; ++k) mine[k] += theirs[k];
+        bin_lo[id] = std::min(bin_lo[id], bin_lo[cid]);
+        bin_hi[id] = std::max(bin_hi[id], bin_hi[cid]);
       }
     }
   }
-  return ctx;
+  return bins.capacity() > cap_bins || bin_lo.capacity() > cap_lo ||
+         bin_hi.capacity() > cap_hi || rep.capacity() > cap_rep;
 }
 
 namespace {
@@ -114,11 +130,20 @@ struct EpolCounts {
 };
 
 /// Leaf-V-versus-tree descent (Fig. 3). Accumulates the *unscaled* sum
-/// Σ q_u q_v / f_GB; the caller applies −τ/2.
+/// Σ q_u q_v / f_GB; the caller applies −τ/2 (same tree) or −τ (cross).
+/// The U side is the tree being descended; the V side usually aliases it
+/// (approx_epol / approx_epol_atom_based pass the same tree, context, and
+/// Born plane for both) but may be a different body entirely — the
+/// cross-tree kernel of approx_epol_cross.
 struct EpolPass {
+  // U side: the descended tree.
   const AtomsTree& ta;
   const EpolContext& ctx;
   std::span<const double> born;  // tree order
+  // V side: the tree owning v_node / v_atom.
+  const AtomsTree& tv;
+  const EpolContext& ctx_v;
+  std::span<const double> born_v;  // tv tree order
   double eps;
   bool approx_math;
   KernelKind kernel;
@@ -133,7 +158,7 @@ struct EpolPass {
       c = v_node->centroid;
       return v_node->radius;
     }
-    c = ta.tree.points()[v_atom];
+    c = tv.tree.points()[v_atom];
     return 0.0;
   }
 
@@ -160,12 +185,13 @@ struct EpolPass {
   double exact_leaf(const Octree::Node& u, EpolCounts& lc) const {
     if (kernel == KernelKind::Batched) return exact_leaf_batched(u, lc);
     const auto pts = ta.tree.points();
+    const auto pts_v = tv.tree.points();
     double sum = 0.0;
     if (v_node) {
       for (std::uint32_t vi = v_node->begin; vi < v_node->end; ++vi) {
-        const Vec3 pv = pts[vi];
-        const double qv = ta.charge[vi];
-        const double rv = born[vi];
+        const Vec3 pv = pts_v[vi];
+        const double qv = tv.charge[vi];
+        const double rv = born_v[vi];
         for (std::uint32_t ui = u.begin; ui < u.end; ++ui) {
           const double r2 = geom::dist2(pts[ui], pv);
           sum += ta.charge[ui] * qv * inv_f_gb(r2, born[ui] * rv, approx_math);
@@ -173,9 +199,9 @@ struct EpolPass {
       }
       lc.exact += static_cast<std::uint64_t>(u.size()) * v_node->size();
     } else {
-      const Vec3 pv = pts[v_atom];
-      const double qv = ta.charge[v_atom];
-      const double rv = born[v_atom];
+      const Vec3 pv = pts_v[v_atom];
+      const double qv = tv.charge[v_atom];
+      const double rv = born_v[v_atom];
       for (std::uint32_t ui = u.begin; ui < u.end; ++ui) {
         const double r2 = geom::dist2(pts[ui], pv);
         sum += ta.charge[ui] * qv * inv_f_gb(r2, born[ui] * rv, approx_math);
@@ -187,28 +213,29 @@ struct EpolPass {
 
   /// Batched leaf×leaf kernel: each V-side atom sweeps U's SoA batch. The
   /// self term (r ≈ 0) is included by the kernel's contract, matching the
-  /// scalar loop.
+  /// scalar loop (cross-tree calls never hit r ≈ 0 — the sets are
+  /// disjoint bodies).
   double exact_leaf_batched(const Octree::Node& u, EpolCounts& lc) const {
     const AtomBatch ub = ta.node_batch(u, born);
-    const double* __restrict vx = ta.soa_x.data();
-    const double* __restrict vy = ta.soa_y.data();
-    const double* __restrict vz = ta.soa_z.data();
+    const double* __restrict vx = tv.soa_x.data();
+    const double* __restrict vy = tv.soa_y.data();
+    const double* __restrict vz = tv.soa_z.data();
     double sum = 0.0;
     if (v_node) {
       for (std::uint32_t vi = v_node->begin; vi < v_node->end; ++vi) {
         sum += approx_math
                    ? batch_epol_sum_fast(vx[vi], vy[vi], vz[vi],
-                                         ta.charge[vi], born[vi], ub)
-                   : batch_epol_sum(vx[vi], vy[vi], vz[vi], ta.charge[vi],
-                                    born[vi], ub);
+                                         tv.charge[vi], born_v[vi], ub)
+                   : batch_epol_sum(vx[vi], vy[vi], vz[vi], tv.charge[vi],
+                                    born_v[vi], ub);
       }
       lc.exact += static_cast<std::uint64_t>(u.size()) * v_node->size();
     } else {
       sum = approx_math
                 ? batch_epol_sum_fast(vx[v_atom], vy[v_atom], vz[v_atom],
-                                      ta.charge[v_atom], born[v_atom], ub)
+                                      tv.charge[v_atom], born_v[v_atom], ub)
                 : batch_epol_sum(vx[v_atom], vy[v_atom], vz[v_atom],
-                                 ta.charge[v_atom], born[v_atom], ub);
+                                 tv.charge[v_atom], born_v[v_atom], ub);
       lc.exact += u.size();
     }
     return sum;
@@ -220,19 +247,20 @@ struct EpolPass {
     double sum = 0.0;
     if (v_node) {
       const std::size_t v_id = v_node_id;
-      const double* vb = ctx.bins.data() + v_id * nb;
+      const double* vb =
+          ctx_v.bins.data() + v_id * static_cast<std::size_t>(ctx_v.nbins);
       for (int i = ctx.bin_lo[u_id]; i <= ctx.bin_hi[u_id]; ++i) {
         if (ub[i] == 0.0) continue;
-        for (int j = ctx.bin_lo[v_id]; j <= ctx.bin_hi[v_id]; ++j) {
+        for (int j = ctx_v.bin_lo[v_id]; j <= ctx_v.bin_hi[v_id]; ++j) {
           if (vb[j] == 0.0) continue;
           sum += ub[i] * vb[j] *
-                 inv_f_gb(d2, ctx.rep[i] * ctx.rep[j], approx_math);
+                 inv_f_gb(d2, ctx.rep[i] * ctx_v.rep[j], approx_math);
           ++lc.binpairs;
         }
       }
     } else {
-      const double qv = ta.charge[v_atom];
-      const double rv = born[v_atom];
+      const double qv = tv.charge[v_atom];
+      const double rv = born_v[v_atom];
       for (int i = ctx.bin_lo[u_id]; i <= ctx.bin_hi[u_id]; ++i) {
         if (ub[i] == 0.0) continue;
         sum += ub[i] * qv * inv_f_gb(d2, ctx.rep[i] * rv, approx_math);
@@ -263,9 +291,9 @@ double approx_epol(const AtomsTree& ta, const EpolContext& ctx,
         double mine = 0.0;
         EpolCounts lc;
         for (std::int64_t li = lo; li < hi; ++li) {
-          EpolPass pass{ta,     ctx,
-                        born_tree,   eps_epol,
-                        approx_math, kernel,
+          EpolPass pass{ta,        ctx,      born_tree,
+                        ta,        ctx,      born_tree,
+                        eps_epol,  approx_math, kernel,
                         &ta.tree.node(v_leaf_ids[li]), 0};
           pass.v_node_id = v_leaf_ids[li];
           mine += pass.descend(0, lc);
@@ -319,8 +347,9 @@ double approx_epol_atom_based(const AtomsTree& ta, const EpolContext& ctx,
             r2max = std::max(r2max, geom::dist2(v.centroid, pts[i]));
           v.radius = std::sqrt(r2max);
 
-          EpolPass pass{ta,          ctx,    born_tree, eps_epol,
-                        approx_math, kernel, &v,        0};
+          EpolPass pass{ta,       ctx,         born_tree, ta, ctx,
+                        born_tree, eps_epol,   approx_math,
+                        kernel,   &v,          0};
           // The clipped leaf is not a persistent node; bin lookups on the
           // V side must use its own charge-by-bin table, so fall back to
           // the per-atom path when the clip is partial.
@@ -329,8 +358,10 @@ double approx_epol_atom_based(const AtomsTree& ta, const EpolContext& ctx,
             mine += pass.descend(0, lc);
           } else {
             for (std::uint32_t ai = b; ai < e; ++ai) {
-              EpolPass atom_pass{ta,          ctx,    born_tree, eps_epol,
-                                 approx_math, kernel, nullptr,   ai};
+              EpolPass atom_pass{ta,        ctx,      born_tree,
+                                 ta,        ctx,      born_tree,
+                                 eps_epol,  approx_math, kernel,
+                                 nullptr,   ai};
               mine += atom_pass.descend(0, lc);
             }
           }
@@ -341,6 +372,41 @@ double approx_epol_atom_based(const AtomsTree& ta, const EpolContext& ctx,
         atomic_add(counters.epol_visits, lc.visits);
       });
   return -0.5 * gb.tau() * total;
+}
+
+double approx_epol_cross(const AtomsTree& ta, const EpolContext& ctx_a,
+                         std::span<const double> born_a, const AtomsTree& tb,
+                         const EpolContext& ctx_b,
+                         std::span<const double> born_b, double eps_epol,
+                         bool approx_math, const GBParams& gb,
+                         perf::WorkCounters& counters, KernelKind kernel) {
+  OCTGB_CHECK(born_a.size() == ta.num_atoms());
+  OCTGB_CHECK(born_b.size() == tb.num_atoms());
+  if (ta.tree.empty() || tb.tree.empty()) return 0.0;
+  const auto& v_leaves = tb.tree.leaf_ids();
+  double total = 0.0;
+  ws::Scheduler::parallel_for(
+      0, static_cast<std::int64_t>(v_leaves.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        OCTGB_SPAN("epol.cross");
+        double mine = 0.0;
+        EpolCounts lc;
+        for (std::int64_t li = lo; li < hi; ++li) {
+          EpolPass pass{ta,        ctx_a,    born_a,
+                        tb,        ctx_b,    born_b,
+                        eps_epol,  approx_math, kernel,
+                        &tb.tree.node(v_leaves[li]), 0};
+          pass.v_node_id = v_leaves[li];
+          mine += pass.descend(0, lc);
+        }
+        atomic_add(total, mine);
+        atomic_add(counters.epol_exact, lc.exact);
+        atomic_add(counters.epol_bins, lc.binpairs);
+        atomic_add(counters.epol_visits, lc.visits);
+      });
+  // Ordered-pair convention of Eq. 2: every unordered A–B pair appears
+  // twice in Σ_{ij}, so the cross block carries −τ, not −τ/2.
+  return -gb.tau() * total;
 }
 
 }  // namespace octgb::core

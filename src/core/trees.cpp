@@ -1,6 +1,7 @@
 #include "octgb/core/trees.hpp"
 
 #include "octgb/trace/trace.hpp"
+#include "octgb/util/check.hpp"
 
 namespace octgb::core {
 
@@ -19,11 +20,21 @@ AtomsTree AtomsTree::build(const mol::Molecule& mol,
     t.charge[pos] = atoms[idx[pos]].charge;
     t.vdw_radius[pos] = atoms[idx[pos]].radius;
   }
-  t.soa_x.resize(atoms.size());
-  t.soa_y.resize(atoms.size());
-  t.soa_z.resize(atoms.size());
-  split_soa(t.tree.points(), t.soa_x, t.soa_y, t.soa_z);
+  t.rebuild_derived();
   return t;
+}
+
+void AtomsTree::refit(std::span<const geom::Vec3> positions) {
+  OCTGB_SPAN("tree.refit.atoms");
+  tree.refit(positions);
+  rebuild_derived();
+}
+
+void AtomsTree::rebuild_derived() {
+  soa_x.resize(tree.num_points());
+  soa_y.resize(tree.num_points());
+  soa_z.resize(tree.num_points());
+  split_soa(tree.points(), soa_x, soa_y, soa_z);
 }
 
 std::size_t AtomsTree::footprint_bytes() const {
@@ -38,38 +49,55 @@ QPointsTree QPointsTree::build(const surface::Surface& surf,
   OCTGB_SPAN("tree.build.qpoints");
   QPointsTree t;
   t.tree = octree::Octree::build(surf.positions, params);
-  const auto idx = t.tree.point_index();
-  t.wnormal.resize(idx.size());
-  t.weight.resize(idx.size());
+  t.wnormal.resize(surf.size());
+  t.weight.resize(surf.size());
+  t.assign_surface(surf);
+  t.rebuild_derived();
+  return t;
+}
+
+void QPointsTree::refit(const surface::Surface& surf) {
+  OCTGB_SPAN("tree.refit.qpoints");
+  OCTGB_CHECK_MSG(surf.size() == num_points(),
+                  "surface point count changed; rebuild the QPointsTree");
+  tree.refit(surf.positions);
+  assign_surface(surf);
+  rebuild_derived();
+}
+
+void QPointsTree::assign_surface(const surface::Surface& surf) {
+  const auto idx = tree.point_index();
   for (std::size_t pos = 0; pos < idx.size(); ++pos) {
     const auto i = idx[pos];
-    t.wnormal[pos] = surf.normals[i] * surf.weights[i];
-    t.weight[pos] = surf.weights[i];
+    wnormal[pos] = surf.normals[i] * surf.weights[i];
+    weight[pos] = surf.weights[i];
   }
-  const auto nodes = t.tree.nodes();
-  t.node_wnormal.resize(nodes.size());
+}
+
+void QPointsTree::rebuild_derived() {
+  const auto nodes = tree.nodes();
+  node_wnormal.resize(nodes.size());
   // Children come after parents in the flat array, so a reverse sweep can
   // aggregate bottom-up; leaves sum their own points.
   for (std::size_t id = nodes.size(); id-- > 0;) {
     const auto& n = nodes[id];
     geom::Vec3 s;
     if (n.is_leaf()) {
-      for (std::uint32_t i = n.begin; i < n.end; ++i) s += t.wnormal[i];
+      for (std::uint32_t i = n.begin; i < n.end; ++i) s += wnormal[i];
     } else {
       for (std::uint8_t c = 0; c < n.child_count; ++c)
-        s += t.node_wnormal[n.first_child + c];
+        s += node_wnormal[n.first_child + c];
     }
-    t.node_wnormal[id] = s;
+    node_wnormal[id] = s;
   }
-  t.soa_x.resize(idx.size());
-  t.soa_y.resize(idx.size());
-  t.soa_z.resize(idx.size());
-  split_soa(t.tree.points(), t.soa_x, t.soa_y, t.soa_z);
-  t.soa_wnx.resize(idx.size());
-  t.soa_wny.resize(idx.size());
-  t.soa_wnz.resize(idx.size());
-  split_soa(t.wnormal, t.soa_wnx, t.soa_wny, t.soa_wnz);
-  return t;
+  soa_x.resize(tree.num_points());
+  soa_y.resize(tree.num_points());
+  soa_z.resize(tree.num_points());
+  split_soa(tree.points(), soa_x, soa_y, soa_z);
+  soa_wnx.resize(wnormal.size());
+  soa_wny.resize(wnormal.size());
+  soa_wnz.resize(wnormal.size());
+  split_soa(wnormal, soa_wnx, soa_wny, soa_wnz);
 }
 
 std::size_t QPointsTree::footprint_bytes() const {
@@ -79,6 +107,17 @@ std::size_t QPointsTree::footprint_bytes() const {
          (soa_x.capacity() + soa_y.capacity() + soa_z.capacity() +
           soa_wnx.capacity() + soa_wny.capacity() + soa_wnz.capacity()) *
              sizeof(double);
+}
+
+Preprocessed Preprocessed::build(const mol::Molecule& mol,
+                                 const surface::Surface& surf,
+                                 const octree::BuildParams& atoms_params,
+                                 const octree::BuildParams& qpoints_params) {
+  OCTGB_SPAN("tree.build.preprocessed");
+  Preprocessed pre;
+  pre.atoms = AtomsTree::build(mol, atoms_params);
+  pre.qpoints = QPointsTree::build(surf, qpoints_params);
+  return pre;
 }
 
 }  // namespace octgb::core

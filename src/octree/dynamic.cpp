@@ -7,6 +7,43 @@
 
 namespace octgb::octree {
 
+RefitMonitor::RefitMonitor(const Octree& tree) : RefitMonitor(tree, Policy()) {}
+
+RefitMonitor::RefitMonitor(const Octree& tree, Policy policy)
+    : policy_(policy) {
+  rebase(tree);
+}
+
+void RefitMonitor::rebase(const Octree& tree) {
+  base_radius_.resize(tree.nodes().size());
+  for (std::size_t id = 0; id < tree.nodes().size(); ++id)
+    base_radius_[id] = tree.node(id).radius;
+}
+
+double RefitMonitor::worst_leaf_inflation(const Octree& tree) const {
+  OCTGB_CHECK_MSG(base_radius_.size() == tree.nodes().size(),
+                  "monitor not rebased after a topology change");
+  double worst = 0.0;
+  for (std::uint32_t id : tree.leaf_ids()) {
+    const double base =
+        std::max(base_radius_[id], policy_.rebuild_radius_slack);
+    worst = std::max(worst, tree.node(id).radius / base);
+  }
+  return worst;
+}
+
+bool RefitMonitor::should_rebuild(const Octree& tree) const {
+  OCTGB_CHECK_MSG(base_radius_.size() == tree.nodes().size(),
+                  "monitor not rebased after a topology change");
+  for (std::uint32_t id : tree.leaf_ids()) {
+    const double limit =
+        policy_.rebuild_radius_factor *
+        std::max(base_radius_[id], policy_.rebuild_radius_slack);
+    if (tree.node(id).radius > limit) return true;
+  }
+  return false;
+}
+
 DynamicOctree::DynamicOctree(std::span<const geom::Vec3> positions,
                              Params params)
     : params_(params) {
@@ -16,9 +53,9 @@ DynamicOctree::DynamicOctree(std::span<const geom::Vec3> positions,
 
 void DynamicOctree::rebuild(std::span<const geom::Vec3> positions) {
   tree_ = Octree::build(positions, params_.build);
-  build_radius_.resize(tree_.nodes().size());
-  for (std::size_t id = 0; id < tree_.nodes().size(); ++id)
-    build_radius_[id] = tree_.node(id).radius;
+  monitor_ = RefitMonitor(
+      tree_, {.rebuild_radius_factor = params_.rebuild_radius_factor,
+              .rebuild_radius_slack = params_.rebuild_radius_slack});
   ++rebuilds_;
 }
 
@@ -28,27 +65,16 @@ void DynamicOctree::refit(std::span<const geom::Vec3> positions) {
 }
 
 double DynamicOctree::worst_leaf_inflation() const {
-  double worst = 0.0;
-  for (std::uint32_t id : tree_.leaf_ids()) {
-    const double base =
-        std::max(build_radius_[id], params_.rebuild_radius_slack);
-    worst = std::max(worst, tree_.node(id).radius / base);
-  }
-  return worst;
+  return monitor_.worst_leaf_inflation(tree_);
 }
 
 bool DynamicOctree::update(std::span<const geom::Vec3> positions) {
   OCTGB_CHECK_MSG(positions.size() == tree_.num_points(),
                   "point count changed; build a new DynamicOctree");
   refit(positions);
-  for (std::uint32_t id : tree_.leaf_ids()) {
-    const double limit =
-        params_.rebuild_radius_factor *
-            std::max(build_radius_[id], params_.rebuild_radius_slack);
-    if (tree_.node(id).radius > limit) {
-      rebuild(positions);
-      return true;
-    }
+  if (monitor_.should_rebuild(tree_)) {
+    rebuild(positions);
+    return true;
   }
   return false;
 }

@@ -89,6 +89,73 @@ Octree read_octree(std::istream& in) {
   return t;
 }
 
+namespace {
+
+struct SectionHeader {
+  char tag[8] = {};
+  std::uint32_t elem_size = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t count = 0;
+};
+
+void fill_tag(SectionHeader& h, std::string_view tag) {
+  OCTGB_CHECK_MSG(!tag.empty() && tag.size() <= sizeof(h.tag),
+                  "section tag must be 1..8 bytes");
+  std::memcpy(h.tag, tag.data(), tag.size());
+}
+
+template <class T>
+void write_section(std::ostream& out, std::string_view tag,
+                   std::span<const T> data) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  SectionHeader h;
+  fill_tag(h, tag);
+  h.elem_size = sizeof(T);
+  h.count = data.size();
+  write_pod(out, h);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(T)));
+  OCTGB_CHECK_MSG(static_cast<bool>(out), "section write failed");
+}
+
+template <class T>
+std::vector<T> read_section(std::istream& in, std::string_view tag) {
+  SectionHeader h, want;
+  fill_tag(want, tag);
+  read_pod(in, h);
+  OCTGB_CHECK_MSG(std::memcmp(h.tag, want.tag, sizeof(h.tag)) == 0,
+                  "expected section '" << tag << "'");
+  OCTGB_CHECK_MSG(h.elem_size == sizeof(T),
+                  "section '" << tag << "' has element size " << h.elem_size
+                              << ", expected " << sizeof(T));
+  OCTGB_CHECK_MSG(h.count <= (std::uint64_t{1} << 32),
+                  "implausible section size");
+  std::vector<T> v;
+  read_vec(in, v, h.count);
+  return v;
+}
+
+}  // namespace
+
+void write_f64_section(std::ostream& out, std::string_view tag,
+                       std::span<const double> data) {
+  write_section(out, tag, data);
+}
+
+std::vector<double> read_f64_section(std::istream& in, std::string_view tag) {
+  return read_section<double>(in, tag);
+}
+
+void write_vec3_section(std::ostream& out, std::string_view tag,
+                        std::span<const geom::Vec3> data) {
+  write_section(out, tag, data);
+}
+
+std::vector<geom::Vec3> read_vec3_section(std::istream& in,
+                                          std::string_view tag) {
+  return read_section<geom::Vec3>(in, tag);
+}
+
 void write_octree_file(const Octree& tree, const std::string& path) {
   std::ofstream f(path, std::ios::binary);
   OCTGB_CHECK_MSG(static_cast<bool>(f), "cannot open " << path);

@@ -1,0 +1,380 @@
+// Tests for the three-stage evaluation pipeline: Preprocessed artifacts
+// (+ persistence), EvalScratch reuse, and the ScoringSession drivers
+// (parameter re-evaluation, moved-atom updates, rigid pose streams in
+// both Full and CrossScreen modes).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "octgb/core/engine.hpp"
+#include "octgb/core/naive.hpp"
+#include "octgb/core/persist.hpp"
+#include "octgb/core/session.hpp"
+#include "octgb/mol/generate.hpp"
+#include "octgb/surface/surface.hpp"
+#include "octgb/util/check.hpp"
+#include "octgb/util/rng.hpp"
+
+using namespace octgb;
+using core::EvalScratch;
+using core::GBEngine;
+using core::ScoringSession;
+
+namespace {
+
+struct Problem {
+  mol::Molecule molecule;
+  surface::Surface surf;
+  explicit Problem(std::size_t atoms, std::uint64_t seed = 61)
+      : molecule(mol::generate_protein({.target_atoms = atoms, .seed = seed})),
+        surf(surface::build_surface(molecule, {.subdivision = 1})) {}
+};
+
+/// Receptor + ligand complex with the ligand offset along +x; returns the
+/// combined molecule and the ligand_begin split index.
+struct Complex {
+  mol::Molecule combined;
+  std::size_t ligand_begin;
+  Complex(std::size_t rec_atoms, std::size_t lig_atoms, double offset) {
+    mol::Molecule rec =
+        mol::generate_protein({.target_atoms = rec_atoms, .seed = 7});
+    mol::Molecule lig =
+        mol::generate_protein({.target_atoms = lig_atoms, .seed = 8});
+    lig.transform(geom::RigidTransform::translate({offset, 0, 0}));
+    for (const auto& a : rec.atoms()) combined.add_atom(a);
+    ligand_begin = combined.size();
+    for (const auto& a : lig.atoms()) combined.add_atom(a);
+  }
+};
+
+bool same_counters(const perf::WorkCounters& a, const perf::WorkCounters& b) {
+  return a.born_exact == b.born_exact && a.born_approx == b.born_approx &&
+         a.epol_exact == b.epol_exact && a.epol_bins == b.epol_bins &&
+         a.epol_visits == b.epol_visits && a.push_atoms == b.push_atoms;
+}
+
+}  // namespace
+
+// ---- EvalScratch ------------------------------------------------------------
+
+TEST(EvalScratch, WarmComputeMatchesColdWrapperBitForBit) {
+  const Problem p(500);
+  GBEngine engine(p.molecule, p.surf);
+  const auto cold = engine.compute();
+
+  EvalScratch scratch;
+  const auto warm1 = engine.compute(scratch);
+  const auto warm2 = engine.compute(scratch);
+
+  EXPECT_EQ(cold.epol, warm1.epol);
+  EXPECT_EQ(warm1.epol, warm2.epol);
+  EXPECT_TRUE(same_counters(cold.work, warm1.work));
+  ASSERT_EQ(cold.born.size(), warm2.born.size());
+  for (std::size_t i = 0; i < cold.born.size(); ++i)
+    EXPECT_EQ(cold.born[i], warm2.born[i]) << "atom " << i;
+}
+
+TEST(EvalScratch, NoAllocationsAfterFirstWarmCompute) {
+  const Problem p(600);
+  GBEngine engine(p.molecule, p.surf);
+  EvalScratch scratch;
+  engine.compute(scratch);
+  const std::size_t warm_events = scratch.allocation_events;
+  EXPECT_GE(warm_events, 1u);  // the cold call had to size the buffers
+  for (int i = 0; i < 3; ++i) engine.compute(scratch);
+  EXPECT_EQ(scratch.allocation_events, warm_events);
+}
+
+TEST(EvalScratch, SmallerProblemReusesCapacity) {
+  const Problem big(800), small(300);
+  GBEngine big_engine(big.molecule, big.surf);
+  GBEngine small_engine(small.molecule, small.surf);
+  EvalScratch scratch;
+  big_engine.compute(scratch);
+  small_engine.compute(scratch);  // fits in the big run's capacity
+  const std::size_t events = scratch.allocation_events;
+  small_engine.compute(scratch);
+  big_engine.compute(scratch);  // capacity never shrank
+  EXPECT_EQ(scratch.allocation_events, events);
+}
+
+TEST(EvalScratch, NonAllocatingRemapMatchesAllocatingOverload) {
+  const Problem p(300);
+  GBEngine engine(p.molecule, p.surf);
+  EvalScratch scratch;
+  engine.compute(scratch);
+  const auto owned = engine.born_to_input_order(scratch.born_tree);
+  std::vector<double> out(scratch.born_tree.size());
+  engine.born_to_input_order(scratch.born_tree, out);
+  EXPECT_EQ(owned, out);
+}
+
+// ---- config mutability ------------------------------------------------------
+
+TEST(EngineConfig, EvaluationKnobsMutableAfterConstruction) {
+  const Problem p(300);
+  GBEngine engine(p.molecule, p.surf);
+  engine.approx().eps_epol = 2.0;
+  engine.gb().eps_solv = 40.0;
+  engine.trace().enabled = false;
+  EXPECT_EQ(engine.config().approx.eps_epol, 2.0);
+  EXPECT_EQ(engine.config().gb.eps_solv, 40.0);
+}
+
+// ---- persistence ------------------------------------------------------------
+
+TEST(Persist, PreprocessedRoundTripsBitForBit) {
+  const Problem p(400);
+  const auto pre = core::Preprocessed::build(p.molecule, p.surf);
+
+  std::stringstream ss;
+  core::write_preprocessed(pre, ss);
+  auto loaded = core::read_preprocessed(ss);
+
+  EXPECT_EQ(loaded.atoms.num_atoms(), pre.atoms.num_atoms());
+  EXPECT_EQ(loaded.atoms.tree.nodes().size(), pre.atoms.tree.nodes().size());
+  EXPECT_EQ(loaded.qpoints.num_points(), pre.qpoints.num_points());
+  EXPECT_EQ(loaded.atoms.charge, pre.atoms.charge);
+  EXPECT_EQ(loaded.qpoints.weight, pre.qpoints.weight);
+  // Derived planes are recomputed, not serialized — they must still match.
+  EXPECT_EQ(loaded.atoms.soa_x, pre.atoms.soa_x);
+  EXPECT_EQ(loaded.qpoints.soa_wnx, pre.qpoints.soa_wnx);
+
+  // An engine adopting the loaded artifact evaluates identically.
+  GBEngine fresh(p.molecule, p.surf);
+  GBEngine adopted(std::move(loaded));
+  EXPECT_EQ(fresh.compute().epol, adopted.compute().epol);
+}
+
+TEST(Persist, RejectsMismatchedSectionTag) {
+  const Problem p(200);
+  const auto pre = core::Preprocessed::build(p.molecule, p.surf);
+  std::stringstream ss;
+  core::write_qpoints_tree(pre.qpoints, ss);  // wrong artifact on purpose
+  EXPECT_THROW(core::read_atoms_tree(ss), util::CheckError);
+}
+
+// ---- ScoringSession: parameter re-evaluation --------------------------------
+
+TEST(Session, SecondEpsilonMatchesColdEngineBitForBit) {
+  const Problem p(500);
+  ScoringSession session(p.molecule, p.surf);
+  session.evaluate();  // warm the scratch at the default parameters
+
+  core::ApproxParams second;
+  second.eps_born = 0.4;
+  second.eps_epol = 1.5;
+  const auto warm = session.evaluate_at(second);
+
+  core::EngineConfig cold_cfg;
+  cold_cfg.approx = second;
+  GBEngine cold(p.molecule, p.surf, cold_cfg);
+  const auto cold_r = cold.compute();
+
+  EXPECT_EQ(warm.epol, cold_r.epol);
+  EXPECT_TRUE(same_counters(warm.work, cold_r.work));
+}
+
+TEST(Session, RepeatedEvaluationIsDeterministicAndAllocationFree) {
+  const Problem p(400);
+  ScoringSession session(p.molecule, p.surf);
+  const auto first = session.evaluate();
+  const double e = first.epol;
+  const std::size_t events = session.scratch().allocation_events;
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(session.evaluate().epol, e);
+  // Re-evaluating at a *coarser* ε needs fewer bins — still no growth.
+  core::ApproxParams coarse = session.engine().config().approx;
+  coarse.eps_epol = 2.0;
+  session.evaluate_at(coarse);
+  EXPECT_EQ(session.scratch().allocation_events, events);
+}
+
+// ---- ScoringSession: moved-atom updates -------------------------------------
+
+TEST(Session, UpdateRefitMatchesRebuiltEngineWithinTolerance) {
+  const Problem base(500);
+  util::Xoshiro256 rng(74);
+  std::vector<geom::Vec3> moved(base.molecule.size());
+  for (std::size_t i = 0; i < moved.size(); ++i)
+    moved[i] = base.molecule.atom(i).pos +
+               geom::Vec3{rng.normal(), rng.normal(), rng.normal()} * 0.02;
+  mol::Molecule moved_mol = base.molecule;
+  for (std::size_t i = 0; i < moved.size(); ++i)
+    moved_mol.atoms()[i].pos = moved[i];
+  const auto moved_surf =
+      surface::build_surface(moved_mol, {.subdivision = 1});
+
+  ScoringSession session(base.molecule, base.surf);
+  session.evaluate();
+  session.update(moved, moved_surf);
+  const double e_refit = session.evaluate().epol;
+
+  GBEngine rebuilt(moved_mol, moved_surf);
+  const double e_rebuilt = rebuilt.compute().epol;
+  // DESIGN.md refit tolerance contract: ≤ 1 % relative.
+  EXPECT_NEAR(e_refit, e_rebuilt, 0.01 * std::abs(e_rebuilt));
+  EXPECT_GE(session.move_stats().refits, 1u);
+}
+
+TEST(Session, LargeMoveTriggersRebuild) {
+  const Problem base(400);
+  util::Xoshiro256 rng(12);
+  std::vector<geom::Vec3> scattered(base.molecule.size());
+  for (std::size_t i = 0; i < scattered.size(); ++i)
+    scattered[i] = base.molecule.atom(i).pos +
+                   geom::Vec3{rng.normal(), rng.normal(), rng.normal()} * 6.0;
+  mol::Molecule scattered_mol = base.molecule;
+  for (std::size_t i = 0; i < scattered.size(); ++i)
+    scattered_mol.atoms()[i].pos = scattered[i];
+  const auto scattered_surf =
+      surface::build_surface(scattered_mol, {.subdivision = 1});
+
+  ScoringSession session(base.molecule, base.surf);
+  const bool rebuilt = session.update(scattered, scattered_surf);
+  EXPECT_TRUE(rebuilt);
+  EXPECT_GE(session.move_stats().rebuilds, 1u);
+}
+
+// ---- ScoringSession: pose streams -------------------------------------------
+
+TEST(Session, IdentityPoseReproducesBaseEnergyInFullMode) {
+  const Complex c(600, 150, 18.0);
+  const auto surf = surface::build_surface(c.combined, {.subdivision = 1});
+  ScoringSession session(c.combined, surf, {}, {.subdivision = 1});
+  const double e_base = session.evaluate().epol;
+
+  const geom::RigidTransform identity = geom::RigidTransform::identity();
+  const auto scores = session.score_poses({&identity, 1}, c.ligand_begin,
+                                          core::PoseMode::Full);
+  ASSERT_EQ(scores.size(), 1u);
+  // Identity refit reproduces the tree geometry up to summation order.
+  EXPECT_NEAR(scores[0].epol, e_base, 1e-6 * std::abs(e_base));
+  EXPECT_FALSE(scores[0].rebuilt);
+}
+
+TEST(Session, CrossScreenAgreesWithFullModeAtContact) {
+  const Complex c(600, 150, 16.0);
+  const auto surf = surface::build_surface(c.combined, {.subdivision = 1});
+  ScoringSession session(c.combined, surf, {}, {.subdivision = 1});
+
+  const geom::RigidTransform identity = geom::RigidTransform::identity();
+  const auto full = session.score_poses({&identity, 1}, c.ligand_begin,
+                                        core::PoseMode::Full);
+  session.reset_to_base();
+  const auto screen = session.score_poses({&identity, 1}, c.ligand_begin,
+                                          core::PoseMode::CrossScreen);
+  // Frozen-monomer screening neglects inter-body descreening; the complex
+  // energy still has to agree to a few percent (DESIGN.md's documented
+  // accuracy envelope for the mode).
+  EXPECT_NEAR(screen[0].epol, full[0].epol, 0.05 * std::abs(full[0].epol));
+}
+
+TEST(Session, CrossTermDecaysWithSeparation) {
+  const Complex c(500, 120, 14.0);
+  const auto surf = surface::build_surface(c.combined, {.subdivision = 1});
+  ScoringSession session(c.combined, surf, {}, {.subdivision = 1});
+
+  std::vector<geom::RigidTransform> poses;
+  for (double shift : {0.0, 15.0, 60.0})
+    poses.push_back(geom::RigidTransform::translate({shift, 0, 0}));
+  const auto scores = session.score_poses(poses, c.ligand_begin,
+                                          core::PoseMode::CrossScreen);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_GT(std::abs(scores[0].delta), std::abs(scores[1].delta));
+  EXPECT_GT(std::abs(scores[1].delta), std::abs(scores[2].delta));
+  // The screening pose path must not rebuild: rigid motion preserves
+  // intra-body distances, so leaf radii cannot inflate.
+  EXPECT_EQ(session.move_stats().rebuilds, 0u);
+}
+
+TEST(Session, CrossScreenPosesAreDeterministic) {
+  const Complex c(400, 100, 14.0);
+  const auto surf = surface::build_surface(c.combined, {.subdivision = 1});
+  ScoringSession session(c.combined, surf, {}, {.subdivision = 1});
+  const auto pose =
+      geom::RigidTransform::translate({3.0, -1.0, 2.0}) *
+      geom::RigidTransform::rotate(geom::Mat3::axis_angle({0, 0, 1}, 0.7));
+  const auto a = session.score_poses({&pose, 1}, c.ligand_begin,
+                                     core::PoseMode::CrossScreen);
+  const auto b = session.score_poses({&pose, 1}, c.ligand_begin,
+                                     core::PoseMode::CrossScreen);
+  EXPECT_EQ(a[0].epol, b[0].epol);
+  EXPECT_EQ(a[0].delta, b[0].delta);
+}
+
+// ---- cross-tree Epol kernel -------------------------------------------------
+
+TEST(CrossEpol, MatchesDirectDoubleLoopAtTinyEps) {
+  mol::Molecule a = mol::generate_protein({.target_atoms = 250, .seed = 3});
+  mol::Molecule b = mol::generate_protein({.target_atoms = 180, .seed = 4});
+  b.transform(geom::RigidTransform::translate({22.0, 0, 0}));
+
+  const auto ta = core::AtomsTree::build(a, {});
+  const auto tb = core::AtomsTree::build(b, {});
+
+  // Synthetic but realistic Born radii: vdW radius plus a deterministic
+  // per-atom bump (the kernel only consumes radii, not how they arose).
+  auto radii = [](const core::AtomsTree& t) {
+    std::vector<double> r(t.num_atoms());
+    for (std::size_t i = 0; i < r.size(); ++i)
+      r[i] = t.vdw_radius[i] + 0.4 + 0.1 * static_cast<double>(i % 7);
+    return r;
+  };
+  const auto born_a = radii(ta);
+  const auto born_b = radii(tb);
+
+  const double eps = 0.05;
+  const auto ctx_a = core::EpolContext::build(ta, born_a, eps);
+  const auto ctx_b = core::EpolContext::build(tb, born_b, eps);
+  const core::GBParams gb;
+  perf::WorkCounters wc;
+  const double cross = core::approx_epol_cross(
+      ta, ctx_a, born_a, tb, ctx_b, born_b, eps, false, gb, wc);
+
+  double ref = 0.0;
+  const auto pa = ta.tree.points(), pb = tb.tree.points();
+  for (std::size_t i = 0; i < ta.num_atoms(); ++i)
+    for (std::size_t j = 0; j < tb.num_atoms(); ++j)
+      ref += ta.charge[i] * tb.charge[j] /
+             core::f_gb(geom::dist2(pa[i], pb[j]), born_a[i] * born_b[j]);
+  ref *= -gb.tau();
+
+  EXPECT_NEAR(cross, ref, 0.01 * std::abs(ref));
+  EXPECT_GT(wc.epol_exact + wc.epol_bins, 0u);
+}
+
+TEST(CrossEpol, EmptyTreesGiveZero) {
+  mol::Molecule a = mol::generate_protein({.target_atoms = 100, .seed = 5});
+  const auto ta = core::AtomsTree::build(a, {});
+  std::vector<double> born(ta.num_atoms(), 1.5);
+  const auto ctx = core::EpolContext::build(ta, born, 0.9);
+  core::AtomsTree empty;
+  core::EpolContext empty_ctx;
+  perf::WorkCounters wc;
+  EXPECT_EQ(core::approx_epol_cross(ta, ctx, born, empty, empty_ctx, {}, 0.9,
+                                    false, {}, wc),
+            0.0);
+}
+
+// ---- EpolContext in-place rebuild -------------------------------------------
+
+TEST(EpolContext, RebuildMatchesBuildAndReportsGrowth) {
+  mol::Molecule m = mol::generate_protein({.target_atoms = 300, .seed = 9});
+  const auto ta = core::AtomsTree::build(m, {});
+  std::vector<double> born(ta.num_atoms());
+  for (std::size_t i = 0; i < born.size(); ++i)
+    born[i] = 1.0 + 0.05 * static_cast<double>(i % 40);
+
+  const auto built = core::EpolContext::build(ta, born, 0.9);
+  core::EpolContext ctx;
+  EXPECT_TRUE(ctx.rebuild(ta, born, 0.9));  // cold: must grow
+  EXPECT_EQ(ctx.bins, built.bins);
+  EXPECT_EQ(ctx.rep, built.rep);
+  EXPECT_EQ(ctx.nbins, built.nbins);
+  EXPECT_FALSE(ctx.rebuild(ta, born, 0.9));  // warm: capacity reused
+  EXPECT_EQ(ctx.bins, built.bins);
+  // Coarser ε → fewer bins → still no growth.
+  EXPECT_FALSE(ctx.rebuild(ta, born, 2.5));
+}
