@@ -1,0 +1,96 @@
+#pragma once
+/// \file checkpoint.hpp
+/// Superstep checkpointing for the elastic hybrid driver (DESIGN.md §2.5).
+///
+/// The elastic driver divides each Epol phase into a *fixed grid* of tasks
+/// and checkpoints every finished task result into a CheckpointStore — the
+/// in-process stand-in for stable storage (a parallel filesystem or burst
+/// buffer on a real cluster). When a rank dies, survivors read the store to
+/// learn which task results are already durable and recompute only the
+/// lost ones. Because each task result is computed deterministically and
+/// combined in fixed task order, recovery reproduces the fault-free Epol
+/// bit for bit (the property faults_test and the CI chaos job enforce).
+///
+/// The wire format is defensive: decode_checkpoint() returns an error (it
+/// never yields partial state or UB) on bad magic, short reads, or counts
+/// that would overflow the buffer — the same hardening contract as
+/// core/persist.hpp, since a checkpoint read happens exactly when the
+/// system is already degraded.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "octgb/util/expected.hpp"
+
+namespace octgb::core {
+
+/// One durable unit of superstep state: the result of `task` within
+/// `phase`, as a flat array of doubles (all Epol phase results — partial
+/// integrals, Born-radius segments, energy partials — flatten to this).
+struct SuperstepCheckpoint {
+  std::string phase;
+  std::uint64_t task = 0;
+  std::vector<double> data;
+
+  bool operator==(const SuperstepCheckpoint&) const = default;
+};
+
+/// Serialize to the "octgbsck" tagged wire format.
+std::string encode_checkpoint(const SuperstepCheckpoint& c);
+
+/// Parse a checkpoint; returns a descriptive error on bad magic, bad
+/// version, truncation at any boundary, or an implausible payload count.
+util::Expected<SuperstepCheckpoint, std::string> decode_checkpoint(
+    std::string_view bytes);
+
+/// Simulated stable storage shared by every rank of a Runtime::run. A
+/// thread-safe key → bytes map: survives simulated rank death (it lives on
+/// the launching thread's stack), models a parallel filesystem the real
+/// cluster would checkpoint to. All operations are linearizable.
+class CheckpointStore {
+ public:
+  /// Store `value` under `key`, replacing any previous value.
+  void put(const std::string& key, std::string value);
+
+  /// Fetch the value under `key`; nullopt when absent.
+  std::optional<std::string> get(const std::string& key) const;
+
+  /// True when `key` has a value.
+  bool contains(const std::string& key) const;
+
+  /// Remove every entry (start of a fresh run).
+  void clear();
+
+  /// Number of stored entries.
+  std::size_t size() const;
+
+  /// Canonical key for a (phase, task) checkpoint: "phase/task".
+  static std::string key_of(std::string_view phase, std::uint64_t task);
+
+  /// Encode + put under key_of(c.phase, c.task).
+  void put_checkpoint(const SuperstepCheckpoint& c);
+
+  /// Get + decode; nullopt when absent *or* undecodable (a corrupt
+  /// checkpoint is treated as a missing one — the task is recomputed).
+  std::optional<SuperstepCheckpoint> get_checkpoint(std::string_view phase,
+                                                    std::uint64_t task) const;
+
+  /// Lifetime counters for recovery metrics (checkpoint.* counters).
+  std::uint64_t puts() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::string> map_;
+  mutable std::uint64_t puts_ = 0;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace octgb::core

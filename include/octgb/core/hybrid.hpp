@@ -57,4 +57,70 @@ struct HybridResult {
 /// Run the Fig. 4 algorithm on a prebuilt engine.
 HybridResult run_hybrid(const GBEngine& engine, const HybridConfig& config);
 
+// --- elastic (self-healing) driver ----------------------------------------
+//
+// run_hybrid_elastic executes the same three supersteps (integrals → Born
+// radii → energy) but survives injected message faults and rank deaths
+// (DESIGN.md §2.5). The key to *bit-identical* recovery is a fixed task
+// grid: each phase is always divided into the original P segments no
+// matter how many ranks remain. Tasks are deterministic functions of the
+// phase inputs; every finished task is checkpointed into a CheckpointStore
+// (simulated stable storage); and each rank combines the P task results
+// locally in ascending task order — so the floating-point reduction order,
+// and therefore every bit of Epol, is independent of which ranks computed
+// which tasks or how often work was re-planned.
+//
+// Control flow per phase: survivors partition the *missing* tasks over the
+// current alive set (re-running the work division over the reduced rank
+// set), checkpoint results, then synchronize through opportunistic
+// done/release messages to the coordinator (lowest alive rank) with
+// deadlines and retry — a lost, corrupt, or dead-peer control message
+// degrades to re-checking the store, never to a hang.
+
+/// Configuration for the elastic driver.
+struct ElasticConfig {
+  /// Base parameters; `hybrid.ranks` is also the size of the fixed task
+  /// grid every phase is divided into.
+  HybridConfig hybrid;
+  /// Seeded fault schedule (empty = run fault-free).
+  mpp::faults::FaultPlan fault_plan;
+  /// Attach per-message CRCs so injected corruption is detected.
+  bool checksum = true;
+  /// Deadline for one done/release control exchange; expiry falls back to
+  /// polling the checkpoint store.
+  double control_deadline_ms = 20.0;
+  /// Re-plan attempts per phase before declaring the run wedged.
+  int max_attempts = 10000;
+};
+
+/// Outcome of an elastic run, with recovery accounting.
+struct ElasticResult {
+  double epol = 0.0;
+  std::vector<double> born;  ///< input order
+  std::vector<perf::WorkCounters> work_per_rank;
+  std::vector<perf::CommCounters> comm_per_rank;
+  /// Ranks that finished all three phases (== ranks - dead_ranks.size()).
+  int ranks_completed = 0;
+  /// Ranks killed by the fault plan.
+  std::vector<int> dead_ranks;
+  /// Task executions across all phases/ranks; 3 * ranks when nothing had
+  /// to be recomputed.
+  std::uint64_t tasks_computed = 0;
+  /// Task executions beyond the fault-free minimum (recovery work).
+  std::uint64_t tasks_recomputed = 0;
+  /// Checkpoint-store writes (the checkpoint cadence bench_faults sweeps).
+  std::uint64_t checkpoint_puts = 0;
+  /// Control receives that needed a retry/backoff round.
+  std::uint64_t control_retries = 0;
+  /// Injected-fault fire counts for the run.
+  mpp::faults::FaultStats faults;
+  double wall_seconds = 0.0;
+};
+
+/// Run the fault-tolerant Fig. 4 pipeline. With an empty fault plan this
+/// computes the same Epol as any faulty run of the same configuration —
+/// the bit-identical-recovery contract faults_test enforces.
+ElasticResult run_hybrid_elastic(const GBEngine& engine,
+                                 const ElasticConfig& config);
+
 }  // namespace octgb::core

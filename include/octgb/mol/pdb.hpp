@@ -8,14 +8,26 @@
 /// so files written by the generator round-trip to identical energies.
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "octgb/mol/molecule.hpp"
 
 namespace octgb::mol {
 
+/// Thrown by read_pdb on malformed input: overlong (non-PDB) lines,
+/// blank or non-numeric coordinate fields, or a file with no atoms at
+/// all. The message names the offending line number.
+class PdbParseError : public std::runtime_error {
+ public:
+  explicit PdbParseError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// Parse PDB text from a stream. Reads ATOM and HETATM records until END
-/// (or EOF); ignores everything else. Malformed records throw CheckError.
+/// (or EOF); ignores everything else. Malformed records throw
+/// PdbParseError with the line number; a file yielding zero atoms is an
+/// error, never an empty molecule.
 Molecule read_pdb(std::istream& in, const std::string& name = "pdb");
 
 /// Parse a PDB file from disk.

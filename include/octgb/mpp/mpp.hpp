@@ -10,7 +10,18 @@
 /// like a real MPI implementation, so measured message counts and byte
 /// volumes are faithful. A Topology maps ranks to nodes/sockets so traffic
 /// is classified intra- vs inter-node for the cost model.
+///
+/// Failure model (DESIGN.md §2.5): failures are first-class events, not
+/// hangs. A seeded faults::FaultInjector (Runtime::Options::fault_plan)
+/// can drop/delay/duplicate/corrupt messages and stall or kill ranks on a
+/// reproducible schedule. Receives gain deadline and retry-with-backoff
+/// variants returning Expected<..., CommError>; an optional per-message
+/// CRC turns in-flight corruption into a detectable ChecksumMismatch; and
+/// a shared failure detector (dead flags + per-rank heartbeats + a global
+/// failure epoch) makes blocking receives and collectives *fail fast*
+/// with PeerDead instead of deadlocking when a peer dies.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
@@ -19,11 +30,15 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "octgb/mpp/faults.hpp"
 #include "octgb/perf/machine_model.hpp"
 #include "octgb/trace/trace.hpp"
 #include "octgb/util/check.hpp"
+#include "octgb/util/expected.hpp"
 
 namespace octgb::mpp {
 
@@ -40,6 +55,77 @@ namespace detail {
 struct SharedState;
 }
 
+// --- failure semantics ------------------------------------------------------
+
+/// Why a recoverable communication operation failed.
+enum class CommStatus : std::uint8_t {
+  Timeout,           ///< deadline expired with no matching message
+  PeerDead,          ///< the source rank died (failure detector)
+  ChecksumMismatch,  ///< per-message CRC did not verify (corruption)
+};
+
+/// Stable display name for a CommStatus ("timeout", ...).
+const char* comm_status_name(CommStatus status);
+
+/// A failed communication operation: what went wrong and the (src, tag,
+/// bytes) triple that identifies the message being waited for.
+struct CommError {
+  CommStatus status = CommStatus::Timeout;
+  int rank = -1;           ///< the rank the operation ran on
+  int src = -1;            ///< expected source rank
+  int tag = 0;             ///< expected tag
+  std::size_t bytes = 0;   ///< expected payload size
+
+  /// Human-readable description including the (src, tag, bytes) triple.
+  std::string describe() const;
+};
+
+/// Result of a recoverable receive.
+using CommResult = util::Expected<util::Unit, CommError>;
+
+/// Thrown by the *blocking* communication API when a failure-semantics
+/// error occurs (deadline expiry under Options::default_deadline_ms, dead
+/// peer, checksum mismatch). Carries the structured CommError.
+class CommException : public std::runtime_error {
+ public:
+  explicit CommException(CommError error)
+      : std::runtime_error(error.describe()), error_(error) {}
+
+  /// The structured error.
+  const CommError& error() const { return error_; }
+
+ private:
+  CommError error_;
+};
+
+/// Thrown inside a rank when a FaultPlan kill rule fires: the in-process
+/// equivalent of the OS killing an MPI process. The runtime marks the rank
+/// dead in the failure detector *before* throwing, treats an escaped
+/// RankKilledError as a simulated process exit (not a global abort), and
+/// surviving ranks observe the death through PeerDead errors.
+class RankKilledError : public std::runtime_error {
+ public:
+  RankKilledError(int rank, std::uint64_t op)
+      : std::runtime_error("rank " + std::to_string(rank) +
+                           " killed by fault plan at comm op " +
+                           std::to_string(op)),
+        rank_(rank) {}
+
+  /// The rank that died.
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// Backoff schedule for recv_bytes_retry: `attempts` tries, the first with
+/// `deadline_ms`, each subsequent deadline multiplied by `backoff`.
+struct RetryPolicy {
+  int attempts = 3;
+  double deadline_ms = 100.0;
+  double backoff = 2.0;
+};
+
 /// Per-rank communicator handle. Valid only inside Runtime::run.
 class Comm {
  public:
@@ -51,8 +137,22 @@ class Comm {
 
   /// Blocking tagged send of raw bytes.
   void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
-  /// Blocking tagged receive; message size must equal `bytes`.
+  /// Blocking tagged receive; message size must equal `bytes`. Throws
+  /// CommException on timeout (when Options::default_deadline_ms is set),
+  /// dead peer, or checksum mismatch.
   void recv_bytes(int src, int tag, void* data, std::size_t bytes);
+
+  /// Receive with an explicit deadline (milliseconds; <= 0 waits
+  /// forever). Returns the error instead of throwing so recovery code can
+  /// branch without exceptions.
+  CommResult recv_bytes_deadline(int src, int tag, void* data,
+                                 std::size_t bytes, double deadline_ms);
+
+  /// Receive with retry-with-backoff: re-arms the deadline per attempt
+  /// (survives injected delays and corrupt copies followed by clean
+  /// duplicates). Timeout/ChecksumMismatch retry; PeerDead fails fast.
+  CommResult recv_bytes_retry(int src, int tag, void* data,
+                              std::size_t bytes, const RetryPolicy& policy);
 
   /// Nonblocking receive handle. Completed by wait(); handles must not
   /// outlive the Comm.
@@ -78,11 +178,19 @@ class Comm {
     return irecv_bytes(src, tag, data.data(), data.size_bytes());
   }
 
-  /// Complete a posted receive (blocks until the message arrives).
+  /// Complete a posted receive (blocks until the message arrives; honours
+  /// Options::default_deadline_ms like recv_bytes). Waiting twice on the
+  /// same request is a contract violation (CheckError).
   void wait(Request& request);
 
+  /// Complete a posted receive with an explicit deadline. On success the
+  /// request is invalidated; on Timeout it stays valid and can be waited
+  /// on again.
+  CommResult wait_deadline(Request& request, double deadline_ms);
+
   /// True when the matching message has already arrived (wait() would not
-  /// block). Does not consume the message.
+  /// block). Does not consume the message; delayed (in-flight) messages
+  /// do not count as arrived.
   bool test(const Request& request);
 
   /// Combined exchange (deadlock-free even for self-paired patterns):
@@ -115,8 +223,52 @@ class Comm {
     recv_bytes(src, tag, &v, sizeof(T));
     return v;
   }
+  /// recv_value with a deadline; returns the value or the CommError.
+  template <class T>
+  util::Expected<T, CommError> recv_value_deadline(int src, int tag,
+                                                   double deadline_ms) {
+    T v;
+    auto r = recv_bytes_deadline(src, tag, &v, sizeof(T), deadline_ms);
+    if (!r) return util::Expected<T, CommError>::failure(r.error());
+    return util::Expected<T, CommError>::success(std::move(v));
+  }
+
+  // --- failure detector ---------------------------------------------------
+
+  /// True when `rank` has not (yet) died. Exact in this in-process
+  /// runtime: a killed rank flips its dead flag before unwinding.
+  bool is_alive(int rank) const;
+
+  /// Ascending list of currently-alive ranks (a consistent snapshot at
+  /// some instant; pair with failure_epoch() to detect churn).
+  std::vector<int> alive_ranks() const;
+
+  /// Monotonic counter bumped on every rank death. Recovery protocols
+  /// snapshot it before a phase and re-plan when it moved.
+  int failure_epoch() const;
+
+  /// Heartbeat of `rank`: its comm-op count. A rank whose heartbeat stops
+  /// advancing while alive is stalled (straggler), not dead.
+  std::uint64_t heartbeat_of(int rank) const;
+
+  /// Communication operations this rank has performed (sends + receives).
+  std::uint64_t comm_ops() const { return ops_; }
+
+  /// Advance this rank's comm-op counter through the fault point without
+  /// transferring data: refreshes the heartbeat and lets injected stalls
+  /// and kills land at a deterministic point. Long compute sections
+  /// should poll periodically so the failure detector can tell "busy"
+  /// from "dead" — the elastic hybrid driver polls before every task.
+  void poll();
+
+  /// Receive attempts retried by recv_bytes_retry on this rank.
+  std::uint64_t retries() const { return retries_; }
 
   // --- collectives (binomial tree; every rank must participate) ----------
+  //
+  // With the failure detector active, a collective involving a dead rank
+  // fails fast (CommException{PeerDead}) instead of hanging; the elastic
+  // driver (core/hybrid.hpp) catches and re-plans over the survivors.
 
   void barrier();
 
@@ -169,10 +321,20 @@ class Comm {
   void account_send(int dest, std::size_t bytes);
   int next_coll_tag();
 
+  /// Heartbeat + injector checkpoint run at the top of every comm op;
+  /// returns the op's index. Applies scheduled stalls and kills (the
+  /// latter by marking this rank dead and throwing RankKilledError).
+  std::uint64_t fault_point();
+  /// The deadline/retry receive core shared by all receive flavours.
+  CommResult recv_impl(int src, int tag, void* data, std::size_t bytes,
+                       double deadline_ms);
+
   detail::SharedState* state_;
   int rank_;
   int size_;
   int coll_seq_ = 0;
+  std::uint64_t ops_ = 0;
+  std::uint64_t retries_ = 0;
   perf::CommCounters counters_;
 };
 
@@ -182,11 +344,27 @@ class Runtime {
   struct Options {
     int ranks = 1;
     Topology topology;
+    /// Deadline (milliseconds) applied to plain recv_bytes/wait calls;
+    /// 0 waits forever (the classic MPI hang). Setting it turns a receive
+    /// of a never-sent message into CommException{Timeout} carrying the
+    /// (src, tag, bytes) triple instead of a silent deadlock.
+    double default_deadline_ms = 0.0;
+    /// Attach a CRC-32 to every message and verify it on receive;
+    /// injected corruption then surfaces as ChecksumMismatch instead of
+    /// silently wrong payloads.
+    bool checksum = false;
+    /// Seeded fault schedule executed by a deterministic FaultInjector;
+    /// empty = no faults (and zero overhead on the message path).
+    faults::FaultPlan fault_plan;
+    /// When set, receives the injector's fire counts after the run
+    /// (zeroed when fault_plan is empty).
+    faults::FaultStats* fault_stats_out = nullptr;
   };
 
   /// Execute rank_main(comm) on every rank; blocks until all complete.
-  /// Exceptions thrown by any rank are rethrown (first wins). Returns the
-  /// per-rank communication counters.
+  /// Exceptions thrown by any rank are rethrown (first wins), except
+  /// RankKilledError, which is absorbed as a simulated process exit.
+  /// Returns the per-rank communication counters.
   static std::vector<perf::CommCounters> run(
       const Options& opts, const std::function<void(Comm&)>& rank_main);
 };

@@ -73,6 +73,44 @@ SimResult simulate_cluster(const core::GBEngine& engine,
 double jittered_total_seconds(const SimResult& base, const ClusterConfig& cfg,
                               std::uint64_t repeat_seed);
 
+// --- checkpoint/recovery model (DESIGN.md §2.5) ----------------------------
+
+/// Failure environment for a modeled run of the elastic driver.
+struct RecoveryConfig {
+  /// Mean time between failures across the whole allocation.
+  double mtbf_seconds = 3600.0;
+  /// Cost of writing one superstep checkpoint to stable storage.
+  double checkpoint_seconds = 0.05;
+  /// Cost of restarting from the last checkpoint after a failure
+  /// (re-division + reloading durable state).
+  double restart_seconds = 0.1;
+  /// Checkpoint cadence; 0 selects the Young/Daly optimum.
+  double checkpoint_interval_seconds = 0.0;
+};
+
+/// Expected cost breakdown of running `base` under `RecoveryConfig`.
+struct RecoveryEstimate {
+  double interval_seconds = 0.0;          ///< cadence actually used
+  double optimal_interval_seconds = 0.0;  ///< Young/Daly √(2·δ·MTBF)
+  double checkpoint_overhead_seconds = 0.0;  ///< (T/τ)·δ
+  double expected_failures = 0.0;            ///< T_total / MTBF
+  double rework_seconds = 0.0;  ///< failures · (τ/2 + restart)
+  double expected_total_seconds = 0.0;
+  /// (expected_total - fault-free) / fault-free.
+  double overhead_fraction = 0.0;
+};
+
+/// Young's optimal checkpoint interval √(2·δ·MTBF) for checkpoint cost δ.
+double optimal_checkpoint_interval(double checkpoint_seconds,
+                                   double mtbf_seconds);
+
+/// First-order Young/Daly estimate: expected runtime of `base` when
+/// checkpointing every `interval` and losing on average half an interval
+/// plus a restart per failure. bench_faults sweeps the cadence against
+/// this curve.
+RecoveryEstimate estimate_recovery(const SimResult& base,
+                                   const RecoveryConfig& config);
+
 /// Analytic collective costs (mirror mpp's implementations; exposed for
 /// tests and the scalability benches).
 struct CollectiveCosts {

@@ -1,0 +1,76 @@
+#pragma once
+/// \file expected.hpp
+/// Minimal expected<T, E> for C++20 (std::expected is C++23).
+///
+/// Used by the mpp runtime's recoverable communication paths: operations
+/// that can fail *as part of normal operation* (timeouts, dead peers,
+/// corrupted messages) return an Expected instead of throwing, so callers
+/// like the elastic hybrid driver can branch on the error and recover
+/// without exception-driven control flow in hot retry loops.
+
+#include <utility>
+#include <variant>
+
+#include "octgb/util/check.hpp"
+
+namespace octgb::util {
+
+/// Empty success payload for operations that return no value.
+struct Unit {};
+
+/// Either a value of type T or an error of type E. T and E may be the
+/// same type — use the `success` / `failure` factories, which are always
+/// unambiguous (the converting constructors exist for convenience when
+/// T and E differ).
+template <class T, class E>
+class Expected {
+ public:
+  /// Construct a success from a value (requires T != E to be unambiguous).
+  Expected(T v) : v_(std::in_place_index<0>, std::move(v)) {}
+  /// Construct a failure from an error (requires T != E).
+  Expected(E e) : v_(std::in_place_index<1>, std::move(e)) {}
+
+  /// Explicit success factory.
+  static Expected success(T v) {
+    return Expected(std::in_place_index<0>, std::move(v));
+  }
+  /// Explicit failure factory.
+  static Expected failure(E e) {
+    return Expected(std::in_place_index<1>, std::move(e));
+  }
+
+  /// True when this holds a value.
+  bool has_value() const { return v_.index() == 0; }
+  /// True when this holds a value.
+  explicit operator bool() const { return has_value(); }
+
+  /// The value; OCTGB_CHECKs that one is present.
+  T& value() {
+    OCTGB_CHECK_MSG(has_value(), "Expected::value() on an error");
+    return std::get<0>(v_);
+  }
+  /// The value (const).
+  const T& value() const {
+    OCTGB_CHECK_MSG(has_value(), "Expected::value() on an error");
+    return std::get<0>(v_);
+  }
+  /// The error; OCTGB_CHECKs that one is present.
+  const E& error() const {
+    OCTGB_CHECK_MSG(!has_value(), "Expected::error() on a value");
+    return std::get<1>(v_);
+  }
+  /// The error (mutable).
+  E& error() {
+    OCTGB_CHECK_MSG(!has_value(), "Expected::error() on a value");
+    return std::get<1>(v_);
+  }
+
+ private:
+  template <std::size_t I, class V>
+  Expected(std::in_place_index_t<I> tag, V&& v)
+      : v_(tag, std::forward<V>(v)) {}
+
+  std::variant<T, E> v_;
+};
+
+}  // namespace octgb::util

@@ -1,7 +1,10 @@
 #include "octgb/core/hybrid.hpp"
 
+#include <atomic>
 #include <mutex>
+#include <optional>
 
+#include "octgb/core/checkpoint.hpp"
 #include "octgb/perf/stats.hpp"
 #include "octgb/trace/trace.hpp"
 #include "octgb/util/check.hpp"
@@ -157,6 +160,329 @@ HybridResult run_hybrid(const GBEngine& engine, const HybridConfig& config) {
       engine.footprint_bytes() +
       (n_nodes + 2 * n_atoms) * sizeof(double) /* node_s, atom_s, born */ +
       std::size_t{65536} * (config.threads_per_rank - 1) /* ws workers */;
+  return result;
+}
+
+namespace {
+
+/// Phase names double as checkpoint-key prefixes.
+constexpr const char* kPhaseNames[3] = {"integrals", "born", "epol"};
+
+/// Tags for the done/release control exchange. Unique per (phase, attempt,
+/// kind), so a message from an abandoned attempt can never be consumed by
+/// a later one — it just sits in the mailbox, harmless. Stays below the
+/// collective tag base for any sane attempt count.
+int control_tag(int phase, int attempt, int kind) {
+  return phase * 65536 + attempt * 2 + kind + 1;
+}
+
+}  // namespace
+
+ElasticResult run_hybrid_elastic(const GBEngine& engine,
+                                 const ElasticConfig& config) {
+  if (engine.config().trace.enabled) trace::Tracer::instance().set_enabled(true);
+  const HybridConfig& hc = config.hybrid;
+  OCTGB_CHECK_MSG(hc.ranks >= 1, "need at least one rank");
+  OCTGB_CHECK_MSG(hc.threads_per_rank >= 1, "need at least one thread");
+  OCTGB_CHECK_MSG(config.max_attempts <= 32768,
+                  "max_attempts would overflow the control-tag space");
+
+  const int P = hc.ranks;
+  const auto n_nodes = engine.num_ta_nodes();
+  const auto n_atoms = engine.num_atoms();
+  const auto& q_leaves = engine.q_leaves();
+  const auto& a_leaves = engine.a_leaves();
+
+  // The FIXED task grid: the original P segments, identical to
+  // run_hybrid's static division. Deaths never change task boundaries —
+  // only who computes which task — which is what makes recovery
+  // bit-identical.
+  std::vector<Segment> q_segments(P), a_leaf_segments(P), atom_segments(P);
+  if (hc.weighted_division) {
+    auto wq = weighted_leaf_segments(engine.qpoints_tree().tree, q_leaves, P);
+    auto wa = weighted_leaf_segments(engine.atoms_tree().tree, a_leaves, P);
+    for (int i = 0; i < P; ++i) {
+      q_segments[i] = wq[i];
+      a_leaf_segments[i] = wa[i];
+    }
+  } else {
+    for (int i = 0; i < P; ++i) {
+      q_segments[i] = even_segment(q_leaves.size(), P, i);
+      a_leaf_segments[i] = even_segment(a_leaves.size(), P, i);
+    }
+  }
+  for (int i = 0; i < P; ++i)
+    atom_segments[i] = even_segment(n_atoms, P, i);
+
+  // Simulated stable storage, shared by all ranks and surviving any of
+  // them (it lives on the launching thread).
+  CheckpointStore store;
+
+  ElasticResult result;
+  result.work_per_rank.resize(P);
+  std::atomic<std::uint64_t> tasks_computed{0};
+  std::atomic<std::uint64_t> tasks_recomputed{0};
+  std::atomic<std::uint64_t> control_retries{0};
+  std::vector<std::uint8_t> done_flag(P, 0);
+  std::vector<double> final_epol(P, 0.0);
+  std::vector<std::vector<double>> final_born(P);
+  std::mutex result_mu;
+
+  perf::Timer timer;
+  mpp::Runtime::Options opts;
+  opts.ranks = P;
+  opts.topology = hc.topology;
+  opts.checksum = config.checksum;
+  opts.fault_plan = config.fault_plan;
+  opts.fault_stats_out = &result.faults;
+
+  result.comm_per_rank = mpp::Runtime::run(opts, [&](mpp::Comm& comm) {
+    const int me = comm.rank();
+    perf::WorkCounters& work = result.work_per_rank[me];
+
+    std::unique_ptr<ws::Scheduler> sched;
+    if (hc.threads_per_rank > 1)
+      sched = std::make_unique<ws::Scheduler>(hc.threads_per_rank);
+    auto run_sched = [&](const std::function<void()>& fn) {
+      if (sched)
+        sched->run(fn);
+      else
+        fn();
+    };
+
+    // Phase inputs, rebuilt identically on every rank from the store.
+    std::vector<double> node_s, atom_s, born_tree;
+    std::optional<EpolContext> epol_ctx;
+
+    auto compute_task = [&](int phase, int t) {
+      std::vector<double> data;
+      switch (phase) {
+        case 0: {
+          std::vector<double> ns(n_nodes, 0.0), as(n_atoms, 0.0);
+          run_sched([&] { engine.phase_integrals(q_segments[t], ns, as, work); });
+          data.reserve(n_nodes + n_atoms);
+          data.insert(data.end(), ns.begin(), ns.end());
+          data.insert(data.end(), as.begin(), as.end());
+          break;
+        }
+        case 1: {
+          std::vector<double> bt(n_atoms, 0.0);
+          run_sched([&] {
+            engine.phase_push(atom_segments[t], node_s, atom_s, bt, work);
+          });
+          const auto seg = atom_segments[t];
+          data.assign(bt.begin() + seg.begin,
+                      bt.begin() + seg.begin + seg.size());
+          break;
+        }
+        default: {
+          double part = 0.0;
+          run_sched([&] {
+            part = hc.atom_based_epol
+                       ? engine.phase_epol_atom_based(*epol_ctx, born_tree,
+                                                      atom_segments[t], work)
+                       : engine.phase_epol(*epol_ctx, born_tree,
+                                           a_leaf_segments[t], work);
+          });
+          data.push_back(part);
+          break;
+        }
+      }
+      return data;
+    };
+
+    auto missing_tasks = [&](int phase) {
+      std::vector<int> missing;
+      for (int t = 0; t < P; ++t)
+        if (!store.contains(CheckpointStore::key_of(
+                kPhaseNames[phase], static_cast<std::uint64_t>(t))))
+          missing.push_back(t);
+      return missing;
+    };
+
+    auto do_task = [&](int phase, int t) {
+      // Fault point before the compute: keeps the heartbeat fresh and
+      // gives scheduled stalls/kills a deterministic place to land even
+      // when a phase completes without any control traffic.
+      comm.poll();
+      if (store.contains(CheckpointStore::key_of(
+              kPhaseNames[phase], static_cast<std::uint64_t>(t))))
+        return;
+      SuperstepCheckpoint c;
+      c.phase = kPhaseNames[phase];
+      c.task = static_cast<std::uint64_t>(t);
+      c.data = compute_task(phase, t);
+      store.put_checkpoint(c);
+      tasks_computed.fetch_add(1, std::memory_order_relaxed);
+      // Task t's original owner is rank t; doing someone else's task is
+      // recovery (or duplicated) work.
+      if (t != me) tasks_recomputed.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    // Drive one phase to durability. Correctness rests on the store alone:
+    // the phase is complete exactly when all P task checkpoints exist.
+    // Messages (done → coordinator, release → workers) are only a fast
+    // path; any lost/corrupt/dead-peer control exchange degrades to
+    // re-checking the store and re-dividing the missing tasks over the
+    // ranks still alive.
+    auto sync_phase = [&](int phase) {
+      int attempt = 0;
+      int last_epoch = comm.failure_epoch();
+      for (;;) {
+        OCTGB_CHECK_MSG(attempt < config.max_attempts,
+                        "elastic phase '" << kPhaseNames[phase]
+                                          << "' made no progress after "
+                                          << attempt << " attempts");
+        comm.poll();
+        const auto alive = comm.alive_ranks();
+        const int epoch = comm.failure_epoch();
+        if (epoch != last_epoch) {
+          trace::instant("recovery.replan");
+          last_epoch = epoch;
+        }
+        int my_idx = 0;
+        for (std::size_t i = 0; i < alive.size(); ++i)
+          if (alive[i] == me) my_idx = static_cast<int>(i);
+        auto missing = missing_tasks(phase);
+        // Re-run the work division over the reduced rank set. A missing
+        // task stays with its natural owner (rank == task index) while
+        // that owner is alive — a slow rank is not a failed rank, and
+        // stealing its work would waste compute and inflate the
+        // recompute counter. Only orphaned tasks (owner dead) are
+        // re-divided: the i-th orphan goes to the i-th (mod |alive|)
+        // survivor.
+        std::size_t orphan_idx = 0;
+        for (int t : missing) {
+          const bool owner_alive = comm.is_alive(t);
+          if (owner_alive) {
+            if (t == me) do_task(phase, t);
+          } else {
+            if (static_cast<int>(orphan_idx % alive.size()) == my_idx)
+              do_task(phase, t);
+            ++orphan_idx;
+          }
+        }
+        if (missing_tasks(phase).empty()) break;
+        const int coord = alive.front();
+        if (me == coord) {
+          // Collect done notices so we block-with-deadline instead of
+          // spinning; outcome is advisory (the store is authoritative).
+          for (int r : alive) {
+            if (r == me || !comm.is_alive(r)) continue;
+            (void)comm.recv_value_deadline<int>(
+                r, control_tag(phase, attempt, 0), config.control_deadline_ms);
+          }
+          if (missing_tasks(phase).empty()) break;
+        } else {
+          comm.send_value(coord, control_tag(phase, attempt, 0), me);
+          int token = 0;
+          mpp::RetryPolicy policy;
+          policy.attempts = 2;
+          policy.deadline_ms = config.control_deadline_ms;
+          auto res = comm.recv_bytes_retry(coord,
+                                           control_tag(phase, attempt, 1),
+                                           &token, sizeof(token), policy);
+          if (!res) control_retries.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++attempt;
+      }
+      // Fast-path wakeup for workers still blocked on this attempt's
+      // release tag; purely opportunistic (mismatched attempts time out
+      // and find the store complete).
+      const auto alive = comm.alive_ranks();
+      if (!alive.empty() && alive.front() == me)
+        for (int r : alive)
+          if (r != me) comm.send_value(r, control_tag(phase, attempt, 1), 0);
+    };
+
+    // Phase 1: approximate integrals over the fixed T_Q-leaf segments.
+    {
+      OCTGB_SPAN("elastic.integrals");
+      sync_phase(0);
+    }
+    // Ordered combine (ascending task index) — every rank derives the
+    // exact same node/atom sums regardless of who computed what.
+    node_s.assign(n_nodes, 0.0);
+    atom_s.assign(n_atoms, 0.0);
+    for (int t = 0; t < P; ++t) {
+      auto c = store.get_checkpoint(kPhaseNames[0],
+                                    static_cast<std::uint64_t>(t));
+      OCTGB_CHECK_MSG(c && c->data.size() == n_nodes + n_atoms,
+                      "integrals checkpoint " << t << " lost or corrupt");
+      for (std::size_t i = 0; i < n_nodes; ++i) node_s[i] += c->data[i];
+      for (std::size_t i = 0; i < n_atoms; ++i)
+        atom_s[i] += c->data[n_nodes + i];
+    }
+
+    // Phase 2: Born radii over the fixed atom segments.
+    {
+      OCTGB_SPAN("elastic.born");
+      sync_phase(1);
+    }
+    born_tree.assign(n_atoms, 0.0);
+    for (int t = 0; t < P; ++t) {
+      auto c = store.get_checkpoint(kPhaseNames[1],
+                                    static_cast<std::uint64_t>(t));
+      const auto seg = atom_segments[t];
+      OCTGB_CHECK_MSG(c && c->data.size() == seg.size(),
+                      "born checkpoint " << t << " lost or corrupt");
+      std::copy(c->data.begin(), c->data.end(),
+                born_tree.begin() + seg.begin);
+    }
+
+    // Phase 3: partial energies over the fixed leaf/atom segments.
+    epol_ctx.emplace(engine.build_epol_context(born_tree));
+    {
+      OCTGB_SPAN("elastic.epol");
+      sync_phase(2);
+    }
+    double epol = 0.0;
+    for (int t = 0; t < P; ++t) {
+      auto c = store.get_checkpoint(kPhaseNames[2],
+                                    static_cast<std::uint64_t>(t));
+      OCTGB_CHECK_MSG(c && c->data.size() == 1,
+                      "epol checkpoint " << t << " lost or corrupt");
+      epol += c->data[0];
+    }
+
+    if (sched) {
+      const auto st = sched->stats();
+      work.spawns += st.spawns;
+      work.steals += st.steals;
+    }
+    control_retries.fetch_add(comm.retries(), std::memory_order_relaxed);
+
+    std::lock_guard<std::mutex> lock(result_mu);
+    done_flag[me] = 1;
+    final_epol[me] = epol;
+    final_born[me] = std::move(born_tree);
+  });
+
+  result.wall_seconds = timer.seconds();
+  int first_done = -1;
+  for (int r = 0; r < P; ++r) {
+    if (!done_flag[r]) {
+      result.dead_ranks.push_back(r);
+      continue;
+    }
+    if (first_done < 0) first_done = r;
+    OCTGB_CHECK_MSG(final_epol[r] == final_epol[first_done],
+                    "survivors disagree on the recovered energy");
+    ++result.ranks_completed;
+  }
+  OCTGB_CHECK_MSG(first_done >= 0, "every rank died; nothing to recover");
+  result.epol = final_epol[first_done];
+  result.born = engine.born_to_input_order(final_born[first_done]);
+  result.tasks_computed = tasks_computed.load();
+  result.tasks_recomputed = tasks_recomputed.load();
+  result.checkpoint_puts = store.puts();
+  result.control_retries = control_retries.load();
+  if (trace::enabled()) {
+    trace::counter("recovery.tasks_recomputed",
+                   static_cast<double>(result.tasks_recomputed));
+    trace::counter("recovery.dead_ranks",
+                   static_cast<double>(result.dead_ranks.size()));
+  }
   return result;
 }
 

@@ -20,6 +20,26 @@ std::string_view column(std::string_view line, std::size_t begin,
   return line.substr(begin, std::min(end, line.size()) - begin);
 }
 
+// PDB records are 80 columns; anything dramatically longer is not a PDB
+// line (binary junk, a mis-saved file) and parsing it column-wise would
+// produce silent nonsense.
+constexpr std::size_t kMaxPdbLine = 512;
+
+/// Parse a mandatory coordinate column; blank or non-numeric fields are
+/// hard errors naming the line, not silent zeros.
+double parse_coord(std::string_view field, char axis, int line_no) {
+  if (util::trim(field).empty())
+    throw PdbParseError(util::format(
+        "PDB line %d: blank %c-coordinate field", line_no, axis));
+  try {
+    return util::parse_double_field(field, 0.0);
+  } catch (const util::CheckError&) {
+    throw PdbParseError(util::format(
+        "PDB line %d: non-numeric %c-coordinate field '%.*s'", line_no,
+        axis, static_cast<int>(field.size()), field.data()));
+  }
+}
+
 }  // namespace
 
 double protein_partial_charge(std::string_view atom_name,
@@ -136,7 +156,13 @@ void assign_charges_and_radii(Molecule& mol) {
 Molecule read_pdb(std::istream& in, const std::string& name) {
   Molecule mol(name);
   std::string line;
+  int line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
+    if (line.size() > kMaxPdbLine)
+      throw PdbParseError(util::format(
+          "PDB line %d: %zu characters long — not a PDB record (limit %zu)",
+          line_no, line.size(), kMaxPdbLine));
     if (util::starts_with(line, "END") && !util::starts_with(line, "ENDMDL"))
       break;
     const bool is_atom = util::starts_with(line, "ATOM  ");
@@ -151,15 +177,18 @@ Molecule read_pdb(std::istream& in, const std::string& name) {
     const auto chain = column(line, 21, 22);
     label.chain_id = chain.empty() ? 'A' : chain[0];
     label.residue_seq = util::parse_int_field(column(line, 22, 26), 0);
-    a.pos.x = util::parse_double_field(column(line, 30, 38), 0.0);
-    a.pos.y = util::parse_double_field(column(line, 38, 46), 0.0);
-    a.pos.z = util::parse_double_field(column(line, 46, 54), 0.0);
+    a.pos.x = parse_coord(column(line, 30, 38), 'x', line_no);
+    a.pos.y = parse_coord(column(line, 38, 46), 'y', line_no);
+    a.pos.z = parse_coord(column(line, 46, 54), 'z', line_no);
     const auto elem_field = column(line, 76, 78);
     a.element = parse_element(elem_field);
     if (a.element == Element::Unknown)
       a.element = element_from_atom_name(label.atom_name);
     mol.add_atom(a, std::move(label));
   }
+  if (mol.size() == 0)
+    throw PdbParseError("PDB stream '" + name +
+                        "' contains no ATOM/HETATM records");
   assign_charges_and_radii(mol);
   return mol;
 }

@@ -6,16 +6,40 @@
 #include <thread>
 
 #include "octgb/trace/trace.hpp"
+#include "octgb/util/strings.hpp"
 
 namespace octgb::mpp {
 
+const char* comm_status_name(CommStatus status) {
+  switch (status) {
+    case CommStatus::Timeout: return "timeout";
+    case CommStatus::PeerDead: return "peer-dead";
+    case CommStatus::ChecksumMismatch: return "checksum-mismatch";
+  }
+  return "unknown";
+}
+
+std::string CommError::describe() const {
+  return util::format(
+      "mpp recv failed on rank %d: %s waiting for (src=%d, tag=%d, %zu "
+      "bytes)",
+      rank, comm_status_name(status), src, tag, bytes);
+}
+
 namespace detail {
+
+using Clock = std::chrono::steady_clock;
 
 /// One in-flight message.
 struct Message {
   int src;
   int tag;
   std::vector<std::uint8_t> payload;
+  /// Delivery time for injected delays; matched receives skip messages
+  /// still "on the wire".
+  Clock::time_point visible_at{};
+  std::uint32_t crc = 0;   ///< CRC-32 of the payload as sent
+  bool has_crc = false;    ///< set when Options::checksum is on
 };
 
 /// Per-rank mailbox with blocking matched receive.
@@ -25,10 +49,21 @@ struct Mailbox {
   std::deque<Message> messages;
 };
 
+/// Failure-detector state for one rank.
+struct RankState {
+  std::atomic<bool> dead{false};
+  std::atomic<std::uint64_t> heartbeat{0};
+};
+
 struct SharedState {
   Topology topology;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::vector<std::unique_ptr<RankState>> ranks;
   std::atomic<bool> aborted{false};
+  std::atomic<int> failure_epoch{0};
+  const faults::FaultInjector* injector = nullptr;
+  bool checksum = false;
+  double default_deadline_ms = 0.0;
 };
 
 }  // namespace detail
@@ -56,45 +91,174 @@ void Comm::account_send(int dest, std::size_t bytes) {
                                        counters_.bytes_internode));
 }
 
+std::uint64_t Comm::fault_point() {
+  detail::RankState& me = *state_->ranks[rank_];
+  me.heartbeat.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t op = ops_++;
+  // A dead rank must not keep communicating: re-throw on any further use
+  // (the elastic driver catches RankKilledError and unwinds the rank).
+  if (me.dead.load(std::memory_order_relaxed))
+    throw RankKilledError(rank_, op);
+  const faults::FaultInjector* inj = state_->injector;
+  if (inj == nullptr) return op;
+  const double stall = inj->stall_ms(rank_, op);
+  if (stall > 0.0) {
+    trace::instant("fault.stall");
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<long long>(stall * 1000.0)));
+  }
+  if (inj->should_kill(rank_, op)) {
+    trace::instant("fault.kill");
+    me.dead.store(true, std::memory_order_release);
+    state_->failure_epoch.fetch_add(1, std::memory_order_acq_rel);
+    // Wake every blocked receiver so it can observe the death and fail
+    // fast (lock/unlock pairs with the waiters' condition re-check).
+    for (auto& mb : state_->mailboxes) {
+      { std::lock_guard<std::mutex> lock(mb->mu); }
+      mb->cv.notify_all();
+    }
+    throw RankKilledError(rank_, op);
+  }
+  return op;
+}
+
+void Comm::poll() { fault_point(); }
+
 void Comm::send_bytes(int dest, int tag, const void* data,
                       std::size_t bytes) {
   OCTGB_CHECK_MSG(dest >= 0 && dest < size_, "send to invalid rank " << dest);
   OCTGB_CHECK_MSG(dest != rank_, "send to self would deadlock");
+  const std::uint64_t op = fault_point();
   account_send(dest, bytes);
+  faults::SendFaults f;
+  if (state_->injector != nullptr)
+    f = state_->injector->on_send(rank_, dest, op);
+  if (f.drop) {
+    // The message left the sender and vanished on the wire: sender-side
+    // accounting stands, the receiver sees nothing (→ timeout).
+    trace::instant("fault.drop");
+    return;
+  }
   detail::Mailbox& box = *state_->mailboxes[dest];
   detail::Message msg;
   msg.src = rank_;
   msg.tag = tag;
   msg.payload.resize(bytes);
   if (bytes) std::memcpy(msg.payload.data(), data, bytes);
+  if (state_->checksum) {
+    msg.crc = faults::crc32(msg.payload.data(), msg.payload.size());
+    msg.has_crc = true;
+  }
+  if (f.corrupt && bytes > 0) {
+    // Bit-flip after the checksum was computed — wire corruption, which
+    // the CRC (when enabled) detects at the receiver.
+    trace::instant("fault.corrupt");
+    msg.payload[static_cast<std::size_t>(op) % bytes] ^= 0xA5;
+  }
+  if (f.delay_ms > 0.0) {
+    trace::instant("fault.delay");
+    msg.visible_at = detail::Clock::now() +
+                     std::chrono::microseconds(
+                         static_cast<long long>(f.delay_ms * 1000.0));
+  }
   {
     std::lock_guard<std::mutex> lock(box.mu);
+    if (f.duplicate) {
+      trace::instant("fault.duplicate");
+      box.messages.push_back(msg);
+    }
     box.messages.push_back(std::move(msg));
   }
   box.cv.notify_all();
 }
 
-void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
+CommResult Comm::recv_impl(int src, int tag, void* data, std::size_t bytes,
+                           double deadline_ms) {
   OCTGB_CHECK_MSG(src >= 0 && src < size_, "recv from invalid rank " << src);
   // The span covers matching + blocking, i.e. the rank's wait time.
   OCTGB_SPAN("mpp.recv");
+  fault_point();
+  const bool finite = deadline_ms > 0.0;
+  const auto deadline =
+      finite ? detail::Clock::now() +
+                   std::chrono::microseconds(
+                       static_cast<long long>(deadline_ms * 1000.0))
+             : detail::Clock::time_point::max();
   detail::Mailbox& box = *state_->mailboxes[rank_];
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
     OCTGB_CHECK_MSG(!state_->aborted.load(std::memory_order_relaxed),
                     "peer rank failed; aborting recv on rank " << rank_);
+    const auto now = detail::Clock::now();
+    // Matched-but-delayed messages bound how long we sleep.
+    auto next_visible = detail::Clock::time_point::max();
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
-      if (it->src == src && it->tag == tag) {
-        OCTGB_CHECK_MSG(it->payload.size() == bytes,
-                        "message size mismatch: got " << it->payload.size()
-                                                      << ", want " << bytes);
-        if (bytes) std::memcpy(data, it->payload.data(), bytes);
-        box.messages.erase(it);
-        return;
+      if (it->src != src || it->tag != tag) continue;
+      if (it->visible_at > now) {
+        next_visible = std::min(next_visible, it->visible_at);
+        continue;
       }
+      OCTGB_CHECK_MSG(it->payload.size() == bytes,
+                      "message size mismatch: got " << it->payload.size()
+                                                    << ", want " << bytes);
+      if (it->has_crc &&
+          faults::crc32(it->payload.data(), it->payload.size()) != it->crc) {
+        // Consume the corrupt copy so a retry can match a clean duplicate.
+        box.messages.erase(it);
+        return CommResult::failure(
+            {CommStatus::ChecksumMismatch, rank_, src, tag, bytes});
+      }
+      if (bytes) std::memcpy(data, it->payload.data(), bytes);
+      box.messages.erase(it);
+      return CommResult::success({});
     }
-    box.cv.wait(lock);
+    // No consumable message: fail fast on a dead peer (messages it sent
+    // before dying were already matched above).
+    if (next_visible == detail::Clock::time_point::max() &&
+        state_->ranks[src]->dead.load(std::memory_order_acquire))
+      return CommResult::failure(
+          {CommStatus::PeerDead, rank_, src, tag, bytes});
+    if (finite && now >= deadline)
+      return CommResult::failure(
+          {CommStatus::Timeout, rank_, src, tag, bytes});
+    const auto wake_at = std::min(deadline, next_visible);
+    if (wake_at == detail::Clock::time_point::max())
+      box.cv.wait(lock);
+    else
+      box.cv.wait_until(lock, wake_at);
   }
+}
+
+void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
+  CommResult r = recv_impl(src, tag, data, bytes,
+                           state_->default_deadline_ms);
+  if (!r) throw CommException(r.error());
+}
+
+CommResult Comm::recv_bytes_deadline(int src, int tag, void* data,
+                                     std::size_t bytes, double deadline_ms) {
+  return recv_impl(src, tag, data, bytes, deadline_ms);
+}
+
+CommResult Comm::recv_bytes_retry(int src, int tag, void* data,
+                                  std::size_t bytes,
+                                  const RetryPolicy& policy) {
+  OCTGB_CHECK_MSG(policy.attempts >= 1, "retry policy needs >= 1 attempt");
+  double deadline_ms = policy.deadline_ms;
+  CommResult last = CommResult::failure(
+      {CommStatus::Timeout, rank_, src, tag, bytes});
+  for (int attempt = 0; attempt < policy.attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      trace::instant("mpp.retry");
+      deadline_ms *= policy.backoff;
+    }
+    last = recv_impl(src, tag, data, bytes, deadline_ms);
+    if (last) return last;
+    // A dead peer will never answer: retrying only burns the deadline.
+    if (last.error().status == CommStatus::PeerDead) return last;
+  }
+  return last;
 }
 
 Comm::Request Comm::irecv_bytes(int src, int tag, void* data,
@@ -116,14 +280,48 @@ void Comm::wait(Request& request) {
   request.comm_ = nullptr;
 }
 
+CommResult Comm::wait_deadline(Request& request, double deadline_ms) {
+  OCTGB_CHECK_MSG(request.valid(), "wait on an invalid request");
+  OCTGB_CHECK_MSG(request.comm_ == this, "request belongs to another comm");
+  CommResult r = recv_impl(request.src_, request.tag_, request.data_,
+                           request.bytes_, deadline_ms);
+  if (r) request.comm_ = nullptr;
+  return r;
+}
+
 bool Comm::test(const Request& request) {
   OCTGB_CHECK_MSG(request.valid(), "test on an invalid request");
   detail::Mailbox& box = *state_->mailboxes[rank_];
   std::lock_guard<std::mutex> lock(box.mu);
+  const auto now = detail::Clock::now();
   for (const auto& msg : box.messages) {
-    if (msg.src == request.src_ && msg.tag == request.tag_) return true;
+    if (msg.src == request.src_ && msg.tag == request.tag_ &&
+        msg.visible_at <= now)
+      return true;
   }
   return false;
+}
+
+bool Comm::is_alive(int rank) const {
+  OCTGB_CHECK_MSG(rank >= 0 && rank < size_, "invalid rank " << rank);
+  return !state_->ranks[rank]->dead.load(std::memory_order_acquire);
+}
+
+std::vector<int> Comm::alive_ranks() const {
+  std::vector<int> alive;
+  alive.reserve(size_);
+  for (int r = 0; r < size_; ++r)
+    if (is_alive(r)) alive.push_back(r);
+  return alive;
+}
+
+int Comm::failure_epoch() const {
+  return state_->failure_epoch.load(std::memory_order_acquire);
+}
+
+std::uint64_t Comm::heartbeat_of(int rank) const {
+  OCTGB_CHECK_MSG(rank >= 0 && rank < size_, "invalid rank " << rank);
+  return state_->ranks[rank]->heartbeat.load(std::memory_order_relaxed);
 }
 
 void Comm::sendrecv_bytes(int dest, int send_tag, const void* send_data,
@@ -216,8 +414,18 @@ std::vector<perf::CommCounters> Runtime::run(
   OCTGB_CHECK_MSG(opts.ranks >= 1, "need at least one rank");
   detail::SharedState state;
   state.topology = opts.topology;
-  for (int r = 0; r < opts.ranks; ++r)
+  state.checksum = opts.checksum;
+  state.default_deadline_ms = opts.default_deadline_ms;
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (!opts.fault_plan.empty()) {
+    injector = std::make_unique<faults::FaultInjector>(opts.fault_plan,
+                                                       opts.ranks);
+    state.injector = injector.get();
+  }
+  for (int r = 0; r < opts.ranks; ++r) {
     state.mailboxes.push_back(std::make_unique<detail::Mailbox>());
+    state.ranks.push_back(std::make_unique<detail::RankState>());
+  }
 
   std::vector<Comm> comms;
   comms.reserve(opts.ranks);
@@ -234,6 +442,10 @@ std::vector<perf::CommCounters> Runtime::run(
         trace::set_thread_identity(r, label + ".main");
       }
       rank_main(comms[r]);
+    } catch (const RankKilledError&) {
+      // Simulated process exit: the dead flag and failure epoch were
+      // already published by fault_point(); survivors keep running and
+      // observe the death as PeerDead. Not a global failure.
     } catch (...) {
       std::lock_guard<std::mutex> lock(err_mu);
       if (!first_error) first_error = std::current_exception();
@@ -248,6 +460,9 @@ std::vector<perf::CommCounters> Runtime::run(
   for (int r = 1; r < opts.ranks; ++r) threads.emplace_back(body, r);
   body(0);
   for (auto& t : threads) t.join();
+  if (opts.fault_stats_out)
+    *opts.fault_stats_out =
+        injector ? injector->stats() : faults::FaultStats{};
   if (first_error) std::rethrow_exception(first_error);
 
   std::vector<perf::CommCounters> out;

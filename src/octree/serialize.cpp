@@ -1,5 +1,6 @@
 #include "octgb/octree/serialize.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -43,10 +44,24 @@ void read_pod(std::istream& in, T& v) {
 template <class T>
 void read_vec(std::istream& in, std::vector<T>& v, std::size_t n) {
   static_assert(std::is_trivially_copyable_v<T>);
-  v.resize(n);
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(T)));
-  OCTGB_CHECK_MSG(static_cast<bool>(in), "truncated octree stream");
+  // Chunked read: a corrupt header can claim up to 2^32 elements, and a
+  // single resize-then-read would allocate all of it before discovering
+  // the stream is short. Growing chunk by chunk bounds the damage of a
+  // lying count to one chunk past the actual data.
+  constexpr std::size_t kChunkElems =
+      std::max<std::size_t>(1, (1u << 20) / sizeof(T));
+  v.clear();
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t batch = std::min(kChunkElems, n - done);
+    v.resize(done + batch);
+    in.read(reinterpret_cast<char*>(v.data() + done),
+            static_cast<std::streamsize>(batch * sizeof(T)));
+    OCTGB_CHECK_MSG(static_cast<bool>(in),
+                    "truncated octree stream: wanted " << n * sizeof(T)
+                        << " bytes, got about " << done * sizeof(T));
+    done += batch;
+  }
 }
 
 }  // namespace
@@ -128,8 +143,12 @@ std::vector<T> read_section(std::istream& in, std::string_view tag) {
   OCTGB_CHECK_MSG(h.elem_size == sizeof(T),
                   "section '" << tag << "' has element size " << h.elem_size
                               << ", expected " << sizeof(T));
+  // Guard the byte-size computation: count must stay well below the point
+  // where count * elem_size overflows the std::streamsize arithmetic the
+  // reader does (a crafted count of ~2^61 would otherwise wrap).
   OCTGB_CHECK_MSG(h.count <= (std::uint64_t{1} << 32),
-                  "implausible section size");
+                  "section '" << tag << "' has implausible count "
+                              << h.count);
   std::vector<T> v;
   read_vec(in, v, h.count);
   return v;

@@ -188,4 +188,47 @@ double jittered_total_seconds(const SimResult& base, const ClusterConfig& cfg,
   return base.compute_seconds * worst + base.comm_seconds * comm_noise;
 }
 
+double optimal_checkpoint_interval(double checkpoint_seconds,
+                                   double mtbf_seconds) {
+  OCTGB_CHECK_MSG(checkpoint_seconds > 0.0 && mtbf_seconds > 0.0,
+                  "checkpoint cost and MTBF must be positive");
+  return std::sqrt(2.0 * checkpoint_seconds * mtbf_seconds);
+}
+
+RecoveryEstimate estimate_recovery(const SimResult& base,
+                                   const RecoveryConfig& config) {
+  OCTGB_CHECK_MSG(config.mtbf_seconds > 0.0, "MTBF must be positive");
+  OCTGB_CHECK_MSG(config.checkpoint_seconds >= 0.0 &&
+                      config.restart_seconds >= 0.0,
+                  "checkpoint/restart costs must be non-negative");
+  RecoveryEstimate est;
+  est.optimal_interval_seconds =
+      config.checkpoint_seconds > 0.0
+          ? optimal_checkpoint_interval(config.checkpoint_seconds,
+                                        config.mtbf_seconds)
+          : 0.0;
+  est.interval_seconds = config.checkpoint_interval_seconds > 0.0
+                             ? config.checkpoint_interval_seconds
+                             : est.optimal_interval_seconds;
+  const double T = base.total_seconds;
+  // Checkpoint tax: one checkpoint of cost δ every τ seconds of progress.
+  est.checkpoint_overhead_seconds =
+      est.interval_seconds > 0.0
+          ? (T / est.interval_seconds) * config.checkpoint_seconds
+          : 0.0;
+  // First-order failure model: failures arrive at rate 1/MTBF over the
+  // *stretched* runtime; each loses half an interval of progress plus the
+  // restart. Solved to first order (failures computed against the
+  // fault-free-plus-checkpoint time, as in Young's original analysis).
+  const double stretched = T + est.checkpoint_overhead_seconds;
+  est.expected_failures = stretched / config.mtbf_seconds;
+  est.rework_seconds =
+      est.expected_failures *
+      (0.5 * est.interval_seconds + config.restart_seconds);
+  est.expected_total_seconds = stretched + est.rework_seconds;
+  est.overhead_fraction =
+      T > 0.0 ? (est.expected_total_seconds - T) / T : 0.0;
+  return est;
+}
+
 }  // namespace octgb::sim

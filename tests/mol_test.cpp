@@ -130,6 +130,33 @@ TEST(Pdb, IgnoresNonAtomRecordsAndStopsAtEnd) {
   EXPECT_EQ(m.size(), 1u);  // record after END ignored
 }
 
+TEST(Pdb, MalformedInputThrowsParseErrorsWithLineNumbers) {
+  auto expect_parse_error = [](const std::string& text,
+                               const std::string& needle) {
+    std::istringstream in(text);
+    try {
+      read_pdb(in, "bad");
+      FAIL() << "expected PdbParseError for: " << text;
+    } catch (const PdbParseError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message was: " << e.what();
+    }
+  };
+  // Non-numeric coordinate: names the line and the axis.
+  expect_parse_error(
+      "ATOM      1  CA  ALA A   1      banana   6.134  -6.504\n",
+      "line 1: non-numeric x-coordinate");
+  // Blank coordinate column (short line cuts off z).
+  expect_parse_error(
+      "REMARK    padding\n"
+      "ATOM      1  CA  ALA A   1      11.104   6.134\n",
+      "line 2: blank z-coordinate");
+  // Overlong line: not a PDB record at all.
+  expect_parse_error("ATOM  " + std::string(600, 'x') + "\n", "line 1");
+  // No atoms at all is an error, never an empty molecule.
+  expect_parse_error("HEADER    empty\nEND\n", "no ATOM/HETATM records");
+}
+
 TEST(Pdb, RoundTripPreservesGeometryAndEnergyInputs) {
   const Molecule original = generate_protein({.target_atoms = 120, .seed = 3});
   std::ostringstream out;

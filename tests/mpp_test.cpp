@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "octgb/mpp/mpp.hpp"
@@ -387,6 +389,118 @@ TEST(MppProperty, RandomAllreducePayloadsMatchSerialSums) {
             << "trial " << trial << " P=" << P << " i=" << i;
     });
   }
+}
+
+// ---- failure semantics --------------------------------------------------------
+
+TEST(MppFailure, TagMismatchTimesOutWithDescriptiveError) {
+  // A receive on the wrong tag must not hang: with a deadline it returns
+  // Timeout naming the (src, tag, bytes) triple it was waiting for.
+  Runtime::run(opts(2), [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 7, 1.25);
+      c.barrier();
+    } else {
+      double v = 0.0;
+      auto r = c.recv_bytes_deadline(0, 99, &v, sizeof(v), 10.0);
+      ASSERT_FALSE(r.has_value());
+      EXPECT_EQ(r.error().status, octgb::mpp::CommStatus::Timeout);
+      EXPECT_EQ(r.error().src, 0);
+      EXPECT_EQ(r.error().tag, 99);
+      EXPECT_EQ(r.error().bytes, sizeof(double));
+      const std::string what = r.error().describe();
+      EXPECT_NE(what.find("src=0"), std::string::npos) << what;
+      EXPECT_NE(what.find("tag=99"), std::string::npos) << what;
+      c.barrier();
+      // Consume the real message so nothing leaks into later asserts.
+      EXPECT_DOUBLE_EQ(c.recv_value<double>(0, 7), 1.25);
+    }
+  });
+}
+
+TEST(MppFailure, DefaultDeadlineTurnsBlockingRecvIntoException) {
+  // The hard-hang footgun: without a deadline this recv would block
+  // forever. Options::default_deadline_ms converts it into a
+  // CommException carrying the triple.
+  auto o = opts(2);
+  o.default_deadline_ms = 10.0;
+  Runtime::run(o, [](Comm& c) {
+    if (c.rank() == 1) {
+      try {
+        (void)c.recv_value<int>(0, 42);  // never sent
+        FAIL() << "recv of a never-sent message must throw";
+      } catch (const octgb::mpp::CommException& e) {
+        EXPECT_EQ(e.error().status, octgb::mpp::CommStatus::Timeout);
+        EXPECT_EQ(e.error().src, 0);
+        EXPECT_EQ(e.error().tag, 42);
+        EXPECT_NE(std::string(e.what()).find("tag=42"), std::string::npos);
+      }
+    }
+  });
+}
+
+TEST(MppFailure, WaitDeadlineKeepsRequestValidOnTimeout) {
+  Runtime::run(opts(2), [](Comm& c) {
+    if (c.rank() == 0) {
+      int buf = 0;
+      auto req = c.irecv(1, 6, std::span<int>(&buf, 1));
+      auto r = c.wait_deadline(req, 5.0);
+      ASSERT_FALSE(r.has_value());  // rank 1 waits for the barrier
+      EXPECT_TRUE(req.valid());     // timeout does not consume the request
+      c.barrier();
+      c.wait(req);                  // now it arrives
+      EXPECT_FALSE(req.valid());
+      EXPECT_EQ(buf, 31);
+    } else {
+      c.barrier();
+      c.send_value(0, 6, 31);
+    }
+  });
+}
+
+TEST(MppFailure, DoubleWaitIsAContractViolation) {
+  Runtime::run(opts(2), [](Comm& c) {
+    if (c.rank() == 0) {
+      int buf = 0;
+      auto req = c.irecv(1, 2, std::span<int>(&buf, 1));
+      c.wait(req);
+      EXPECT_EQ(buf, 5);
+      EXPECT_THROW(c.wait(req), octgb::util::CheckError);
+    } else {
+      c.send_value(0, 2, 5);
+    }
+  });
+}
+
+TEST(MppFailure, RetryRecoversFromLateMessage) {
+  Runtime::run(opts(2), [](Comm& c) {
+    if (c.rank() == 0) {
+      // First attempt's deadline expires; a later attempt succeeds once
+      // rank 1 gets around to sending.
+      double v = 0.0;
+      octgb::mpp::RetryPolicy policy;
+      policy.attempts = 50;
+      policy.deadline_ms = 2.0;
+      policy.backoff = 1.5;
+      auto r = c.recv_bytes_retry(1, 3, &v, sizeof(v), policy);
+      ASSERT_TRUE(r.has_value());
+      EXPECT_DOUBLE_EQ(v, 9.75);
+      EXPECT_GE(c.retries(), 1u);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      c.send_value(0, 3, 9.75);
+    }
+  });
+}
+
+TEST(MppFailure, DetectorReportsEveryoneAliveWithoutFaults) {
+  Runtime::run(opts(3), [](Comm& c) {
+    for (int r = 0; r < c.size(); ++r) EXPECT_TRUE(c.is_alive(r));
+    EXPECT_EQ(c.alive_ranks().size(), 3u);
+    EXPECT_EQ(c.failure_epoch(), 0);
+    c.barrier();
+    EXPECT_GE(c.heartbeat_of(c.rank()), 1u);  // barrier bumped it
+  });
 }
 
 TEST(MppProperty, BackToBackCollectivesKeepTagIsolation) {

@@ -156,6 +156,28 @@ TEST(Persist, RejectsMismatchedSectionTag) {
   EXPECT_THROW(core::read_atoms_tree(ss), util::CheckError);
 }
 
+TEST(Persist, TruncationSweepAlwaysErrorsCleanly) {
+  // Loading a stream cut at any point must throw a CheckError (short
+  // read / bad magic / implausible length), never crash or return a
+  // partially-filled artifact.
+  const Problem p(120);
+  const auto pre = core::Preprocessed::build(p.molecule, p.surf);
+  std::stringstream ss;
+  core::write_preprocessed(pre, ss);
+  const std::string bytes = ss.str();
+  // Every prefix in the header region, then strided through the payload
+  // (the payload is large; every section boundary is still crossed).
+  std::vector<std::size_t> cuts;
+  for (std::size_t i = 0; i < std::min<std::size_t>(bytes.size(), 256); ++i)
+    cuts.push_back(i);
+  for (std::size_t i = 256; i < bytes.size(); i += 97) cuts.push_back(i);
+  for (const std::size_t cut : cuts) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_THROW(core::read_preprocessed(truncated), util::CheckError)
+        << "cut at " << cut << " of " << bytes.size();
+  }
+}
+
 // ---- ScoringSession: parameter re-evaluation --------------------------------
 
 TEST(Session, SecondEpsilonMatchesColdEngineBitForBit) {
