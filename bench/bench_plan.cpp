@@ -1,0 +1,159 @@
+// Interaction-plan bench: a pose × ε-dial screen through one warm
+// EvalScratch, with the plan cache on (PlanMode::Auto) vs off.
+//
+// The workload models GB re-scoring practice: P small rigid perturbations
+// of the molecule (refits — the plan survives via structural validation
+// and replays as flat lists), each evaluated at D Epol dials (ε_epol
+// re-dials — the Born phase is untouched, so the cached Born radii are
+// exact and tier 1 skips integrals + push entirely).
+//
+// Gates (nonzero exit on violation):
+//   - every (pose, dial) energy is bit-identical with the plan on and off
+//     (the plan is numerically inert, DESIGN.md §2.6);
+//   - warm speedup of the screen with the plan on is >= 2.0x
+//     (>= 1.5x under --smoke, the CI gate).
+//
+// `--metrics-out` dumps the timings, the speedup and the full
+// perf::PlanCounters block per the OBSERVABILITY.md schema.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace octgb;
+
+namespace {
+
+std::vector<geom::Vec3> jittered_positions(const mol::Molecule& mol,
+                                           double scale, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<geom::Vec3> out;
+  out.reserve(mol.size());
+  for (const auto& a : mol.atoms()) {
+    out.push_back(a.pos + geom::Vec3(rng.uniform(-scale, scale),
+                                     rng.uniform(-scale, scale),
+                                     rng.uniform(-scale, scale)));
+  }
+  return out;
+}
+
+/// Run the full screen: for each pose refit to its coordinates, then
+/// evaluate every dial. Returns the epol matrix row-major (pose, dial).
+std::vector<double> run_screen(core::GBEngine& engine,
+                               core::EvalScratch& scratch,
+                               const std::vector<std::vector<geom::Vec3>>& poses,
+                               const std::vector<double>& dials) {
+  std::vector<double> epol;
+  epol.reserve(poses.size() * dials.size());
+  for (const auto& pose : poses) {
+    engine.refit_atoms(pose);
+    for (const double eps_epol : dials) {
+      engine.approx().eps_epol = eps_epol;
+      epol.push_back(engine.compute(scratch).epol);
+    }
+  }
+  return epol;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string molecule_name = "1PPE_r_b";
+  int poses = 6;
+  int dials = 8;
+  bool smoke = false;
+  util::Args args;
+  args.add("molecule", &molecule_name, "ZDock receptor entry");
+  args.add("poses", &poses, "rigid perturbations (refit → plan replay)");
+  args.add("dials", &dials, "eps_epol dials per pose (Born-result reuse)");
+  args.flag("smoke", &smoke, "CI-size workload and the 1.5x gate");
+  bench::TraceSession ts;
+  ts.register_args(args);
+  args.parse(argc, argv);
+  ts.begin();
+
+  if (smoke) {
+    poses = std::min(poses, 3);
+    dials = std::min(dials, 4);
+  }
+  const double gate = smoke ? 1.5 : 2.0;
+
+  const mol::Molecule molecule = mol::make_benchmark_molecule(
+      molecule_name, smoke ? 900 : mol::find_benchmark(molecule_name)->atoms);
+  const auto surf = surface::build_surface(molecule, {.subdivision = 1});
+  std::printf("%s: %zu atoms, %zu q-points — %d poses x %d dials (%d evals "
+              "per mode)\n\n",
+              molecule_name.c_str(), molecule.size(), surf.size(), poses,
+              dials, poses * dials);
+
+  std::vector<std::vector<geom::Vec3>> pose_list;
+  for (int p = 0; p < poses; ++p)
+    pose_list.push_back(
+        jittered_positions(molecule, 1e-6, 100 + std::uint64_t(p)));
+  std::vector<double> dial_list;
+  for (int d = 0; d < dials; ++d) dial_list.push_back(0.5 + 0.2 * d);
+
+  // --- plan off: every evaluation re-runs the recursive traversal ----------
+  core::EngineConfig off_config;
+  off_config.approx.plan = core::PlanMode::Off;
+  core::GBEngine off_engine(molecule, surf, off_config);
+  core::EvalScratch off_scratch;
+  (void)off_engine.compute(off_scratch);  // prime buffers out of the timing
+  perf::Timer off_timer;
+  const auto off_epol =
+      run_screen(off_engine, off_scratch, pose_list, dial_list);
+  const double off_seconds = off_timer.seconds();
+
+  // --- plan on: capture once, replay per pose, Born reuse per dial ---------
+  core::GBEngine on_engine(molecule, surf);
+  core::EvalScratch on_scratch;
+  (void)on_engine.compute(on_scratch);  // prime buffers + capture the plan
+  perf::Timer on_timer;
+  const auto on_epol = run_screen(on_engine, on_scratch, pose_list, dial_list);
+  const double on_seconds = on_timer.seconds();
+  const perf::PlanCounters& stats = on_scratch.plan_cache.stats;
+
+  // --- gates ----------------------------------------------------------------
+  OCTGB_CHECK_MSG(on_epol.size() == off_epol.size(), "screen size mismatch");
+  for (std::size_t i = 0; i < on_epol.size(); ++i) {
+    OCTGB_CHECK_MSG(on_epol[i] == off_epol[i],
+                    "plan-driven energy deviated from the traversal");
+  }
+  const int evals = poses * dials;
+  const double speedup = off_seconds / on_seconds;
+
+  util::Table t("pose x dial screen: plan capture/replay/Born-reuse vs "
+                "re-traversal");
+  t.header({"mode", "per eval", "screen", "speedup"});
+  t.row({"plan off (re-traverse)", bench::fmt_time(off_seconds / evals),
+         bench::fmt_time(off_seconds), "1.0x"});
+  t.row({"plan on (replay + reuse)", bench::fmt_time(on_seconds / evals),
+         bench::fmt_time(on_seconds), util::format("%.2fx", speedup)});
+  t.print();
+  bench::save_csv(t, "bench_plan");
+
+  std::printf("\nplan counters: builds %llu, replays %llu, born_reuses %llu, "
+              "validations %llu, drift %llu\n",
+              static_cast<unsigned long long>(stats.builds),
+              static_cast<unsigned long long>(stats.replays),
+              static_cast<unsigned long long>(stats.born_reuses),
+              static_cast<unsigned long long>(stats.validations),
+              static_cast<unsigned long long>(stats.invalidated_drift));
+  std::printf("warm screen speedup: %.2fx (gate >= %.1fx)\n", speedup, gate);
+  OCTGB_CHECK_MSG(speedup >= gate,
+                  "plan-cached screen fell below the speedup gate");
+
+  if (ts.active()) {
+    auto& m = ts.metrics();
+    m.set("plan.screen.evals", static_cast<std::uint64_t>(evals));
+    m.set("plan.screen.off_seconds", off_seconds);
+    m.set("plan.screen.on_seconds", on_seconds);
+    m.set("plan.screen.speedup", speedup);
+    m.set("plan.screen.gate", gate);
+    m.add_plan("", stats);
+  }
+  ts.finish();
+  return 0;
+}

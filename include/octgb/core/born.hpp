@@ -20,6 +20,8 @@
 
 namespace octgb::core {
 
+class PlanRecorder;  // core/plan.hpp
+
 /// Accumulate approximate integrals for the given T_Q leaves into
 /// `node_s` (one slot per T_A node) and `atom_s` (one slot per atom, tree
 /// order). Both spans must be pre-sized and are added to, not overwritten —
@@ -27,13 +29,18 @@ namespace octgb::core {
 /// Thread-safe. Counter updates are batched per leaf. `kernel` selects
 /// the exact leaf×leaf implementation (SoA batch vs scalar AoS); both
 /// compute the same sums up to floating-point reassociation.
+/// A non-null `recorder` captures every near/far decision into an
+/// InteractionPlan *and forces the traversal serial* (even under an active
+/// scheduler), so the recorded order is the deterministic serial traversal
+/// order plan replay reproduces.
 void approx_integrals(const AtomsTree& ta, const QPointsTree& tq,
                       std::span<const std::uint32_t> q_leaf_ids,
                       double eps_born, bool approx_math,
                       std::span<double> node_s, std::span<double> atom_s,
                       perf::WorkCounters& counters,
                       bool strict_criterion = false,
-                      KernelKind kernel = KernelKind::Batched);
+                      KernelKind kernel = KernelKind::Batched,
+                      PlanRecorder* recorder = nullptr);
 
 /// Finalize Born radii for atoms whose *tree position* lies in
 /// [atom_begin, atom_end): descend T_A accumulating the ancestor prefix
@@ -51,5 +58,25 @@ void push_integrals_to_atoms(const AtomsTree& ta,
 /// Reciprocal sixth power of the distance with optional approximate math:
 /// 1/r⁶ from r² (shared by the Born kernels and the naive engine tests).
 double inv_r6(double r2, bool approx_math);
+
+/// One far-field pseudo-particle term: the contribution of a Q-aggregate
+/// (weighted normal `wn` concentrated at centroid `qc`) to the T_A node
+/// centered at `ac`. Never inlined: the recursive traversals and the plan
+/// replay executor (core/plan.hpp) must evaluate the *same machine code*,
+/// or per-call-site FMA contraction could make replay differ from the
+/// traversal in the last bit.
+[[gnu::noinline]] double born_far_term(const geom::Vec3& ac,
+                                       const geom::Vec3& qc,
+                                       const geom::Vec3& wn, bool approx_math);
+
+/// Exact scalar (AoS) Born integral of the atom at `pa` against the
+/// q-points [q_begin, q_end) of `tq` — the KernelKind::Scalar near-field
+/// body, shared between the traversals and plan replay for the same
+/// bit-identity reason as born_far_term.
+[[gnu::noinline]] double scalar_born_pair(const geom::Vec3& pa,
+                                          const QPointsTree& tq,
+                                          std::uint32_t q_begin,
+                                          std::uint32_t q_end,
+                                          bool approx_math);
 
 }  // namespace octgb::core

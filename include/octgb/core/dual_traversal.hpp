@@ -25,16 +25,22 @@
 
 namespace octgb::core {
 
+class PlanRecorder;  // core/plan.hpp
+
 /// Dual-tree APPROX-INTEGRALS: accumulates node partials into `node_s`
 /// (one slot per T_A node) and exact leaf sums into `atom_s` (tree
 /// order), exactly like approx_integrals() — the PUSH phase is shared.
-/// Thread-safe; recursion forks under an active scheduler.
+/// Thread-safe; recursion forks under an active scheduler. A non-null
+/// `recorder` captures every near/far decision into an InteractionPlan
+/// and forces the traversal serial (deterministic capture order), as in
+/// approx_integrals().
 void approx_integrals_dual(const AtomsTree& ta, const QPointsTree& tq,
                            double eps_born, bool approx_math,
                            std::span<double> node_s,
                            std::span<double> atom_s,
                            perf::WorkCounters& counters,
                            bool strict_criterion = false,
-                           KernelKind kernel = KernelKind::Batched);
+                           KernelKind kernel = KernelKind::Batched,
+                           PlanRecorder* recorder = nullptr);
 
 }  // namespace octgb::core

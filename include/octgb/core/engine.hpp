@@ -11,6 +11,7 @@
 #include "octgb/core/born.hpp"
 #include "octgb/core/epol.hpp"
 #include "octgb/core/gb_params.hpp"
+#include "octgb/core/plan.hpp"
 #include "octgb/core/trees.hpp"
 #include "octgb/core/workdiv.hpp"
 #include "octgb/perf/counters.hpp"
@@ -69,6 +70,11 @@ struct EvalScratch {
   std::vector<double> born_tree;   ///< Born radii, tree order (phase B)
   std::vector<double> born_input;  ///< Born radii, input order (remap)
   EpolContext epol_ctx;            ///< charge-by-bin tables (energy phase)
+  /// Cached interaction plan + Born results for the engine/params most
+  /// recently evaluated through this scratch (PlanMode::Auto), plus the
+  /// plan statistics. Plan buffers obey the same capacity-reuse contract
+  /// as the phase buffers.
+  PlanCache plan_cache;
   /// Count of prepare()/context-rebuild steps that had to grow a buffer's
   /// capacity. Steady-state warm computes leave it unchanged; tests and
   /// bench_session assert on exactly that.
@@ -115,21 +121,43 @@ class GBEngine {
   /// Refit T_A in place to moved atom coordinates (input order, same
   /// count): topology is preserved, centroids/radii and the SoA planes
   /// are refreshed. Pair with octree::RefitMonitor to decide when drift
-  /// warrants a rebuild instead.
+  /// warrants a rebuild instead. Advances the geometry epoch.
   void refit_atoms(std::span<const geom::Vec3> positions) {
     ta_.refit(positions);
+    ++geometry_epoch_;
   }
   /// Refit T_Q in place to a moved surface (same point count and order).
-  void refit_qpoints(const surface::Surface& surf) { tq_.refit(surf); }
+  /// Advances the geometry epoch.
+  void refit_qpoints(const surface::Surface& surf) {
+    tq_.refit(surf);
+    ++geometry_epoch_;
+  }
   /// Rebuild T_A from scratch (topology change) with the construction-time
-  /// build parameters.
+  /// build parameters. Advances both the topology and geometry epochs.
   void rebuild_atoms(const mol::Molecule& mol) {
     ta_ = AtomsTree::build(mol, config_.atoms_tree_params);
+    ++topology_epoch_;
+    ++geometry_epoch_;
   }
   /// Rebuild T_Q from scratch with the construction-time build parameters.
+  /// Advances both the topology and geometry epochs.
   void rebuild_qpoints(const surface::Surface& surf) {
     tq_ = QPointsTree::build(surf, config_.qpoints_tree_params);
+    ++topology_epoch_;
+    ++geometry_epoch_;
   }
+
+  /// Process-unique engine identity (plan-cache key component; a scratch
+  /// may serve several engines in turn).
+  std::uint64_t engine_id() const { return engine_id_; }
+  /// Bumped by every rebuild_*: a different epoch means the trees'
+  /// topology (node structure, point permutation) may have changed, which
+  /// unconditionally invalidates a cached plan.
+  std::uint64_t topology_epoch() const { return topology_epoch_; }
+  /// Bumped by every refit_* and rebuild_*: a different epoch means node
+  /// centroids/radii (and thus results) may have changed. A cached plan
+  /// survives it via structural re-validation; cached Born radii do not.
+  std::uint64_t geometry_epoch() const { return geometry_epoch_; }
 
   const AtomsTree& atoms_tree() const { return ta_; }
   const QPointsTree& qpoints_tree() const { return tq_; }
@@ -160,7 +188,11 @@ class GBEngine {
   /// Stage-3 evaluation against caller-owned working memory: all phase
   /// buffers and the Epol context come from (and are left in) `scratch`,
   /// so back-to-back computes on the same tree shape allocate nothing.
-  /// This is the hot path of ScoringSession.
+  /// This is the hot path of ScoringSession. Under PlanMode::Auto (the
+  /// default) the Born phase goes through the scratch's plan cache: an
+  /// instrumented capture on the first evaluation, flat-list replay or a
+  /// full Born-result reuse afterwards — bit-identical to the traversal
+  /// in every case (DESIGN.md §2.6).
   EvalResult compute(EvalScratch& scratch, ws::Scheduler* sched = nullptr) const;
 
   /// Full computation using the legacy dual-tree Born traversal of
@@ -218,9 +250,17 @@ class GBEngine {
                            std::span<double> out) const;
 
  private:
+  EvalResult compute_eval(EvalScratch& scratch, ws::Scheduler* sched,
+                          PlanFlavor flavor, bool allow_plan) const;
+
+  static std::uint64_t next_engine_id();
+
   EngineConfig config_;
   AtomsTree ta_;
   QPointsTree tq_;
+  std::uint64_t engine_id_ = next_engine_id();
+  std::uint64_t topology_epoch_ = 0;
+  std::uint64_t geometry_epoch_ = 0;
 };
 
 }  // namespace octgb::core

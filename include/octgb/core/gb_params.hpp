@@ -26,6 +26,15 @@ struct GBParams {
 /// AoS loops for A/B comparison and differential testing.
 enum class KernelKind { Scalar, Batched };
 
+/// Interaction-plan policy for the EvalScratch compute path (core/plan.hpp).
+/// `Auto` caches the Born-phase pair lists (and finished Born radii) in the
+/// scratch's PlanCache and replays them whenever the plan key matches —
+/// bit-identical to re-traversing, by construction. `Off` always re-runs
+/// the recursive traversal; the one-shot compute() wrapper always behaves
+/// as Off regardless of this setting (its scratch dies with the call, so a
+/// plan could never be reused).
+enum class PlanMode { Off, Auto };
+
 /// Tunable approximation parameters of the octree algorithms (§II, §IV).
 struct ApproxParams {
   double eps_born = 0.9;  ///< ε for APPROX-INTEGRALS (Born radii)
@@ -45,6 +54,9 @@ struct ApproxParams {
   /// is the original AoS formulation, kept selectable for benchmarking
   /// and the differential tests.
   KernelKind kernel = KernelKind::Batched;
+  /// Interaction-plan caching for the warm (EvalScratch) compute path;
+  /// numerically inert — plan replay reproduces the traversal bit for bit.
+  PlanMode plan = PlanMode::Auto;
 
   /// Threshold k used by born_far_enough: far iff (d+s) ≤ k·(d−s).
   double born_threshold() const;

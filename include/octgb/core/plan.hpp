@@ -1,0 +1,221 @@
+#pragma once
+/// \file plan.hpp
+/// Interaction-plan capture & replay: compile the Born-phase octree
+/// traversal into flat SoA execution lists.
+///
+/// The admissibility structure of APPROX-INTEGRALS (and of the dual-tree
+/// variant) depends only on the tree geometry and on (eps_born,
+/// strict_criterion) — not on the evaluation-time knobs a ScoringSession
+/// re-dials between calls. An InteractionPlan records, from one
+/// *instrumented* run of the ordinary recursive traversal, every decision
+/// it made:
+///
+///   - the near-field list: (A-leaf, Q-leaf) pairs evaluated exactly, and
+///   - the far-field list: (A-node, Q-node) pairs evaluated as one
+///     pseudo-particle term into node_s[A].
+///
+/// replay() then evaluates those lists as flat loops grouped by target
+/// A-node ("owner"): every owner's node_s slot and every A-leaf's atom_s
+/// range is written by exactly one task, so replay needs no atomics, is
+/// race-free under any schedule, and — because the owner grouping is a
+/// *stable* sort of the capture order and the arithmetic goes through the
+/// same out-of-line kernels (born_far_term / scalar_born_pair /
+/// batch_born_integral) — reproduces the serial traversal's accumulation
+/// order per slot, hence its results, bit for bit.
+///
+/// Lifecycle (driven by GBEngine::compute on the EvalScratch path, see
+/// DESIGN.md §2.6):
+///   capture  — instrumented traversal, serial, fills the lists;
+///   replay   — flat execution at unchanged tree geometry;
+///   validate — after an in-place refit, a math-free serial re-walk of the
+///              decision structure; any divergence from the stored lists
+///              invalidates the plan (drift) and triggers a recapture;
+///   born cache — when even the geometry is unchanged, the previous
+///              evaluation's Born radii are exact, and the whole Born
+///              phase (integrals + push) is skipped.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "octgb/core/gb_params.hpp"
+#include "octgb/core/trees.hpp"
+#include "octgb/perf/counters.hpp"
+
+namespace octgb::core {
+
+/// Which traversal produced (and re-validates) the plan's partition.
+enum class PlanFlavor : std::uint8_t {
+  Single,  ///< approx_integrals: T_A descent per T_Q leaf (Fig. 2)
+  Dual,    ///< approx_integrals_dual: simultaneous dual-tree descent
+};
+
+/// Everything the Born-phase partition depends on. Two evaluations with
+/// equal keys traverse the same (A, Q) pair structure *if* the tree
+/// geometry also matches — geometry is tracked separately (via
+/// GBEngine::geometry_epoch) because an in-place refit usually preserves
+/// the partition and is handled by validate(), not by the key.
+/// approx_math is deliberately absent: it changes the arithmetic, never
+/// the partition (it is part of the Born-cache stamp instead).
+struct PlanKey {
+  std::uint64_t engine_id = 0;       ///< GBEngine instance identity
+  std::uint64_t topology_epoch = 0;  ///< bumped by tree rebuilds
+  double eps_born = 0.0;
+  bool strict_criterion = false;
+  KernelKind kernel = KernelKind::Batched;
+  PlanFlavor flavor = PlanFlavor::Single;
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+/// Append-only sink the instrumented traversals write their decisions to.
+/// Handed to approx_integrals / approx_integrals_dual as an optional
+/// argument; recording forces the traversal serial, so append order is the
+/// serial traversal order — the order replay must reproduce per slot.
+class PlanRecorder {
+ public:
+  void near(std::uint32_t a_leaf, std::uint32_t q_leaf) {
+    near_a_->push_back(a_leaf);
+    near_q_->push_back(q_leaf);
+  }
+  void far(std::uint32_t a_node, std::uint32_t q_node) {
+    far_a_->push_back(a_node);
+    far_q_->push_back(q_node);
+  }
+
+ private:
+  friend class InteractionPlan;
+  PlanRecorder(std::vector<std::uint32_t>* na, std::vector<std::uint32_t>* nq,
+               std::vector<std::uint32_t>* fa, std::vector<std::uint32_t>* fq)
+      : near_a_(na), near_q_(nq), far_a_(fa), far_q_(fq) {}
+  std::vector<std::uint32_t>* near_a_;
+  std::vector<std::uint32_t>* near_q_;
+  std::vector<std::uint32_t>* far_a_;
+  std::vector<std::uint32_t>* far_q_;
+};
+
+/// One captured Born-phase partition plus its replay machinery and the
+/// piggy-backed Born-result cache. Buffers are reused across recaptures
+/// (capacity never shrinks); every method that can grow one reports it so
+/// the caller can maintain the EvalScratch::allocation_events contract.
+class InteractionPlan {
+ public:
+  // --- capture ----------------------------------------------------------
+
+  /// Start a capture for `key`. Invalidates the previous plan and Born
+  /// cache; list capacity is kept.
+  PlanRecorder begin_capture(const PlanKey& key);
+
+  /// Freeze the captured lists: group them by owner A-node (stable — the
+  /// capture order is preserved within each owner), compute per-owner
+  /// costs, sort owners by cost, and carve cost-balanced chunk ranges for
+  /// replay's parallel_for. `captured_work` is the traversal's Born-phase
+  /// counter contribution (reported verbatim by later replays — operation
+  /// counts are a property of the partition, not of how it is executed).
+  /// Returns true when any internal buffer had to grow.
+  bool finalize(const AtomsTree& ta, const QPointsTree& tq,
+                std::uint64_t geometry_epoch,
+                const perf::WorkCounters& captured_work);
+
+  // --- queries ----------------------------------------------------------
+
+  bool valid() const { return valid_; }
+  const PlanKey& key() const { return key_; }
+  /// Geometry epoch the lists were last known to match (capture or last
+  /// successful validate()).
+  std::uint64_t geometry_epoch() const { return geometry_epoch_; }
+  std::size_t near_pairs() const { return near_a_.size(); }
+  std::size_t far_pairs() const { return far_a_.size(); }
+  std::size_t chunks() const {
+    return chunk_begin_.empty() ? 0 : chunk_begin_.size() - 1;
+  }
+  std::size_t footprint_bytes() const;
+
+  // --- replay path ------------------------------------------------------
+
+  /// Math-free serial re-walk of the traversal's decision structure
+  /// against (possibly refitted) trees, compared element-wise with the
+  /// stored lists. True — the partition is unchanged, replay at this
+  /// geometry is bit-identical to re-traversing; the plan's geometry
+  /// epoch is advanced to `geometry_epoch`. False — drift flipped at
+  /// least one admissibility decision; the plan is invalidated.
+  bool validate(const AtomsTree& ta, const QPointsTree& tq,
+                std::uint64_t geometry_epoch);
+
+  /// Evaluate the captured lists into node_s / atom_s (both pre-zeroed,
+  /// as in the traversal) with a chunked parallel_for over the
+  /// cost-sorted owner groups. Adds the capture's Born-phase counters to
+  /// `work`. Bit-identical to the serial recursive traversal.
+  void replay(const AtomsTree& ta, const QPointsTree& tq, bool approx_math,
+              std::span<double> node_s, std::span<double> atom_s,
+              perf::WorkCounters& work) const;
+
+  // --- Born-result cache (tier 1) ---------------------------------------
+
+  /// Cache the finished Born radii (tree order) and the full phase-A+push
+  /// counter contribution after an evaluation at `geometry_epoch` /
+  /// `approx_math`. Returns true when the cache buffer had to grow.
+  bool store_born(std::uint64_t geometry_epoch, bool approx_math,
+                  std::span<const double> born_tree,
+                  const perf::WorkCounters& born_work);
+
+  /// Cached radii are exact for the asked-for evaluation: same geometry,
+  /// same arithmetic flavor (the key fields were matched by the caller).
+  bool born_valid(std::uint64_t geometry_epoch, bool approx_math) const {
+    return valid_ && born_valid_ && born_geometry_epoch_ == geometry_epoch &&
+           born_approx_math_ == approx_math;
+  }
+
+  /// Copy the cached radii into `born_tree` and add the cached phase
+  /// counters to `work` (skipping integrals + push entirely).
+  void load_born(std::span<double> born_tree,
+                 perf::WorkCounters& work) const;
+
+ private:
+  bool validate_single(const AtomsTree& ta, const QPointsTree& tq,
+                       double threshold) const;
+  bool validate_dual(const AtomsTree& ta, const QPointsTree& tq,
+                     double threshold) const;
+
+  PlanKey key_{};
+  bool valid_ = false;
+  std::uint64_t geometry_epoch_ = 0;
+
+  // Capture-order pair lists — also the validate() reference.
+  std::vector<std::uint32_t> near_a_, near_q_, far_a_, far_q_;
+
+  // Owner-grouped CSR over the same pairs (stable within owner).
+  std::vector<std::uint32_t> owner_;       ///< owner A-node id per group
+  std::vector<std::uint32_t> near_begin_;  ///< groups+1, into near_q_sorted_
+  std::vector<std::uint32_t> far_begin_;   ///< groups+1, into far_q_sorted_
+  std::vector<std::uint32_t> near_q_sorted_, far_q_sorted_;
+  std::vector<std::uint32_t> owner_order_;  ///< group indices, cost-desc
+  std::vector<std::uint32_t> chunk_begin_;  ///< owner_order_ chunk bounds
+
+  // finalize() scratch (reused capacity).
+  std::vector<std::uint32_t> group_of_node_, cursor_;
+  std::vector<std::uint64_t> cost_;
+  std::size_t capture_cap_mark_ = 0;  ///< list capacities at begin_capture
+
+  perf::WorkCounters base_work_;  ///< capture's Born-traversal counters
+
+  // Tier-1 Born cache.
+  bool born_valid_ = false;
+  std::uint64_t born_geometry_epoch_ = 0;
+  bool born_approx_math_ = false;
+  std::vector<double> born_tree_;
+  perf::WorkCounters born_work_;  ///< full phase A + push counters
+};
+
+/// Single-slot plan cache plus its statistics, owned by EvalScratch so
+/// plan reuse follows the scratch (and therefore the session) across
+/// engines. The statistics accumulate for the scratch's lifetime and are
+/// exported by trace::MetricsRegistry::add_plan (see OBSERVABILITY.md).
+struct PlanCache {
+  InteractionPlan plan;
+  perf::PlanCounters stats;
+
+  std::size_t footprint_bytes() const { return plan.footprint_bytes(); }
+};
+
+}  // namespace octgb::core

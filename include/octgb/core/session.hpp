@@ -86,6 +86,12 @@ class ScoringSession {
   const mol::Molecule& molecule() const { return mol_; }
   const surface::Surface& surface() const { return surf_; }
   const MoveStats& move_stats() const { return stats_; }
+  /// Interaction-plan cache statistics accumulated by this session's
+  /// scratch (captures, replays, Born reuses, invalidations — see
+  /// perf::PlanCounters and OBSERVABILITY.md).
+  const perf::PlanCounters& plan_stats() const {
+    return scratch_.plan_cache.stats;
+  }
 
   /// Evaluate at the engine's current settings, reusing the session
   /// scratch — repeated calls on an unchanged shape allocate nothing.

@@ -95,4 +95,44 @@ static_assert(sizeof(WorkCounters) ==
               "WorkCounters field added: update kFieldCount, operator+=, "
               "and trace::MetricsRegistry::add_work");
 
+/// Interaction-plan cache statistics (core/plan.hpp). Counts the
+/// plan/execute decisions an evaluation stream made: how often the cached
+/// plan's key matched, why it was invalidated when it did not, and which
+/// execution tier ran (flat-list replay vs Born-result reuse). Exported
+/// under the `plan.*` metric names by trace::MetricsRegistry::add_plan
+/// (schema in OBSERVABILITY.md).
+struct PlanCounters {
+  std::uint64_t builds = 0;       ///< plan captures (instrumented traversals)
+  std::uint64_t replays = 0;      ///< flat-list replay executions
+  std::uint64_t born_reuses = 0;  ///< Born phase skipped (cached radii valid)
+  std::uint64_t key_hits = 0;     ///< evaluations whose plan key matched
+  std::uint64_t key_misses = 0;   ///< evaluations that needed a new key
+  std::uint64_t invalidated_topology = 0;  ///< rebuild/engine-change misses
+  std::uint64_t invalidated_params = 0;    ///< eps_born/criterion/kernel misses
+  std::uint64_t invalidated_drift = 0;     ///< refit drift failed validation
+  std::uint64_t validations = 0;  ///< far-list admissibility re-checks run
+
+  /// Field count guard, mirroring WorkCounters.
+  static constexpr std::size_t kFieldCount = 9;
+
+  /// Field-wise accumulation (per-session counters into run totals).
+  PlanCounters& operator+=(const PlanCounters& o) {
+    builds += o.builds;
+    replays += o.replays;
+    born_reuses += o.born_reuses;
+    key_hits += o.key_hits;
+    key_misses += o.key_misses;
+    invalidated_topology += o.invalidated_topology;
+    invalidated_params += o.invalidated_params;
+    invalidated_drift += o.invalidated_drift;
+    validations += o.validations;
+    return *this;
+  }
+};
+
+static_assert(sizeof(PlanCounters) ==
+                  PlanCounters::kFieldCount * sizeof(std::uint64_t),
+              "PlanCounters field added: update kFieldCount, operator+=, "
+              "and trace::MetricsRegistry::add_plan");
+
 }  // namespace octgb::perf

@@ -54,6 +54,9 @@ class MetricsRegistry {
   void add_work(const std::string& prefix, const perf::WorkCounters& w);
   /// Accumulate comm traffic counters under `prefix`.
   void add_comm(const std::string& prefix, const perf::CommCounters& c);
+  /// Accumulate interaction-plan cache counters under `prefix`
+  /// ("plan.builds" … per the OBSERVABILITY.md schema).
+  void add_plan(const std::string& prefix, const perf::PlanCounters& p);
   /// Accumulate scheduler statistics under `prefix`. Raw integers rather
   /// than ws::SchedulerStats so trace/ does not depend on ws/ (which
   /// depends back on trace/ for steal events).

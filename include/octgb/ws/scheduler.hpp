@@ -80,7 +80,10 @@ class Scheduler {
   static void fork_all(std::vector<std::function<void()>>& fns);
 
   /// Recursive-halving parallel loop over [begin, end) with grain size
-  /// `grain`. The body receives a [lo, hi) subrange.
+  /// `grain`. The body receives a [lo, hi) subrange. `grain <= 0` means
+  /// "auto": the grain becomes max(1, (end-begin)/(8*workers)) — about
+  /// eight stealable tasks per worker — instead of forking one task per
+  /// index. With no active scheduler, auto resolves against one worker.
   static void parallel_for(std::int64_t begin, std::int64_t end,
                            std::int64_t grain,
                            const std::function<void(std::int64_t,
@@ -88,7 +91,8 @@ class Scheduler {
 
   /// Parallel sum-reduction: `body(lo, hi)` returns its subrange's
   /// partial value; partials combine with +. Deterministic tree-shaped
-  /// combination order (independent of the thread schedule).
+  /// combination order (independent of the thread schedule). `grain <= 0`
+  /// derives the same automatic grain as parallel_for.
   static double parallel_reduce(
       std::int64_t begin, std::int64_t end, std::int64_t grain,
       const std::function<double(std::int64_t, std::int64_t)>& body);

@@ -6,6 +6,7 @@
 #include "octgb/core/fastmath.hpp"
 #include "octgb/core/gb_params.hpp"
 #include "octgb/core/naive.hpp"
+#include "octgb/core/plan.hpp"
 #include "octgb/trace/trace.hpp"
 #include "octgb/util/check.hpp"
 #include "octgb/ws/scheduler.hpp"
@@ -36,12 +37,14 @@ struct IntegralsPass {
   const AtomsTree& ta;
   const QPointsTree& tq;
   const Octree::Node& q;     ///< the T_Q leaf
+  std::uint32_t q_id;        ///< the T_Q leaf's node id
   Vec3 q_wnormal;            ///< Σ w·n over the leaf
   double one_plus_eps_pow6;  ///< (1+ε)^(1/6)
   bool approx_math;
   KernelKind kernel;
   std::span<double> node_s;
   std::span<double> atom_s;
+  PlanRecorder* recorder;    ///< non-null: capture decisions, stay serial
 
   void descend(std::uint32_t a_id, LocalCounts& lc) const {
     ++lc.visits;
@@ -50,13 +53,14 @@ struct IntegralsPass {
     const double d = std::sqrt(d2);
     if (born_far_enough(d, a.radius, q.radius, one_plus_eps_pow6)) {
       // Whole leaf Q acts on node A as one pseudo q-point at its centroid.
-      const Vec3 delta = q.centroid - a.centroid;
+      if (recorder) recorder->far(a_id, q_id);
       atomic_add(node_s[a_id],
-                 q_wnormal.dot(delta) * inv_r6(d2, approx_math));
+                 born_far_term(a.centroid, q.centroid, q_wnormal, approx_math));
       ++lc.approx;
       return;
     }
     if (a.is_leaf()) {
+      if (recorder) recorder->near(a_id, q_id);
       if (kernel == KernelKind::Batched) {
         const QPointBatch qb = tq.node_batch(q);
         const double* __restrict ax = ta.soa_x.data();
@@ -71,25 +75,19 @@ struct IntegralsPass {
         }
       } else {
         const auto atom_pts = ta.tree.points();
-        const auto q_pts = tq.tree.points();
         for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
-          const Vec3 pa = atom_pts[ai];
-          double s = 0.0;
-          for (std::uint32_t qi = q.begin; qi < q.end; ++qi) {
-            const Vec3 delta = q_pts[qi] - pa;
-            const double r2 = delta.norm2();
-            if (r2 < 1e-12) continue;
-            s += tq.wnormal[qi].dot(delta) * inv_r6(r2, approx_math);
-          }
-          atomic_add(atom_s[ai], s);
+          atomic_add(atom_s[ai], scalar_born_pair(atom_pts[ai], tq, q.begin,
+                                                  q.end, approx_math));
         }
       }
       lc.exact += static_cast<std::uint64_t>(a.size()) * q.size();
       return;
     }
     // Recurse on the children. Fork only while subtrees are big enough to
-    // be worth a steal; below that, serial recursion wins.
-    if (a.size() > 4096 && ws::Scheduler::current() != nullptr) {
+    // be worth a steal; below that, serial recursion wins. Recording
+    // forbids forking: the capture order must be the serial one.
+    if (a.size() > 4096 && ws::Scheduler::current() != nullptr &&
+        recorder == nullptr) {
       std::vector<std::function<void()>> forks;
       forks.reserve(a.child_count);
       // Each forked child keeps its own tallies, flushed on completion,
@@ -128,12 +126,32 @@ double inv_r6(double r2, bool approx_math) {
   return 1.0 / (r2 * r2 * r2);
 }
 
+double born_far_term(const Vec3& ac, const Vec3& qc, const Vec3& wn,
+                     bool approx_math) {
+  const Vec3 delta = qc - ac;
+  return wn.dot(delta) * inv_r6(geom::dist2(ac, qc), approx_math);
+}
+
+double scalar_born_pair(const Vec3& pa, const QPointsTree& tq,
+                        std::uint32_t q_begin, std::uint32_t q_end,
+                        bool approx_math) {
+  const auto q_pts = tq.tree.points();
+  double s = 0.0;
+  for (std::uint32_t qi = q_begin; qi < q_end; ++qi) {
+    const Vec3 delta = q_pts[qi] - pa;
+    const double r2 = delta.norm2();
+    if (r2 < 1e-12) continue;
+    s += tq.wnormal[qi].dot(delta) * inv_r6(r2, approx_math);
+  }
+  return s;
+}
+
 void approx_integrals(const AtomsTree& ta, const QPointsTree& tq,
                       std::span<const std::uint32_t> q_leaf_ids,
                       double eps_born, bool approx_math,
                       std::span<double> node_s, std::span<double> atom_s,
                       perf::WorkCounters& counters, bool strict_criterion,
-                      KernelKind kernel) {
+                      KernelKind kernel, PlanRecorder* recorder) {
   OCTGB_CHECK_MSG(eps_born > 0.0, "eps_born must be positive");
   OCTGB_CHECK(node_s.size() == ta.tree.nodes().size());
   OCTGB_CHECK(atom_s.size() == ta.num_atoms());
@@ -142,31 +160,39 @@ void approx_integrals(const AtomsTree& ta, const QPointsTree& tq,
   const double pow6 = strict_criterion
                           ? std::pow(1.0 + eps_born, 1.0 / 6.0)
                           : 1.0 + eps_born;
+  const auto leaf_range = [&](std::int64_t lo, std::int64_t hi) {
+    // One span per leaf-range task: the per-worker Born activity the
+    // trace shows under the phase-level "born.traversal" span.
+    OCTGB_SPAN("born.leaves");
+    for (std::int64_t li = lo; li < hi; ++li) {
+      const Octree::Node& q = tq.tree.node(q_leaf_ids[li]);
+      IntegralsPass pass{ta,
+                         tq,
+                         q,
+                         q_leaf_ids[li],
+                         tq.node_wnormal[q_leaf_ids[li]],
+                         pow6,
+                         approx_math,
+                         kernel,
+                         node_s,
+                         atom_s,
+                         recorder};
+      pass.shared = &counters;
+      LocalCounts lc;
+      pass.descend(0, lc);
+      pass.flush(lc);
+    }
+  };
+  if (recorder != nullptr) {
+    // Capture runs serially even under an active scheduler: the recorded
+    // decision order *is* the deterministic serial traversal order.
+    leaf_range(0, static_cast<std::int64_t>(q_leaf_ids.size()));
+    return;
+  }
   // Parallel loop over this rank's T_Q leaves; grain of 1 leaf — the inner
   // traversal provides plenty of work per task.
   ws::Scheduler::parallel_for(
-      0, static_cast<std::int64_t>(q_leaf_ids.size()), 1,
-      [&](std::int64_t lo, std::int64_t hi) {
-        // One span per leaf-range task: the per-worker Born activity the
-        // trace shows under the phase-level "born.traversal" span.
-        OCTGB_SPAN("born.leaves");
-        for (std::int64_t li = lo; li < hi; ++li) {
-          const Octree::Node& q = tq.tree.node(q_leaf_ids[li]);
-          IntegralsPass pass{ta,
-                             tq,
-                             q,
-                             tq.node_wnormal[q_leaf_ids[li]],
-                             pow6,
-                             approx_math,
-                             kernel,
-                             node_s,
-                             atom_s,
-                             &counters};
-          LocalCounts lc;
-          pass.descend(0, lc);
-          pass.flush(lc);
-        }
-      });
+      0, static_cast<std::int64_t>(q_leaf_ids.size()), 1, leaf_range);
 }
 
 namespace {

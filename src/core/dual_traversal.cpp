@@ -5,6 +5,7 @@
 
 #include "octgb/core/born.hpp"
 #include "octgb/core/gb_params.hpp"
+#include "octgb/core/plan.hpp"
 #include "octgb/util/check.hpp"
 #include "octgb/ws/scheduler.hpp"
 
@@ -36,6 +37,7 @@ struct DualPass {
   std::span<double> node_s;
   std::span<double> atom_s;
   perf::WorkCounters* shared;
+  PlanRecorder* recorder;  ///< non-null: capture decisions, stay serial
 
   void flush(const DualCounts& lc) const {
     atomic_add(shared->born_exact, lc.exact);
@@ -58,17 +60,9 @@ struct DualPass {
       }
     } else {
       const auto atom_pts = ta.tree.points();
-      const auto q_pts = tq.tree.points();
       for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
-        const Vec3 pa = atom_pts[ai];
-        double s = 0.0;
-        for (std::uint32_t qi = q.begin; qi < q.end; ++qi) {
-          const Vec3 delta = q_pts[qi] - pa;
-          const double r2 = delta.norm2();
-          if (r2 < 1e-12) continue;
-          s += tq.wnormal[qi].dot(delta) * inv_r6(r2, approx_math);
-        }
-        atomic_add(atom_s[ai], s);
+        atomic_add(atom_s[ai], scalar_born_pair(atom_pts[ai], tq, q.begin,
+                                                q.end, approx_math));
       }
     }
     lc.exact += static_cast<std::uint64_t>(a.size()) * q.size();
@@ -83,23 +77,27 @@ struct DualPass {
     if (born_far_enough(d, a.radius, q.radius, threshold)) {
       // Q (possibly internal) acts on A as one pseudo q-point with the
       // node-aggregated weighted normal.
-      const Vec3 delta = q.centroid - a.centroid;
+      if (recorder) recorder->far(a_id, q_id);
       atomic_add(node_s[a_id],
-                 tq.node_wnormal[q_id].dot(delta) * inv_r6(d2, approx_math));
+                 born_far_term(a.centroid, q.centroid, tq.node_wnormal[q_id],
+                               approx_math));
       ++lc.approx;
       return;
     }
     const bool a_leaf = a.is_leaf();
     const bool q_leaf = q.is_leaf();
     if (a_leaf && q_leaf) {
+      if (recorder) recorder->near(a_id, q_id);
       exact_pair(a, q, lc);
       return;
     }
     // Refine the node with the larger radius (both when only one is a
-    // leaf, that one stays fixed).
+    // leaf, that one stays fixed). Recording forbids forking: the capture
+    // order must be the serial one.
     const bool split_a = !a_leaf && (q_leaf || a.radius >= q.radius);
     if (split_a) {
-      if (a.size() > 8192 && ws::Scheduler::current() != nullptr) {
+      if (a.size() > 8192 && ws::Scheduler::current() != nullptr &&
+          recorder == nullptr) {
         std::vector<std::function<void()>> forks;
         forks.reserve(a.child_count);
         for (std::uint8_t c = 0; c < a.child_count; ++c) {
@@ -128,7 +126,8 @@ void approx_integrals_dual(const AtomsTree& ta, const QPointsTree& tq,
                            double eps_born, bool approx_math,
                            std::span<double> node_s, std::span<double> atom_s,
                            perf::WorkCounters& counters,
-                           bool strict_criterion, KernelKind kernel) {
+                           bool strict_criterion, KernelKind kernel,
+                           PlanRecorder* recorder) {
   OCTGB_CHECK_MSG(eps_born > 0.0, "eps_born must be positive");
   OCTGB_CHECK(node_s.size() == ta.tree.nodes().size());
   OCTGB_CHECK(atom_s.size() == ta.num_atoms());
@@ -137,7 +136,7 @@ void approx_integrals_dual(const AtomsTree& ta, const QPointsTree& tq,
                                ? std::pow(1.0 + eps_born, 1.0 / 6.0)
                                : 1.0 + eps_born;
   DualPass pass{ta,     tq,     threshold, approx_math, kernel,
-                node_s, atom_s, &counters};
+                node_s, atom_s, &counters,  recorder};
   DualCounts lc;
   pass.descend(0, 0, lc);
   pass.flush(lc);

@@ -1,5 +1,7 @@
 #include "octgb/core/engine.hpp"
 
+#include <atomic>
+
 #include "octgb/core/dual_traversal.hpp"
 #include "octgb/perf/stats.hpp"
 #include "octgb/trace/trace.hpp"
@@ -47,7 +49,7 @@ std::size_t EvalScratch::footprint_bytes() const {
   return (node_s.capacity() + atom_s.capacity() + born_tree.capacity() +
           born_input.capacity()) *
              sizeof(double) +
-         epol_ctx.footprint_bytes();
+         epol_ctx.footprint_bytes() + plan_cache.footprint_bytes();
 }
 
 void GBEngine::phase_integrals(Segment q_leaf_segment,
@@ -124,37 +126,156 @@ void GBEngine::born_to_input_order(std::span<const double> born_tree,
 
 namespace {
 
-/// Shared driver for compute()/compute_dual(): the Born integral pass is
-/// the only difference. All working memory comes from `scratch`; warm
-/// calls on an unchanged tree shape allocate nothing.
-template <class IntegralsFn>
-EvalResult compute_impl(const GBEngine& engine, EvalScratch& scratch,
-                        ws::Scheduler* sched, IntegralsFn&& integrals) {
-  if (engine.config().trace.enabled) trace::Tracer::instance().set_enabled(true);
+/// Compat shim: materialize an EvalResult (spans into `scratch`) as an
+/// owning EnergyResult.
+EnergyResult to_energy_result(const EvalResult& r) {
+  EnergyResult out;
+  out.epol = r.epol;
+  out.born.assign(r.born.begin(), r.born.end());
+  out.work = r.work;
+  out.wall_seconds = r.wall_seconds;
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t GBEngine::next_engine_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Shared driver for compute()/compute_dual() on the EvalScratch path.
+///
+/// The Born phase runs through the scratch's plan cache (PlanMode::Auto,
+/// unless the caller disallows it):
+///   capture    — key miss: instrumented serial traversal, lists recorded;
+///   replay     — key hit at changed geometry: structural re-validation,
+///                then flat-list execution (recapture on drift);
+///   born reuse — key hit at unchanged geometry + arithmetic: the cached
+///                Born radii are exact, integrals + push are skipped.
+/// Every path reports the same operation counters a fresh traversal would
+/// (counts are partition properties) and reproduces its results bit for
+/// bit — see DESIGN.md §2.6 for the determinism argument.
+EvalResult GBEngine::compute_eval(EvalScratch& scratch, ws::Scheduler* sched,
+                                  PlanFlavor flavor, bool allow_plan) const {
+  if (config_.trace.enabled) trace::Tracer::instance().set_enabled(true);
   OCTGB_SPAN("engine.compute");
   EvalResult result;
   perf::Timer timer;
 
-  const auto n_atoms = engine.num_atoms();
-  scratch.prepare(engine.num_ta_nodes(), n_atoms);
+  const auto n_atoms = num_atoms();
+  scratch.prepare(num_ta_nodes(), n_atoms);
   double epol = 0.0;
 
+  const ApproxParams& approx = config_.approx;
+  const PlanKey key{engine_id_,
+                    topology_epoch_,
+                    approx.eps_born,
+                    approx.strict_born_criterion,
+                    approx.kernel,
+                    flavor};
+  enum class Action { Traverse, Capture, Replay, BornReuse };
+  Action act = Action::Traverse;
+  PlanCache& pc = scratch.plan_cache;
+  if (allow_plan && approx.plan == PlanMode::Auto) {
+    if (pc.plan.valid() && pc.plan.key() == key) {
+      ++pc.stats.key_hits;
+      act = pc.plan.born_valid(geometry_epoch_, approx.approx_math)
+                ? Action::BornReuse
+                : Action::Replay;
+    } else {
+      ++pc.stats.key_misses;
+      if (pc.plan.valid()) {
+        const PlanKey& old = pc.plan.key();
+        if (old.engine_id != key.engine_id ||
+            old.topology_epoch != key.topology_epoch)
+          ++pc.stats.invalidated_topology;
+        else
+          ++pc.stats.invalidated_params;
+      }
+      act = Action::Capture;
+    }
+    if (act == Action::Replay && geometry_epoch_ != pc.plan.geometry_epoch()) {
+      // An in-place refit moved centroids/radii; the pair structure
+      // usually survives. Prove it (math-free serial re-walk) or recapture.
+      OCTGB_SPAN("plan.validate");
+      ++pc.stats.validations;
+      if (!pc.plan.validate(ta_, tq_, geometry_epoch_)) {
+        ++pc.stats.invalidated_drift;
+        act = Action::Capture;
+      }
+    }
+    if (act == Action::Capture) ++pc.stats.builds;
+    if (act == Action::Replay) ++pc.stats.replays;
+    if (act == Action::BornReuse) ++pc.stats.born_reuses;
+  }
+
   auto body = [&] {
-    integrals(std::span<double>(scratch.node_s),
-              std::span<double>(scratch.atom_s), result.work);
-    engine.phase_push({0, static_cast<std::uint32_t>(n_atoms)},
-                      scratch.node_s, scratch.atom_s, scratch.born_tree,
-                      result.work);
+    switch (act) {
+      case Action::BornReuse: {
+        OCTGB_SPAN("plan.born_reuse");
+        pc.plan.load_born(scratch.born_tree, result.work);
+        break;
+      }
+      case Action::Replay: {
+        OCTGB_SPAN("plan.replay");
+        pc.plan.replay(ta_, tq_, approx.approx_math, scratch.node_s,
+                       scratch.atom_s, result.work);
+        break;
+      }
+      case Action::Capture: {
+        OCTGB_SPAN("plan.build");
+        PlanRecorder rec = pc.plan.begin_capture(key);
+        perf::WorkCounters captured;
+        if (flavor == PlanFlavor::Single) {
+          approx_integrals(ta_, tq_, q_leaves(), approx.eps_born,
+                           approx.approx_math, scratch.node_s, scratch.atom_s,
+                           captured, approx.strict_born_criterion,
+                           approx.kernel, &rec);
+        } else {
+          approx_integrals_dual(ta_, tq_, approx.eps_born, approx.approx_math,
+                                scratch.node_s, scratch.atom_s, captured,
+                                approx.strict_born_criterion, approx.kernel,
+                                &rec);
+        }
+        if (pc.plan.finalize(ta_, tq_, geometry_epoch_, captured))
+          ++scratch.allocation_events;
+        result.work += captured;
+        break;
+      }
+      case Action::Traverse: {
+        if (flavor == PlanFlavor::Single) {
+          phase_integrals({0, static_cast<std::uint32_t>(q_leaves().size())},
+                          scratch.node_s, scratch.atom_s, result.work);
+        } else {
+          approx_integrals_dual(ta_, tq_, approx.eps_born, approx.approx_math,
+                                scratch.node_s, scratch.atom_s, result.work,
+                                approx.strict_born_criterion, approx.kernel);
+        }
+        break;
+      }
+    }
+    if (act != Action::BornReuse) {
+      phase_push({0, static_cast<std::uint32_t>(n_atoms)}, scratch.node_s,
+                 scratch.atom_s, scratch.born_tree, result.work);
+      if (act != Action::Traverse) {
+        // result.work holds exactly the phase A + push counters here;
+        // cache them with the radii so a future Born reuse reports the
+        // same counts a fresh traversal would.
+        if (pc.plan.store_born(geometry_epoch_, approx.approx_math,
+                               scratch.born_tree, result.work))
+          ++scratch.allocation_events;
+      }
+    }
     {
       OCTGB_SPAN("epol.context");
-      if (scratch.epol_ctx.rebuild(engine.atoms_tree(), scratch.born_tree,
-                                   engine.config().approx.eps_epol))
+      if (scratch.epol_ctx.rebuild(ta_, scratch.born_tree,
+                                   approx.eps_epol))
         ++scratch.allocation_events;
     }
-    epol = engine.phase_epol(
-        scratch.epol_ctx, scratch.born_tree,
-        {0, static_cast<std::uint32_t>(engine.a_leaves().size())},
-        result.work);
+    epol = phase_epol(scratch.epol_ctx, scratch.born_tree,
+                      {0, static_cast<std::uint32_t>(a_leaves().size())},
+                      result.work);
   };
 
   if (sched) {
@@ -170,58 +291,33 @@ EvalResult compute_impl(const GBEngine& engine, EvalScratch& scratch,
   result.epol = epol;
   {
     OCTGB_SPAN("born.remap");
-    engine.born_to_input_order(scratch.born_tree, scratch.born_input);
+    born_to_input_order(scratch.born_tree, scratch.born_input);
   }
   result.born = scratch.born_input;
   result.wall_seconds = timer.seconds();
   return result;
 }
 
-/// Compat shim: materialize an EvalResult (spans into `scratch`) as an
-/// owning EnergyResult.
-EnergyResult to_energy_result(const EvalResult& r) {
-  EnergyResult out;
-  out.epol = r.epol;
-  out.born.assign(r.born.begin(), r.born.end());
-  out.work = r.work;
-  out.wall_seconds = r.wall_seconds;
-  return out;
-}
-
-}  // namespace
-
 EvalResult GBEngine::compute(EvalScratch& scratch, ws::Scheduler* sched) const {
-  return compute_impl(*this, scratch, sched,
-                      [&](std::span<double> node_s, std::span<double> atom_s,
-                          perf::WorkCounters& work) {
-                        phase_integrals(
-                            {0, static_cast<std::uint32_t>(
-                                    q_leaves().size())},
-                            node_s, atom_s, work);
-                      });
+  return compute_eval(scratch, sched, PlanFlavor::Single, /*allow_plan=*/true);
 }
 
 EvalResult GBEngine::compute_dual(EvalScratch& scratch,
                                   ws::Scheduler* sched) const {
-  return compute_impl(
-      *this, scratch, sched,
-      [&](std::span<double> node_s, std::span<double> atom_s,
-          perf::WorkCounters& work) {
-        approx_integrals_dual(ta_, tq_, config_.approx.eps_born,
-                              config_.approx.approx_math, node_s, atom_s,
-                              work, config_.approx.strict_born_criterion,
-                              config_.approx.kernel);
-      });
+  return compute_eval(scratch, sched, PlanFlavor::Dual, /*allow_plan=*/true);
 }
 
 EnergyResult GBEngine::compute(ws::Scheduler* sched) const {
+  // One-shot scratch: a plan could never be reused, so don't build one.
   EvalScratch scratch;
-  return to_energy_result(compute(scratch, sched));
+  return to_energy_result(
+      compute_eval(scratch, sched, PlanFlavor::Single, /*allow_plan=*/false));
 }
 
 EnergyResult GBEngine::compute_dual(ws::Scheduler* sched) const {
   EvalScratch scratch;
-  return to_energy_result(compute_dual(scratch, sched));
+  return to_energy_result(
+      compute_eval(scratch, sched, PlanFlavor::Dual, /*allow_plan=*/false));
 }
 
 double GBEngine::epol_with_radii(std::span<const double> born_input_order,

@@ -1,0 +1,324 @@
+#include "octgb/core/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "octgb/core/born.hpp"
+#include "octgb/util/check.hpp"
+#include "octgb/ws/scheduler.hpp"
+
+namespace octgb::core {
+
+namespace {
+
+using octree::Octree;
+
+constexpr std::uint32_t kNoGroup = 0xffffffffu;
+
+/// Modeled cost of one far-field pseudo-particle term in point-pair
+/// equivalents (a dot product + one 1/r⁶, no per-point loop); used only
+/// to balance replay chunks, never to price results.
+constexpr std::uint64_t kFarCost = 8;
+
+/// Replay chunk target: enough cost-sorted chunks that greedy packing
+/// load-balances any worker count the scheduler realistically runs with,
+/// few enough that per-chunk task overhead stays negligible.
+constexpr std::uint64_t kTargetChunks = 96;
+
+}  // namespace
+
+PlanRecorder InteractionPlan::begin_capture(const PlanKey& key) {
+  key_ = key;
+  valid_ = false;
+  born_valid_ = false;
+  near_a_.clear();
+  near_q_.clear();
+  far_a_.clear();
+  far_q_.clear();
+  capture_cap_mark_ = near_a_.capacity() + near_q_.capacity() +
+                      far_a_.capacity() + far_q_.capacity();
+  return PlanRecorder(&near_a_, &near_q_, &far_a_, &far_q_);
+}
+
+bool InteractionPlan::finalize(const AtomsTree& ta, const QPointsTree& tq,
+                               std::uint64_t geometry_epoch,
+                               const perf::WorkCounters& captured_work) {
+  bool grew = near_a_.capacity() + near_q_.capacity() + far_a_.capacity() +
+                  far_q_.capacity() >
+              capture_cap_mark_;
+  const auto caps = [this] {
+    return owner_.capacity() + near_begin_.capacity() + far_begin_.capacity() +
+           near_q_sorted_.capacity() + far_q_sorted_.capacity() +
+           owner_order_.capacity() + chunk_begin_.capacity() +
+           group_of_node_.capacity() + cursor_.capacity() + cost_.capacity();
+  };
+  const std::size_t caps_before = caps();
+
+  // Group ids in first-appearance (capture) order; owner = target A-node.
+  const std::size_t n_nodes = ta.tree.nodes().size();
+  group_of_node_.assign(n_nodes, kNoGroup);
+  owner_.clear();
+  const auto claim = [&](std::uint32_t a_id) {
+    if (group_of_node_[a_id] == kNoGroup) {
+      group_of_node_[a_id] = static_cast<std::uint32_t>(owner_.size());
+      owner_.push_back(a_id);
+    }
+  };
+  for (const std::uint32_t a_id : near_a_) claim(a_id);
+  for (const std::uint32_t a_id : far_a_) claim(a_id);
+  const std::size_t groups = owner_.size();
+
+  // Stable counting sort of both lists into owner-grouped CSR form: the
+  // capture (= serial traversal) order survives within every owner, which
+  // is exactly the per-slot accumulation order replay must reproduce.
+  near_begin_.assign(groups + 1, 0);
+  far_begin_.assign(groups + 1, 0);
+  for (const std::uint32_t a_id : near_a_)
+    ++near_begin_[group_of_node_[a_id] + 1];
+  for (const std::uint32_t a_id : far_a_)
+    ++far_begin_[group_of_node_[a_id] + 1];
+  for (std::size_t g = 0; g < groups; ++g) {
+    near_begin_[g + 1] += near_begin_[g];
+    far_begin_[g + 1] += far_begin_[g];
+  }
+  near_q_sorted_.resize(near_q_.size());
+  far_q_sorted_.resize(far_q_.size());
+  cursor_.assign(groups, 0);
+  for (std::size_t i = 0; i < near_a_.size(); ++i) {
+    const std::uint32_t g = group_of_node_[near_a_[i]];
+    near_q_sorted_[near_begin_[g] + cursor_[g]++] = near_q_[i];
+  }
+  cursor_.assign(groups, 0);
+  for (std::size_t i = 0; i < far_a_.size(); ++i) {
+    const std::uint32_t g = group_of_node_[far_a_[i]];
+    far_q_sorted_[far_begin_[g] + cursor_[g]++] = far_q_[i];
+  }
+
+  // Per-owner modeled cost, then owners sorted most-expensive-first so the
+  // greedy chunking below cannot strand one huge owner at the tail.
+  cost_.assign(groups, 0);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::uint64_t a_size = ta.tree.node(owner_[g]).size();
+    for (std::uint32_t k = near_begin_[g]; k < near_begin_[g + 1]; ++k)
+      cost_[g] += a_size * tq.tree.node(near_q_sorted_[k]).size();
+    cost_[g] += kFarCost * (far_begin_[g + 1] - far_begin_[g]);
+  }
+  owner_order_.resize(groups);
+  std::iota(owner_order_.begin(), owner_order_.end(), 0u);
+  std::stable_sort(owner_order_.begin(), owner_order_.end(),
+                   [&](std::uint32_t x, std::uint32_t y) {
+                     return cost_[x] > cost_[y];
+                   });
+
+  const std::uint64_t total =
+      std::accumulate(cost_.begin(), cost_.end(), std::uint64_t{0});
+  const std::uint64_t target = std::max<std::uint64_t>(1, total / kTargetChunks);
+  chunk_begin_.clear();
+  chunk_begin_.push_back(0);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < groups; ++i) {
+    acc += cost_[owner_order_[i]];
+    if (acc >= target && i + 1 < groups) {
+      chunk_begin_.push_back(static_cast<std::uint32_t>(i + 1));
+      acc = 0;
+    }
+  }
+  chunk_begin_.push_back(static_cast<std::uint32_t>(groups));
+
+  base_work_ = captured_work;
+  geometry_epoch_ = geometry_epoch;
+  valid_ = true;
+  return grew || caps() > caps_before;
+}
+
+std::size_t InteractionPlan::footprint_bytes() const {
+  return (near_a_.capacity() + near_q_.capacity() + far_a_.capacity() +
+          far_q_.capacity() + owner_.capacity() + near_begin_.capacity() +
+          far_begin_.capacity() + near_q_sorted_.capacity() +
+          far_q_sorted_.capacity() + owner_order_.capacity() +
+          chunk_begin_.capacity() + group_of_node_.capacity() +
+          cursor_.capacity()) *
+             sizeof(std::uint32_t) +
+         cost_.capacity() * sizeof(std::uint64_t) +
+         born_tree_.capacity() * sizeof(double);
+}
+
+bool InteractionPlan::validate_single(const AtomsTree& ta,
+                                      const QPointsTree& tq,
+                                      double threshold) const {
+  std::size_t nc = 0, fc = 0;
+  // Math-free mirror of IntegralsPass::descend (born.cpp): same decision
+  // rule, same serial recursion order, decisions compared element-wise
+  // against the capture instead of evaluated.
+  const auto walk = [&](auto&& self, std::uint32_t a_id,
+                        const Octree::Node& q,
+                        std::uint32_t q_id) -> bool {
+    const Octree::Node& a = ta.tree.node(a_id);
+    const double d = std::sqrt(geom::dist2(a.centroid, q.centroid));
+    if (born_far_enough(d, a.radius, q.radius, threshold)) {
+      if (fc >= far_a_.size() || far_a_[fc] != a_id || far_q_[fc] != q_id)
+        return false;
+      ++fc;
+      return true;
+    }
+    if (a.is_leaf()) {
+      if (nc >= near_a_.size() || near_a_[nc] != a_id || near_q_[nc] != q_id)
+        return false;
+      ++nc;
+      return true;
+    }
+    for (std::uint8_t c = 0; c < a.child_count; ++c)
+      if (!self(self, a.first_child + c, q, q_id)) return false;
+    return true;
+  };
+  for (const std::uint32_t q_leaf : tq.tree.leaf_ids())
+    if (!walk(walk, 0, tq.tree.node(q_leaf), q_leaf)) return false;
+  return nc == near_a_.size() && fc == far_a_.size();
+}
+
+bool InteractionPlan::validate_dual(const AtomsTree& ta, const QPointsTree& tq,
+                                    double threshold) const {
+  std::size_t nc = 0, fc = 0;
+  // Mirror of DualPass::descend (dual_traversal.cpp) without the math.
+  const auto walk = [&](auto&& self, std::uint32_t a_id,
+                        std::uint32_t q_id) -> bool {
+    const Octree::Node& a = ta.tree.node(a_id);
+    const Octree::Node& q = tq.tree.node(q_id);
+    const double d = std::sqrt(geom::dist2(a.centroid, q.centroid));
+    if (born_far_enough(d, a.radius, q.radius, threshold)) {
+      if (fc >= far_a_.size() || far_a_[fc] != a_id || far_q_[fc] != q_id)
+        return false;
+      ++fc;
+      return true;
+    }
+    const bool a_leaf = a.is_leaf();
+    const bool q_leaf = q.is_leaf();
+    if (a_leaf && q_leaf) {
+      if (nc >= near_a_.size() || near_a_[nc] != a_id || near_q_[nc] != q_id)
+        return false;
+      ++nc;
+      return true;
+    }
+    if (!a_leaf && (q_leaf || a.radius >= q.radius)) {
+      for (std::uint8_t c = 0; c < a.child_count; ++c)
+        if (!self(self, a.first_child + c, q_id)) return false;
+    } else {
+      for (std::uint8_t c = 0; c < q.child_count; ++c)
+        if (!self(self, a_id, q.first_child + c)) return false;
+    }
+    return true;
+  };
+  if (!walk(walk, 0, 0)) return false;
+  return nc == near_a_.size() && fc == far_a_.size();
+}
+
+bool InteractionPlan::validate(const AtomsTree& ta, const QPointsTree& tq,
+                               std::uint64_t geometry_epoch) {
+  OCTGB_CHECK_MSG(valid_, "validate() on an invalid plan");
+  if (ta.tree.empty() || tq.tree.empty()) {
+    if (!near_a_.empty() || !far_a_.empty()) {
+      valid_ = born_valid_ = false;
+      return false;
+    }
+    geometry_epoch_ = geometry_epoch;
+    return true;
+  }
+  const double threshold =
+      key_.strict_criterion ? std::pow(1.0 + key_.eps_born, 1.0 / 6.0)
+                            : 1.0 + key_.eps_born;
+  const bool ok = key_.flavor == PlanFlavor::Single
+                      ? validate_single(ta, tq, threshold)
+                      : validate_dual(ta, tq, threshold);
+  if (!ok) {
+    valid_ = born_valid_ = false;
+    return false;
+  }
+  geometry_epoch_ = geometry_epoch;
+  return true;
+}
+
+void InteractionPlan::replay(const AtomsTree& ta, const QPointsTree& tq,
+                             bool approx_math, std::span<double> node_s,
+                             std::span<double> atom_s,
+                             perf::WorkCounters& work) const {
+  OCTGB_CHECK_MSG(valid_, "replay() on an invalid plan");
+  const bool batched = key_.kernel == KernelKind::Batched;
+  const std::int64_t nchunks = static_cast<std::int64_t>(chunks());
+  // Chunks are cost-balanced already; grain 1 keeps every chunk stealable.
+  ws::Scheduler::parallel_for(
+      0, nchunks, 1, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t c = lo; c < hi; ++c) {
+          for (std::uint32_t oi = chunk_begin_[c]; oi < chunk_begin_[c + 1];
+               ++oi) {
+            const std::uint32_t g = owner_order_[oi];
+            const std::uint32_t a_id = owner_[g];
+            const Octree::Node& a = ta.tree.node(a_id);
+            // Far terms: node_s[a_id] belongs to this task alone; capture
+            // order is preserved, so the sum matches the serial traversal
+            // bit for bit (the arithmetic is the same out-of-line
+            // born_far_term both traversals call).
+            if (far_begin_[g] != far_begin_[g + 1]) {
+              double acc = 0.0;
+              for (std::uint32_t k = far_begin_[g]; k < far_begin_[g + 1];
+                   ++k) {
+                const std::uint32_t q_id = far_q_sorted_[k];
+                acc += born_far_term(a.centroid, tq.tree.node(q_id).centroid,
+                                     tq.node_wnormal[q_id], approx_math);
+              }
+              node_s[a_id] += acc;
+            }
+            // Near pairs: the owner is an A-leaf, and its atom range
+            // [a.begin, a.end) of atom_s is exclusive to this task. The
+            // q-outer / atom-inner loop hands every atom its additions in
+            // capture order.
+            for (std::uint32_t k = near_begin_[g]; k < near_begin_[g + 1];
+                 ++k) {
+              const Octree::Node& q = tq.tree.node(near_q_sorted_[k]);
+              if (batched) {
+                const QPointBatch qb = tq.node_batch(q);
+                const double* __restrict ax = ta.soa_x.data();
+                const double* __restrict ay = ta.soa_y.data();
+                const double* __restrict az = ta.soa_z.data();
+                for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
+                  atom_s[ai] +=
+                      approx_math
+                          ? batch_born_integral_fast(ax[ai], ay[ai], az[ai],
+                                                     qb)
+                          : batch_born_integral(ax[ai], ay[ai], az[ai], qb);
+                }
+              } else {
+                const auto atom_pts = ta.tree.points();
+                for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
+                  atom_s[ai] += scalar_born_pair(atom_pts[ai], tq, q.begin,
+                                                 q.end, approx_math);
+              }
+            }
+          }
+        }
+      });
+  work += base_work_;
+}
+
+bool InteractionPlan::store_born(std::uint64_t geometry_epoch,
+                                 bool approx_math,
+                                 std::span<const double> born_tree,
+                                 const perf::WorkCounters& born_work) {
+  OCTGB_CHECK_MSG(valid_, "store_born() on an invalid plan");
+  const std::size_t cap = born_tree_.capacity();
+  born_tree_.assign(born_tree.begin(), born_tree.end());
+  born_geometry_epoch_ = geometry_epoch;
+  born_approx_math_ = approx_math;
+  born_work_ = born_work;
+  born_valid_ = true;
+  return born_tree_.capacity() > cap;
+}
+
+void InteractionPlan::load_born(std::span<double> born_tree,
+                                perf::WorkCounters& work) const {
+  OCTGB_CHECK(born_valid_ && born_tree.size() == born_tree_.size());
+  std::copy(born_tree_.begin(), born_tree_.end(), born_tree.begin());
+  work += born_work_;
+}
+
+}  // namespace octgb::core

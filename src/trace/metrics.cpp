@@ -88,6 +88,19 @@ void MetricsRegistry::add_comm(const std::string& prefix,
   add(scoped("mpp.collectives", prefix), c.collectives);
 }
 
+void MetricsRegistry::add_plan(const std::string& prefix,
+                               const perf::PlanCounters& p) {
+  add(scoped("plan.builds", prefix), p.builds);
+  add(scoped("plan.replays", prefix), p.replays);
+  add(scoped("plan.born_reuses", prefix), p.born_reuses);
+  add(scoped("plan.key_hits", prefix), p.key_hits);
+  add(scoped("plan.key_misses", prefix), p.key_misses);
+  add(scoped("plan.invalidated.topology", prefix), p.invalidated_topology);
+  add(scoped("plan.invalidated.params", prefix), p.invalidated_params);
+  add(scoped("plan.invalidated.drift", prefix), p.invalidated_drift);
+  add(scoped("plan.validations", prefix), p.validations);
+}
+
 void MetricsRegistry::add_scheduler(const std::string& prefix,
                                     std::uint64_t spawns,
                                     std::uint64_t steals,

@@ -1,5 +1,6 @@
 #include "octgb/ws/scheduler.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "octgb/trace/trace.hpp"
@@ -159,11 +160,26 @@ void Scheduler::fork_all(std::vector<std::function<void()>>& fns) {
   s->wait_for(*w, join);
 }
 
+namespace {
+
+/// Resolve `grain <= 0` to the automatic grain: an eighth of a fair
+/// per-worker share, so a full recursion produces ~8 stealable tasks per
+/// worker — enough slack for load balancing without forking one task per
+/// index (the old behaviour of a silent clamp to 1).
+std::int64_t resolve_grain(std::int64_t grain, std::int64_t span,
+                           const Scheduler* sched) {
+  if (grain >= 1) return grain;
+  const std::int64_t workers = sched ? sched->num_workers() : 1;
+  return std::max<std::int64_t>(1, span / (8 * workers));
+}
+
+}  // namespace
+
 void Scheduler::parallel_for(
     std::int64_t begin, std::int64_t end, std::int64_t grain,
     const std::function<void(std::int64_t, std::int64_t)>& body) {
   if (begin >= end) return;
-  if (grain < 1) grain = 1;
+  grain = resolve_grain(grain, end - begin, tls_scheduler);
   if (end - begin <= grain || tls_scheduler == nullptr) {
     body(begin, end);
     return;
@@ -177,7 +193,7 @@ double Scheduler::parallel_reduce(
     std::int64_t begin, std::int64_t end, std::int64_t grain,
     const std::function<double(std::int64_t, std::int64_t)>& body) {
   if (begin >= end) return 0.0;
-  if (grain < 1) grain = 1;
+  grain = resolve_grain(grain, end - begin, tls_scheduler);
   if (end - begin <= grain || tls_scheduler == nullptr) {
     return body(begin, end);
   }

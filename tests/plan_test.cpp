@@ -1,0 +1,349 @@
+// Interaction-plan lifecycle tests (core/plan.hpp): capture / replay /
+// Born-reuse equivalence against the recursive traversal, key-based
+// invalidation (params, topology), refit validation and drift recapture,
+// and the allocation-free steady state of the warm path.
+//
+// The load-bearing invariant everywhere: any plan-driven Born result is
+// bit-identical to the serial recursive traversal at the same geometry
+// and parameters (DESIGN.md §2.6). The cold compute() wrapper always runs
+// with the plan off, so it is the traversal reference.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "octgb/core/engine.hpp"
+#include "octgb/core/session.hpp"
+#include "octgb/mol/generate.hpp"
+#include "octgb/surface/surface.hpp"
+#include "octgb/trace/metrics.hpp"
+#include "octgb/util/rng.hpp"
+
+using namespace octgb;
+using core::EvalScratch;
+using core::GBEngine;
+using core::PlanMode;
+
+namespace {
+
+struct Problem {
+  mol::Molecule molecule;
+  surface::Surface surf;
+  explicit Problem(std::size_t atoms, std::uint64_t seed = 91)
+      : molecule(mol::generate_protein({.target_atoms = atoms, .seed = seed})),
+        surf(surface::build_surface(molecule, {.subdivision = 1})) {}
+};
+
+/// Input-order atom positions displaced by a uniform jitter in
+/// [-scale, scale]³ — small scales keep every admissibility decision,
+/// large ones flip some.
+std::vector<geom::Vec3> jittered_positions(const mol::Molecule& mol,
+                                           double scale, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<geom::Vec3> out;
+  out.reserve(mol.size());
+  for (const auto& a : mol.atoms()) {
+    out.push_back(a.pos + geom::Vec3(rng.uniform(-scale, scale),
+                                     rng.uniform(-scale, scale),
+                                     rng.uniform(-scale, scale)));
+  }
+  return out;
+}
+
+void expect_bitwise_equal(const core::EvalResult& got,
+                          const core::EnergyResult& want) {
+  EXPECT_EQ(got.epol, want.epol);
+  ASSERT_EQ(got.born.size(), want.born.size());
+  for (std::size_t i = 0; i < got.born.size(); ++i)
+    ASSERT_EQ(got.born[i], want.born[i]) << "atom " << i;
+  EXPECT_EQ(got.work.born_exact, want.work.born_exact);
+  EXPECT_EQ(got.work.born_approx, want.work.born_approx);
+  EXPECT_EQ(got.work.born_visits, want.work.born_visits);
+  EXPECT_EQ(got.work.push_atoms, want.work.push_atoms);
+  EXPECT_EQ(got.work.push_visits, want.work.push_visits);
+  EXPECT_EQ(got.work.epol_exact, want.work.epol_exact);
+  EXPECT_EQ(got.work.epol_bins, want.work.epol_bins);
+  EXPECT_EQ(got.work.epol_visits, want.work.epol_visits);
+}
+
+}  // namespace
+
+// ---- equivalence sweep ------------------------------------------------------
+
+struct SweepParams {
+  std::size_t atoms;
+  double eps_born;
+  bool strict;
+};
+
+class PlanEquivalence : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(PlanEquivalence, CaptureReplayAndReuseMatchTraversalBitForBit) {
+  const auto [atoms, eps_born, strict] = GetParam();
+  const Problem p(atoms);
+  core::EngineConfig config;
+  config.approx.eps_born = eps_born;
+  config.approx.strict_born_criterion = strict;
+
+  GBEngine warm(p.molecule, p.surf, config);
+  GBEngine cold(p.molecule, p.surf, config);  // traversal reference
+  EvalScratch scratch;
+
+  // First warm compute captures the plan; reference runs the traversal.
+  expect_bitwise_equal(warm.compute(scratch), cold.compute());
+  EXPECT_EQ(scratch.plan_cache.stats.builds, 1u);
+
+  // Same geometry again: full Born-result reuse, still bit-identical.
+  expect_bitwise_equal(warm.compute(scratch), cold.compute());
+  EXPECT_EQ(scratch.plan_cache.stats.born_reuses, 1u);
+
+  // Small refit: the pair structure survives, validation passes, the
+  // flat-list replay must equal re-traversing at the moved geometry.
+  // (Jitter is kept tiny: even 1e-4 Å can flip a borderline admissibility
+  // decision on larger problems, which validation would rightly treat as
+  // drift — that path has its own test below.)
+  const auto moved = jittered_positions(p.molecule, 1e-7, 17);
+  warm.refit_atoms(moved);
+  cold.refit_atoms(moved);
+  expect_bitwise_equal(warm.compute(scratch), cold.compute());
+  EXPECT_EQ(scratch.plan_cache.stats.validations, 1u);
+  EXPECT_EQ(scratch.plan_cache.stats.invalidated_drift, 0u);
+  EXPECT_EQ(scratch.plan_cache.stats.replays, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlanEquivalence,
+    ::testing::Values(SweepParams{200, 0.9, false},
+                      SweepParams{500, 0.9, false},
+                      SweepParams{500, 0.3, false},
+                      SweepParams{500, 2.0, false},
+                      SweepParams{500, 0.9, true},
+                      SweepParams{1200, 0.9, false}));
+
+// ---- invalidation -----------------------------------------------------------
+
+TEST(Plan, EpsBornChangeInvalidatesAndRecaptures) {
+  const Problem p(500);
+  GBEngine warm(p.molecule, p.surf);
+  GBEngine cold(p.molecule, p.surf);
+  EvalScratch scratch;
+
+  (void)warm.compute(scratch);
+  warm.approx().eps_born = 0.4;
+  cold.approx().eps_born = 0.4;
+  expect_bitwise_equal(warm.compute(scratch), cold.compute());
+  EXPECT_EQ(scratch.plan_cache.stats.invalidated_params, 1u);
+  EXPECT_EQ(scratch.plan_cache.stats.builds, 2u);
+  EXPECT_EQ(scratch.plan_cache.stats.replays, 0u);
+}
+
+TEST(Plan, RebuildInvalidatesTopology) {
+  const Problem p(500);
+  GBEngine warm(p.molecule, p.surf);
+  GBEngine cold(p.molecule, p.surf);
+  EvalScratch scratch;
+
+  (void)warm.compute(scratch);
+  const auto epoch_before = warm.topology_epoch();
+  warm.rebuild_atoms(p.molecule);
+  cold.rebuild_atoms(p.molecule);
+  EXPECT_EQ(warm.topology_epoch(), epoch_before + 1);
+  expect_bitwise_equal(warm.compute(scratch), cold.compute());
+  EXPECT_EQ(scratch.plan_cache.stats.invalidated_topology, 1u);
+  EXPECT_EQ(scratch.plan_cache.stats.builds, 2u);
+}
+
+TEST(Plan, SwitchingEnginesInvalidates) {
+  // One scratch serving two engines alternately: each switch is a key
+  // miss (engine identity differs), results stay traversal-exact.
+  const Problem p1(400, 5);
+  const Problem p2(300, 6);
+  GBEngine e1(p1.molecule, p1.surf);
+  GBEngine e2(p2.molecule, p2.surf);
+  GBEngine cold1(p1.molecule, p1.surf);
+  GBEngine cold2(p2.molecule, p2.surf);
+  EvalScratch scratch;
+
+  (void)e1.compute(scratch);
+  expect_bitwise_equal(e2.compute(scratch), cold2.compute());
+  expect_bitwise_equal(e1.compute(scratch), cold1.compute());
+  EXPECT_EQ(scratch.plan_cache.stats.builds, 3u);
+  EXPECT_EQ(scratch.plan_cache.stats.invalidated_topology, 2u);
+}
+
+TEST(Plan, LargeMoveDriftRecaptures) {
+  // A big coordinate change flips admissibility decisions: validation
+  // must catch it (drift), recapture, and still match the traversal.
+  const Problem p(600);
+  GBEngine warm(p.molecule, p.surf);
+  GBEngine cold(p.molecule, p.surf);
+  EvalScratch scratch;
+
+  (void)warm.compute(scratch);
+  const auto moved = jittered_positions(p.molecule, 8.0, 23);
+  warm.refit_atoms(moved);
+  cold.refit_atoms(moved);
+  expect_bitwise_equal(warm.compute(scratch), cold.compute());
+  EXPECT_EQ(scratch.plan_cache.stats.validations, 1u);
+  EXPECT_EQ(scratch.plan_cache.stats.invalidated_drift, 1u);
+  EXPECT_EQ(scratch.plan_cache.stats.builds, 2u);
+}
+
+TEST(Plan, ApproxMathTogglesBornCacheButNotPlan) {
+  // approx_math changes arithmetic, not the partition: the plan key
+  // still hits and the lists replay; only the Born-result cache misses.
+  const Problem p(400);
+  GBEngine warm(p.molecule, p.surf);
+  GBEngine cold(p.molecule, p.surf);
+  EvalScratch scratch;
+
+  (void)warm.compute(scratch);
+  warm.approx().approx_math = true;
+  cold.approx().approx_math = true;
+  expect_bitwise_equal(warm.compute(scratch), cold.compute());
+  EXPECT_EQ(scratch.plan_cache.stats.key_hits, 1u);
+  EXPECT_EQ(scratch.plan_cache.stats.replays, 1u);
+  EXPECT_EQ(scratch.plan_cache.stats.builds, 1u);
+}
+
+TEST(Plan, PlanModeOffNeverCaches) {
+  const Problem p(300);
+  core::EngineConfig config;
+  config.approx.plan = PlanMode::Off;
+  GBEngine warm(p.molecule, p.surf, config);
+  GBEngine cold(p.molecule, p.surf, config);
+  EvalScratch scratch;
+
+  expect_bitwise_equal(warm.compute(scratch), cold.compute());
+  expect_bitwise_equal(warm.compute(scratch), cold.compute());
+  EXPECT_EQ(scratch.plan_cache.stats.builds, 0u);
+  EXPECT_EQ(scratch.plan_cache.stats.key_hits, 0u);
+  EXPECT_EQ(scratch.plan_cache.stats.key_misses, 0u);
+  EXPECT_EQ(scratch.plan_cache.plan.near_pairs(), 0u);
+}
+
+// ---- dual flavor ------------------------------------------------------------
+
+TEST(Plan, DualFlavorCapturesAndReusesIndependently) {
+  const Problem p(500);
+  GBEngine warm(p.molecule, p.surf);
+  GBEngine cold(p.molecule, p.surf);
+  EvalScratch scratch;
+
+  const auto warm1 = warm.compute_dual(scratch);
+  const auto ref = cold.compute_dual();
+  expect_bitwise_equal(warm1, ref);
+  // Same flavor again: Born reuse.
+  expect_bitwise_equal(warm.compute_dual(scratch), ref);
+  EXPECT_EQ(scratch.plan_cache.stats.born_reuses, 1u);
+  // Flavor switch is a key miss (params-level invalidation).
+  (void)warm.compute(scratch);
+  EXPECT_EQ(scratch.plan_cache.stats.invalidated_params, 1u);
+  EXPECT_EQ(scratch.plan_cache.stats.builds, 2u);
+}
+
+TEST(Plan, DualFlavorReplayMatchesTraversalAfterRefit) {
+  const Problem p(500);
+  GBEngine warm(p.molecule, p.surf);
+  GBEngine cold(p.molecule, p.surf);
+  EvalScratch scratch;
+
+  (void)warm.compute_dual(scratch);
+  const auto moved = jittered_positions(p.molecule, 1e-4, 31);
+  warm.refit_atoms(moved);
+  cold.refit_atoms(moved);
+  expect_bitwise_equal(warm.compute_dual(scratch), cold.compute_dual());
+  EXPECT_EQ(scratch.plan_cache.stats.replays, 1u);
+  EXPECT_EQ(scratch.plan_cache.stats.invalidated_drift, 0u);
+}
+
+// ---- parallel replay --------------------------------------------------------
+
+TEST(Plan, ReplayUnderSchedulerIsExactOnBornRadii) {
+  // Replay writes every node_s slot / atom_s range from exactly one task,
+  // so the Born radii are schedule-independent down to the bit (unlike
+  // the traversal's atomic accumulation, which only promises near-equal).
+  // This is also the TSan race check for the chunked parallel replay.
+  const Problem p(800);
+  GBEngine warm(p.molecule, p.surf);
+  GBEngine cold(p.molecule, p.surf);
+  EvalScratch scratch;
+
+  (void)warm.compute(scratch);  // serial capture
+  const auto moved = jittered_positions(p.molecule, 1e-7, 53);
+  warm.refit_atoms(moved);
+  cold.refit_atoms(moved);
+  const auto serial_ref = cold.compute();
+
+  ws::Scheduler sched(4);
+  const auto par = warm.compute(scratch, &sched);  // replay under workers
+  EXPECT_EQ(scratch.plan_cache.stats.replays, 1u);
+  ASSERT_EQ(par.born.size(), serial_ref.born.size());
+  for (std::size_t i = 0; i < par.born.size(); ++i)
+    ASSERT_EQ(par.born[i], serial_ref.born[i]) << "atom " << i;
+  // The Epol phase still accumulates atomically under the scheduler.
+  EXPECT_NEAR(par.epol, serial_ref.epol, 1e-8 * std::abs(serial_ref.epol));
+
+  // Born reuse under the scheduler: radii come straight from the cache.
+  const auto reuse = warm.compute(scratch, &sched);
+  EXPECT_EQ(scratch.plan_cache.stats.born_reuses, 1u);
+  for (std::size_t i = 0; i < reuse.born.size(); ++i)
+    ASSERT_EQ(reuse.born[i], serial_ref.born[i]) << "atom " << i;
+}
+
+// ---- steady-state allocations ----------------------------------------------
+
+TEST(Plan, ReplayAndReuseAreAllocationFree) {
+  const Problem p(600);
+  GBEngine engine(p.molecule, p.surf);
+  EvalScratch scratch;
+
+  (void)engine.compute(scratch);          // capture
+  (void)engine.compute(scratch);          // born reuse
+  engine.refit_atoms(jittered_positions(p.molecule, 1e-4, 41));
+  (void)engine.compute(scratch);          // validate + replay + store
+  const auto settled = scratch.allocation_events;
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    engine.refit_atoms(
+        jittered_positions(p.molecule, 1e-4, 42 + std::uint64_t(cycle)));
+    (void)engine.compute(scratch);  // replay
+    (void)engine.compute(scratch);  // born reuse
+  }
+  EXPECT_EQ(scratch.allocation_events, settled);
+  EXPECT_EQ(scratch.plan_cache.stats.builds, 1u);
+  EXPECT_EQ(scratch.plan_cache.stats.replays, 4u);
+  EXPECT_EQ(scratch.plan_cache.stats.born_reuses, 4u);
+}
+
+// ---- session surface --------------------------------------------------------
+
+TEST(Plan, SessionExposesPlanStats) {
+  const Problem p(400);
+  core::ScoringSession session(p.molecule, p.surf);
+
+  (void)session.evaluate();
+  (void)session.evaluate();  // born reuse
+  auto approx = session.engine().config().approx;
+  approx.eps_born = 0.4;
+  (void)session.evaluate_at(approx);  // params invalidation → recapture
+
+  const perf::PlanCounters& stats = session.plan_stats();
+  EXPECT_EQ(stats.builds, 2u);
+  EXPECT_EQ(stats.born_reuses, 1u);
+  EXPECT_EQ(stats.invalidated_params, 1u);
+}
+
+TEST(Plan, MetricsRegistryExportsPlanCounters) {
+  perf::PlanCounters stats;
+  stats.builds = 2;
+  stats.replays = 5;
+  stats.invalidated_drift = 1;
+  trace::MetricsRegistry reg;
+  reg.add_plan("", stats);
+  EXPECT_EQ(reg.get_int("plan.builds"), 2u);
+  EXPECT_EQ(reg.get_int("plan.replays"), 5u);
+  EXPECT_EQ(reg.get_int("plan.invalidated.drift"), 1u);
+  EXPECT_EQ(reg.get_int("plan.born_reuses"), 0u);
+}

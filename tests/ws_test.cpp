@@ -231,6 +231,71 @@ TEST(Scheduler, ParallelForGrainRespectsEmptyAndTinyRanges) {
   EXPECT_EQ(sum.load(), 1);
 }
 
+TEST(Scheduler, ParallelForAutoGrainCoversEveryIndexOnce) {
+  // grain <= 0 derives max(1, span / (8 * workers)); coverage must be
+  // exact regardless of the derived chunking.
+  Scheduler sched(4);
+  std::vector<std::atomic<int>> hits(5000);
+  sched.run([&] {
+    Scheduler::parallel_for(0, 5000, 0, [&](std::int64_t lo, std::int64_t hi) {
+      for (auto i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Scheduler, ParallelForAutoGrainSplitsWork) {
+  // With 4 workers over 6400 indices the derived grain is 200, so chunks
+  // must be capped at that size (and there must be more than one).
+  Scheduler sched(4);
+  std::atomic<std::int64_t> max_chunk{0};
+  std::atomic<int> chunks{0};
+  sched.run([&] {
+    Scheduler::parallel_for(0, 6400, 0, [&](std::int64_t lo, std::int64_t hi) {
+      std::int64_t len = hi - lo;
+      std::int64_t cur = max_chunk.load();
+      while (len > cur && !max_chunk.compare_exchange_weak(cur, len)) {
+      }
+      ++chunks;
+    });
+  });
+  EXPECT_LE(max_chunk.load(), 200);
+  EXPECT_GT(chunks.load(), 1);
+}
+
+TEST(Scheduler, ParallelForAutoGrainSerialFallback) {
+  // Without an active scheduler the auto grain resolves against one
+  // worker: a single inline call covering the whole range.
+  EXPECT_EQ(Scheduler::current(), nullptr);
+  int calls = 0;
+  std::int64_t covered = 0;
+  Scheduler::parallel_for(0, 100, -3, [&](std::int64_t lo, std::int64_t hi) {
+    ++calls;
+    covered += hi - lo;
+  });
+  EXPECT_EQ(covered, 100);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Scheduler, ParallelReduceAutoGrainMatchesExplicitGrain) {
+  // The derived grain changes only the chunking; the fixed tree-shaped
+  // combination keeps the reduction value schedule-independent, and any
+  // grain sums the same integer series exactly.
+  Scheduler sched(4);
+  double auto_grain = 0.0, explicit_grain = 0.0;
+  const auto body = [](std::int64_t lo, std::int64_t hi) {
+    double s = 0;
+    for (auto i = lo; i < hi; ++i) s += double(i);
+    return s;
+  };
+  sched.run([&] {
+    auto_grain = Scheduler::parallel_reduce(0, 20000, 0, body);
+    explicit_grain = Scheduler::parallel_reduce(0, 20000, 64, body);
+  });
+  EXPECT_DOUBLE_EQ(auto_grain, explicit_grain);
+  EXPECT_DOUBLE_EQ(auto_grain, 20000.0 * 19999.0 / 2.0);
+}
+
 // ---- parallel_reduce ---------------------------------------------------------
 
 TEST(Scheduler, ParallelReduceMatchesSerialSum) {
