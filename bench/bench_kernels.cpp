@@ -13,8 +13,11 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "octgb/octgb.hpp"
+#include "octgb/simd/dispatch.hpp"
 
 using namespace octgb;
 
@@ -77,23 +80,55 @@ static void BM_SurfaceBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_SurfaceBuild)->Arg(1000)->Arg(4000);
 
-// --- scalar vs batched near-field kernels on real leaf distributions ----
+// --- near-field kernels on real leaf distributions, per variant ---------
 //
-// The *Kernel benches run the same phase with the kernel switch flipped:
-// range(1) == 0 selects KernelKind::Scalar, 1 selects KernelKind::Batched.
-// The *Leaf benches strip away the traversal and time the raw leaf×leaf
-// kernels over the engine's actual leaf batches (sizes and point layouts
-// as the octree produced them, not synthetic uniform batches).
+// One benchmark series per (kernel, width, precision) triple, so the CSV
+// never lumps distinct code paths under one undifferentiated "batched"
+// label. Variants:
+//   scalar                 — KernelKind::Scalar AoS reference
+//   batched/scalar/double  — autovectorized SoA batch kernels
+//   batched/<isa>/double   — explicit vector layer (simd/dispatch.hpp)
+//   batched/<isa>/mixed    — float-stream mixed precision
+// Width variants are registered at startup for every compiled-and-
+// runnable ISA (see register_kernel_variants in main), so a narrower
+// host simply produces fewer series instead of error rows.
 
-static core::KernelKind bench_kernel(const benchmark::State& state) {
-  return state.range(1) == 0 ? core::KernelKind::Scalar
-                             : core::KernelKind::Batched;
+namespace {
+
+struct KernelVariant {
+  core::KernelKind kind = core::KernelKind::Batched;
+  simd::VectorParams vec;
+  std::string label;  ///< benchmark-name suffix, "kernel/width/precision"
+};
+
+std::vector<KernelVariant> kernel_variants() {
+  std::vector<KernelVariant> out;
+  out.push_back({core::KernelKind::Scalar,
+                 {simd::VectorIsa::Scalar, simd::Precision::Double},
+                 "scalar"});
+  out.push_back({core::KernelKind::Batched,
+                 {simd::VectorIsa::Scalar, simd::Precision::Double},
+                 "batched/scalar/double"});
+  for (simd::VectorIsa isa : {simd::VectorIsa::V128, simd::VectorIsa::V256,
+                              simd::VectorIsa::V512}) {
+    if (!simd::isa_available(isa)) continue;
+    for (simd::Precision prec :
+         {simd::Precision::Double, simd::Precision::Mixed}) {
+      out.push_back(
+          {core::KernelKind::Batched,
+           {isa, prec},
+           std::string("batched/") + simd::isa_name(isa) + "/" +
+               (prec == simd::Precision::Mixed ? "mixed" : "double")});
+    }
+  }
+  return out;
 }
 
-static void BM_BornPhaseKernel(benchmark::State& state) {
+void BM_BornPhaseKernel(benchmark::State& state, KernelVariant variant) {
   const auto n = static_cast<std::size_t>(state.range(0));
   core::EngineConfig cfg;
-  cfg.approx.kernel = bench_kernel(state);
+  cfg.approx.kernel = variant.kind;
+  cfg.approx.vector = variant.vec;
   core::GBEngine engine(test_molecule(n), test_surface(n), cfg);
   std::vector<double> node_s(engine.num_ta_nodes());
   std::vector<double> atom_s(engine.num_atoms());
@@ -109,18 +144,14 @@ static void BM_BornPhaseKernel(benchmark::State& state) {
     benchmark::DoNotOptimize(atom_s.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(interactions));
-  state.SetLabel(state.range(1) == 0 ? "scalar" : "batched");
+  state.SetLabel(variant.label);
 }
-BENCHMARK(BM_BornPhaseKernel)
-    ->Args({1000, 0})
-    ->Args({1000, 1})
-    ->Args({4000, 0})
-    ->Args({4000, 1});
 
-static void BM_EpolPhaseKernel(benchmark::State& state) {
+void BM_EpolPhaseKernel(benchmark::State& state, KernelVariant variant) {
   const auto n = static_cast<std::size_t>(state.range(0));
   core::EngineConfig cfg;
-  cfg.approx.kernel = bench_kernel(state);
+  cfg.approx.kernel = variant.kind;
+  cfg.approx.vector = variant.vec;
   core::GBEngine engine(test_molecule(n), test_surface(n), cfg);
   const auto result = engine.compute();
   std::vector<double> born_tree(engine.num_atoms());
@@ -138,20 +169,18 @@ static void BM_EpolPhaseKernel(benchmark::State& state) {
     benchmark::DoNotOptimize(e);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(interactions));
-  state.SetLabel(state.range(1) == 0 ? "scalar" : "batched");
+  state.SetLabel(variant.label);
 }
-BENCHMARK(BM_EpolPhaseKernel)
-    ->Args({1000, 0})
-    ->Args({1000, 1})
-    ->Args({4000, 0})
-    ->Args({4000, 1});
 
-static void BM_LeafBornKernel(benchmark::State& state) {
+void BM_LeafBornKernel(benchmark::State& state, KernelVariant variant) {
   const std::size_t n = 4000;
   core::GBEngine engine(test_molecule(n), test_surface(n));
   const auto& ta = engine.atoms_tree();
   const auto& tq = engine.qpoints_tree();
-  const bool batched = state.range(1) != 0;
+  const bool batched = variant.kind == core::KernelKind::Batched;
+  const simd::KernelSet* ks = simd::kernels(variant.vec.isa);
+  const bool mixed =
+      ks != nullptr && variant.vec.precision == simd::Precision::Mixed;
   std::uint64_t pairs = 0;
   for (auto _ : state) {
     double acc = 0.0;
@@ -161,7 +190,17 @@ static void BM_LeafBornKernel(benchmark::State& state) {
     for (std::size_t i = 0; i < a_leaves.size(); ++i) {
       const auto& a = ta.tree.node(a_leaves[i]);
       const auto& q = tq.tree.node(q_leaves[i % q_leaves.size()]);
-      if (batched) {
+      if (mixed) {
+        const core::QPointBatchF qb = tq.node_batch_f(q);
+        for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
+          acc += ks->born_integral_mixed(ta.soa_x[ai], ta.soa_y[ai],
+                                         ta.soa_z[ai], qb);
+      } else if (ks != nullptr) {
+        const core::QPointBatch qb = tq.node_batch(q);
+        for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
+          acc += ks->born_integral(ta.soa_x[ai], ta.soa_y[ai],
+                                   ta.soa_z[ai], qb);
+      } else if (batched) {
         const core::QPointBatch qb = tq.node_batch(q);
         for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
           acc += core::batch_born_integral(ta.soa_x[ai], ta.soa_y[ai],
@@ -186,11 +225,10 @@ static void BM_LeafBornKernel(benchmark::State& state) {
     benchmark::DoNotOptimize(acc);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
-  state.SetLabel(batched ? "batched" : "scalar");
+  state.SetLabel(variant.label);
 }
-BENCHMARK(BM_LeafBornKernel)->Args({0, 0})->Args({0, 1});
 
-static void BM_LeafEpolKernel(benchmark::State& state) {
+void BM_LeafEpolKernel(benchmark::State& state, KernelVariant variant) {
   const std::size_t n = 4000;
   core::GBEngine engine(test_molecule(n), test_surface(n));
   const auto result = engine.compute();
@@ -199,7 +237,10 @@ static void BM_LeafEpolKernel(benchmark::State& state) {
   const auto idx = ta.tree.point_index();
   for (std::size_t pos = 0; pos < idx.size(); ++pos)
     born_tree[pos] = result.born[idx[pos]];
-  const bool batched = state.range(1) != 0;
+  const bool batched = variant.kind == core::KernelKind::Batched;
+  const simd::KernelSet* ks = simd::kernels(variant.vec.isa);
+  const bool mixed =
+      ks != nullptr && variant.vec.precision == simd::Precision::Mixed;
   std::uint64_t pairs = 0;
   for (auto _ : state) {
     double acc = 0.0;
@@ -207,7 +248,18 @@ static void BM_LeafEpolKernel(benchmark::State& state) {
     for (std::size_t i = 0; i < leaves.size(); ++i) {
       const auto& v = ta.tree.node(leaves[i]);
       const auto& u = ta.tree.node(leaves[(i + 1) % leaves.size()]);
-      if (batched) {
+      if (mixed) {
+        const core::AtomBatchF ub = ta.node_batch_f(u, born_tree);
+        for (std::uint32_t vi = v.begin; vi < v.end; ++vi)
+          acc += ks->epol_sum_mixed(ta.soa_x[vi], ta.soa_y[vi],
+                                    ta.soa_z[vi], ta.charge[vi],
+                                    born_tree[vi], ub);
+      } else if (ks != nullptr) {
+        const core::AtomBatch ub = ta.node_batch(u, born_tree);
+        for (std::uint32_t vi = v.begin; vi < v.end; ++vi)
+          acc += ks->epol_sum(ta.soa_x[vi], ta.soa_y[vi], ta.soa_z[vi],
+                              ta.charge[vi], born_tree[vi], ub);
+      } else if (batched) {
         const core::AtomBatch ub = ta.node_batch(u, born_tree);
         for (std::uint32_t vi = v.begin; vi < v.end; ++vi)
           acc += core::batch_epol_sum(ta.soa_x[vi], ta.soa_y[vi],
@@ -231,9 +283,35 @@ static void BM_LeafEpolKernel(benchmark::State& state) {
     benchmark::DoNotOptimize(acc);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
-  state.SetLabel(batched ? "batched" : "scalar");
+  state.SetLabel(variant.label);
 }
-BENCHMARK(BM_LeafEpolKernel)->Args({0, 0})->Args({0, 1});
+
+/// Register one series per variant for the four kernel benches. Done at
+/// runtime (not BENCHMARK macros) because the variant list depends on
+/// which vector TUs this binary carries and what the CPU can run.
+void register_kernel_variants() {
+  for (const KernelVariant& variant : kernel_variants()) {
+    const std::string tag = "/" + variant.label;
+    benchmark::RegisterBenchmark(
+        ("BM_BornPhaseKernel" + tag).c_str(),
+        [variant](benchmark::State& s) { BM_BornPhaseKernel(s, variant); })
+        ->Arg(1000)
+        ->Arg(4000);
+    benchmark::RegisterBenchmark(
+        ("BM_EpolPhaseKernel" + tag).c_str(),
+        [variant](benchmark::State& s) { BM_EpolPhaseKernel(s, variant); })
+        ->Arg(1000)
+        ->Arg(4000);
+    benchmark::RegisterBenchmark(
+        ("BM_LeafBornKernel" + tag).c_str(),
+        [variant](benchmark::State& s) { BM_LeafBornKernel(s, variant); });
+    benchmark::RegisterBenchmark(
+        ("BM_LeafEpolKernel" + tag).c_str(),
+        [variant](benchmark::State& s) { BM_LeafEpolKernel(s, variant); });
+  }
+}
+
+}  // namespace
 
 static void BM_BornPhase(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -338,19 +416,29 @@ static void BM_MppAllreduce(benchmark::State& state) {
 }
 BENCHMARK(BM_MppAllreduce)->Arg(2)->Arg(4)->Arg(8);
 
-// Custom main instead of BENCHMARK_MAIN(): pre-scan argv for --trace,
-// which google-benchmark's own parser would reject as an unknown flag.
+// Custom main instead of BENCHMARK_MAIN(): pre-scan argv for --trace and
+// --smoke, which google-benchmark's own parser would reject as unknown
+// flags. --smoke shrinks per-series measuring time so the CI simd-matrix
+// job can emit one CSV per width without budget; --smoke numbers are for
+// shape inspection, not for regression comparison.
 int main(int argc, char** argv) {
   bool want_trace = false;
-  int out_argc = 1;
+  bool smoke = false;
+  std::vector<char*> pass_argv;
+  pass_argv.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       want_trace = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
     } else {
-      argv[out_argc++] = argv[i];
+      pass_argv.push_back(argv[i]);
     }
   }
-  argc = out_argc;
+  static char min_time_flag[] = "--benchmark_min_time=0.02";
+  if (smoke) pass_argv.push_back(min_time_flag);
+  argc = static_cast<int>(pass_argv.size());
+  argv = pass_argv.data();
 
   if (want_trace) {
     // Benchmarks iterate kernels thousands of times; cap each thread's
@@ -359,6 +447,7 @@ int main(int argc, char** argv) {
     trace::Tracer::instance().set_enabled(true);
   }
 
+  register_kernel_variants();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

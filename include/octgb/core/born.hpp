@@ -17,6 +17,7 @@
 #include "octgb/core/gb_params.hpp"
 #include "octgb/core/trees.hpp"
 #include "octgb/perf/counters.hpp"
+#include "octgb/simd/types.hpp"
 
 namespace octgb::core {
 
@@ -29,10 +30,12 @@ class PlanRecorder;  // core/plan.hpp
 /// Thread-safe. Counter updates are batched per leaf. `kernel` selects
 /// the exact leaf×leaf implementation (SoA batch vs scalar AoS); both
 /// compute the same sums up to floating-point reassociation.
-/// A non-null `recorder` captures every near/far decision into an
-/// InteractionPlan *and forces the traversal serial* (even under an active
-/// scheduler), so the recorded order is the deterministic serial traversal
-/// order plan replay reproduces.
+/// `vector` selects the explicit-SIMD kernels for the Batched near field
+/// (simd/dispatch.hpp); it is resolved internally, so callers may pass the
+/// raw config value. A non-null `recorder` captures every near/far
+/// decision into an InteractionPlan *and forces the traversal serial*
+/// (even under an active scheduler), so the recorded order is the
+/// deterministic serial traversal order plan replay reproduces.
 void approx_integrals(const AtomsTree& ta, const QPointsTree& tq,
                       std::span<const std::uint32_t> q_leaf_ids,
                       double eps_born, bool approx_math,
@@ -40,6 +43,7 @@ void approx_integrals(const AtomsTree& ta, const QPointsTree& tq,
                       perf::WorkCounters& counters,
                       bool strict_criterion = false,
                       KernelKind kernel = KernelKind::Batched,
+                      const simd::VectorParams& vector = {},
                       PlanRecorder* recorder = nullptr);
 
 /// Finalize Born radii for atoms whose *tree position* lies in
@@ -61,10 +65,13 @@ double inv_r6(double r2, bool approx_math);
 
 /// One far-field pseudo-particle term: the contribution of a Q-aggregate
 /// (weighted normal `wn` concentrated at centroid `qc`) to the T_A node
-/// centered at `ac`. Never inlined: the recursive traversals and the plan
-/// replay executor (core/plan.hpp) must evaluate the *same machine code*,
-/// or per-call-site FMA contraction could make replay differ from the
-/// traversal in the last bit.
+/// centered at `ac`. Coincident centroids (r² ≤ 1e-12, the same guard as
+/// the near kernels) contribute 0 instead of a division-by-zero infinity —
+/// unreachable through the admissibility criterion (far ⇒ d > 0) but
+/// reachable through direct calls and degenerate geometry. Never inlined:
+/// the recursive traversals and the plan replay executor (core/plan.hpp)
+/// must evaluate the *same machine code*, or per-call-site FMA contraction
+/// could make replay differ from the traversal in the last bit.
 [[gnu::noinline]] double born_far_term(const geom::Vec3& ac,
                                        const geom::Vec3& qc,
                                        const geom::Vec3& wn, bool approx_math);

@@ -22,6 +22,7 @@
 #include "octgb/core/gb_params.hpp"
 #include "octgb/core/trees.hpp"
 #include "octgb/perf/counters.hpp"
+#include "octgb/simd/types.hpp"
 
 namespace octgb::core {
 
@@ -41,6 +42,7 @@ void approx_integrals_dual(const AtomsTree& ta, const QPointsTree& tq,
                            perf::WorkCounters& counters,
                            bool strict_criterion = false,
                            KernelKind kernel = KernelKind::Batched,
+                           const simd::VectorParams& vector = {},
                            PlanRecorder* recorder = nullptr);
 
 }  // namespace octgb::core

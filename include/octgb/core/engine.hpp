@@ -31,6 +31,12 @@ struct TraceOptions {
 /// implementation (KernelKind::Batched SoA by default; KernelKind::Scalar
 /// keeps the original AoS loops for A/B benchmarking and the differential
 /// tests) — it changes results only by floating-point reassociation.
+/// `approx.vector` additionally routes the Batched kernels through the
+/// explicit-SIMD layer (octgb/simd/) — runtime-dispatched width
+/// (VectorIsa) and optional mixed precision (float streams, double
+/// accumulation); like approx_math it changes arithmetic only, never the
+/// traversal partition, so it participates in the Born-cache stamp but
+/// not in the PlanKey.
 /// `trace.enabled` opts the compute paths into span recording; tracing
 /// never changes results or operation counts.
 ///

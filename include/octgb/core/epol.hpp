@@ -19,6 +19,7 @@
 #include "octgb/core/gb_params.hpp"
 #include "octgb/core/trees.hpp"
 #include "octgb/perf/counters.hpp"
+#include "octgb/simd/types.hpp"
 
 namespace octgb::core {
 
@@ -56,13 +57,18 @@ struct EpolContext {
 /// the given T_A leaves (the "V" side) with the entire tree. Summing over
 /// a partition of all leaves yields the full ordered-pair sum of Eq. 2,
 /// diagonal included. Thread-safe; parallelizes over leaves. `kernel`
-/// selects the exact leaf×leaf implementation (SoA batch vs scalar AoS).
+/// selects the exact leaf×leaf implementation (SoA batch vs scalar AoS);
+/// `vector` additionally routes the Batched near field and the node-path
+/// bin-pair far field through the explicit-SIMD kernels
+/// (simd/dispatch.hpp) — resolved internally, callers pass the raw
+/// config value.
 double approx_epol(const AtomsTree& ta, const EpolContext& ctx,
                    std::span<const double> born_tree,
                    std::span<const std::uint32_t> v_leaf_ids, double eps_epol,
                    bool approx_math, const GBParams& gb,
                    perf::WorkCounters& counters,
-                   KernelKind kernel = KernelKind::Batched);
+                   KernelKind kernel = KernelKind::Batched,
+                   const simd::VectorParams& vector = {});
 
 /// Atom-based division: energy from the interaction of atoms in tree
 /// positions [atom_begin, atom_end) with the entire tree.
@@ -72,7 +78,8 @@ double approx_epol_atom_based(const AtomsTree& ta, const EpolContext& ctx,
                               double eps_epol, bool approx_math,
                               const GBParams& gb,
                               perf::WorkCounters& counters,
-                              KernelKind kernel = KernelKind::Batched);
+                              KernelKind kernel = KernelKind::Batched,
+                              const simd::VectorParams& vector = {});
 
 /// Cross-tree energy between two *disjoint* atom sets, each with its own
 /// octree, Born radii, and bin table: every leaf of `tb` (the "V" side —
@@ -92,6 +99,7 @@ double approx_epol_cross(const AtomsTree& ta, const EpolContext& ctx_a,
                          std::span<const double> born_b, double eps_epol,
                          bool approx_math, const GBParams& gb,
                          perf::WorkCounters& counters,
-                         KernelKind kernel = KernelKind::Batched);
+                         KernelKind kernel = KernelKind::Batched,
+                         const simd::VectorParams& vector = {});
 
 }  // namespace octgb::core

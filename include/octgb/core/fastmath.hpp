@@ -11,6 +11,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <limits>
 
 namespace octgb::core {
 
@@ -32,7 +33,11 @@ inline double fast_exp(double x) {
   constexpr double b = 4503599627370496.0 * 1023.0;              // bias
   constexpr double c = 60801.0 * 4294967296.0;  // mean-error correction
   const double t = a * x + (b - c);
-  if (t <= 0.0) return 0.0;
+  // !(t > 0) also catches NaN inputs (exp(NaN) would otherwise be a UB
+  // float→integer cast); the upper clamp is the bit pattern of +inf —
+  // below 2^63, so the cast stays defined for every admitted t.
+  if (!(t > 0.0)) return 0.0;
+  if (t >= 9218868437227405312.0) return std::numeric_limits<double>::infinity();
   return std::bit_cast<double>(static_cast<std::uint64_t>(t));
 }
 

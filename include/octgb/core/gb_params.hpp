@@ -5,6 +5,8 @@
 
 #include <cmath>
 
+#include "octgb/simd/types.hpp"
+
 namespace octgb::core {
 
 /// Coulomb constant in kcal·Å/(mol·e²).
@@ -57,6 +59,17 @@ struct ApproxParams {
   /// Interaction-plan caching for the warm (EvalScratch) compute path;
   /// numerically inert — plan replay reproduces the traversal bit for bit.
   PlanMode plan = PlanMode::Auto;
+  /// Explicit-SIMD kernel selection for the Batched near-field loops and
+  /// the bin-pair far field (simd/dispatch.hpp). Arithmetic-only, like
+  /// approx_math: it never changes which interactions are evaluated, so
+  /// it is excluded from the PlanKey and stamped into the Born cache
+  /// instead. The default {Auto, Double} resolves to the widest ISA this
+  /// build + CPU support, with double streams (deterministic bits per
+  /// width). Ignored when `kernel == KernelKind::Scalar`; when
+  /// `approx_math` is set the fastmath vector kernels run, and a Mixed
+  /// precision request is overridden by approx_math (fastmath already
+  /// trades more accuracy than float streams would).
+  simd::VectorParams vector;
 
   /// Threshold k used by born_far_enough: far iff (d+s) ≤ k·(d−s).
   double born_threshold() const;

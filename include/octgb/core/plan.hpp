@@ -41,6 +41,7 @@
 #include "octgb/core/gb_params.hpp"
 #include "octgb/core/trees.hpp"
 #include "octgb/perf/counters.hpp"
+#include "octgb/simd/types.hpp"
 
 namespace octgb::core {
 
@@ -145,25 +146,36 @@ class InteractionPlan {
   /// Evaluate the captured lists into node_s / atom_s (both pre-zeroed,
   /// as in the traversal) with a chunked parallel_for over the
   /// cost-sorted owner groups. Adds the capture's Born-phase counters to
-  /// `work`. Bit-identical to the serial recursive traversal.
+  /// `work`. Bit-identical to the serial recursive traversal *at the same
+  /// (approx_math, vector) arithmetic flavor*: the near loop dispatches
+  /// through the identical out-of-line kernels (simd/dispatch.hpp) the
+  /// traversal used; the far loop always runs the scalar born_far_term in
+  /// capture order. Like approx_math, `vector` changes arithmetic, never
+  /// the partition — it is absent from PlanKey and stamped into the Born
+  /// cache instead.
   void replay(const AtomsTree& ta, const QPointsTree& tq, bool approx_math,
-              std::span<double> node_s, std::span<double> atom_s,
-              perf::WorkCounters& work) const;
+              const simd::VectorParams& vector, std::span<double> node_s,
+              std::span<double> atom_s, perf::WorkCounters& work) const;
 
   // --- Born-result cache (tier 1) ---------------------------------------
 
   /// Cache the finished Born radii (tree order) and the full phase-A+push
   /// counter contribution after an evaluation at `geometry_epoch` /
-  /// `approx_math`. Returns true when the cache buffer had to grow.
+  /// `approx_math` / *resolved* `vector`. Returns true when the cache
+  /// buffer had to grow.
   bool store_born(std::uint64_t geometry_epoch, bool approx_math,
+                  const simd::VectorParams& vector,
                   std::span<const double> born_tree,
                   const perf::WorkCounters& born_work);
 
   /// Cached radii are exact for the asked-for evaluation: same geometry,
-  /// same arithmetic flavor (the key fields were matched by the caller).
-  bool born_valid(std::uint64_t geometry_epoch, bool approx_math) const {
+  /// same arithmetic flavor — approx_math AND the resolved vector params
+  /// (a width or precision switch changes the radii in the last bits, so
+  /// it must repopulate the cache, not serve stale values).
+  bool born_valid(std::uint64_t geometry_epoch, bool approx_math,
+                  const simd::VectorParams& vector) const {
     return valid_ && born_valid_ && born_geometry_epoch_ == geometry_epoch &&
-           born_approx_math_ == approx_math;
+           born_approx_math_ == approx_math && born_vector_ == vector;
   }
 
   /// Copy the cached radii into `born_tree` and add the cached phase
@@ -203,6 +215,7 @@ class InteractionPlan {
   bool born_valid_ = false;
   std::uint64_t born_geometry_epoch_ = 0;
   bool born_approx_math_ = false;
+  simd::VectorParams born_vector_{};
   std::vector<double> born_tree_;
   perf::WorkCounters born_work_;  ///< full phase A + push counters
 };

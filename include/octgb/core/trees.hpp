@@ -30,6 +30,11 @@ struct AtomsTree {
   std::vector<double> charge;     ///< tree order
   std::vector<double> vdw_radius; ///< intrinsic radius, tree order
   std::vector<double> soa_x, soa_y, soa_z;  ///< coordinates, tree order
+  /// Float mirrors of the coordinate/charge planes for the mixed-precision
+  /// kernels (simd/dispatch.hpp), rounded once per rebuild_derived() —
+  /// the streamed operands of AtomBatchF. Born radii have no float plane
+  /// (see AtomBatchF).
+  std::vector<float> soa_xf, soa_yf, soa_zf, charge_f;
 
   static AtomsTree build(const mol::Molecule& mol,
                          const octree::BuildParams& params = {});
@@ -63,6 +68,20 @@ struct AtomsTree {
         std::span<const double>(charge).subspan(n.begin, n.size()),
         born_tree.subspan(n.begin, n.size())};
   }
+
+  /// Float-stream view of one node's atoms for the mixed-precision GB
+  /// pair kernel. Coordinates/charges come from the float mirror planes;
+  /// the Born plane stays the caller's double span (narrowed lane-wise
+  /// inside the kernel).
+  AtomBatchF node_batch_f(const octree::Octree::Node& n,
+                          std::span<const double> born_tree) const {
+    return AtomBatchF{
+        std::span<const float>(soa_xf).subspan(n.begin, n.size()),
+        std::span<const float>(soa_yf).subspan(n.begin, n.size()),
+        std::span<const float>(soa_zf).subspan(n.begin, n.size()),
+        std::span<const float>(charge_f).subspan(n.begin, n.size()),
+        born_tree.subspan(n.begin, n.size())};
+  }
 };
 
 /// Quadrature-points octree T_Q with payloads in tree order.
@@ -81,6 +100,10 @@ struct QPointsTree {
   std::vector<geom::Vec3> node_wnormal;
   std::vector<double> soa_x, soa_y, soa_z;        ///< positions, tree order
   std::vector<double> soa_wnx, soa_wny, soa_wnz;  ///< w·n, tree order
+  /// Float mirrors for the mixed-precision Born kernel (QPointBatchF),
+  /// rounded once per rebuild_derived().
+  std::vector<float> soa_xf, soa_yf, soa_zf;
+  std::vector<float> soa_wnxf, soa_wnyf, soa_wnzf;
 
   static QPointsTree build(const surface::Surface& surf,
                            const octree::BuildParams& params = {});
@@ -108,6 +131,18 @@ struct QPointsTree {
         std::span<const double>(soa_wnx).subspan(n.begin, n.size()),
         std::span<const double>(soa_wny).subspan(n.begin, n.size()),
         std::span<const double>(soa_wnz).subspan(n.begin, n.size())};
+  }
+
+  /// Float-stream view of one node's quadrature points for the
+  /// mixed-precision Born kernel.
+  QPointBatchF node_batch_f(const octree::Octree::Node& n) const {
+    return QPointBatchF{
+        std::span<const float>(soa_xf).subspan(n.begin, n.size()),
+        std::span<const float>(soa_yf).subspan(n.begin, n.size()),
+        std::span<const float>(soa_zf).subspan(n.begin, n.size()),
+        std::span<const float>(soa_wnxf).subspan(n.begin, n.size()),
+        std::span<const float>(soa_wnyf).subspan(n.begin, n.size()),
+        std::span<const float>(soa_wnzf).subspan(n.begin, n.size())};
   }
 
  private:

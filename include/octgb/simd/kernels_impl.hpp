@@ -1,0 +1,365 @@
+// \file kernels_impl.hpp
+// Width-templated kernel bodies of the explicit vector layer.
+//
+// Like pack.hpp, this file is textually #included INSIDE an anonymous
+// namespace by each per-ISA translation unit (src/simd/kernels_v*.cpp),
+// giving every instantiation internal linkage — see the ODR note at the
+// top of pack.hpp. The enclosing TU includes <cmath>, <cstdint>,
+// <cstddef>, octgb/simd/dispatch.hpp and octgb/core/fastmath.hpp at
+// global scope first.
+//
+// Structure shared by every kernel:
+//   · a vector body over the largest multiple of the lane count,
+//   · one deterministic pairwise reduction (pack.hpp hsum),
+//   · a scalar remainder tail that replicates the reference kernel's
+//     per-term code bit for bit (core/batch_kernels.cpp resp. the
+//     scalar float ops of the mixed mode).
+// Because the reduction completes before the tail accumulates, a span
+// shorter than one vector runs the pure scalar loop — simd_diff_test
+// leans on this for its bitwise remainder/splice properties.
+
+#ifndef OCTGB_SIMD_KERNELS_IMPL_INCLUDED
+#define OCTGB_SIMD_KERNELS_IMPL_INCLUDED
+
+#include "octgb/simd/pack.hpp"
+
+/// Squared float-stream guard band (DESIGN.md §2.7): the double kernels
+/// skip q-points with r² ≤ 1e-12 (|r| ≤ 1e-6 Å); float arithmetic cannot
+/// resolve that threshold, so the mixed Born kernel widens the skip to
+/// r² ≤ 1e-6 (|r| ≤ 1e-3 Å) — still far below any physical atom–surface
+/// distance, and applied only to per-term arithmetic, never to near/far
+/// classification (which stays double in the traversal and the plan).
+constexpr float kMixedGuard2F = 1e-6f;
+
+/// Scalar replica of pack.hpp exp_ps, used by the mixed kernels' scalar
+/// remainder tails. Identical operation sequence (the TUs are compiled
+/// with -ffp-contract=off), so a tail term equals the corresponding
+/// vector lane bit for bit.
+inline float exp_ps_scalar(float x) {
+  if (x != x) return x;
+  float xc = x;
+  xc = xc > 88.3762626647949f ? 88.3762626647949f : xc;
+  xc = xc < -88.3762626647949f ? -88.3762626647949f : xc;
+  const float magic = 12582912.0f;  // 1.5 * 2^23
+  const float t = xc * 1.44269504088896341f;
+  const float n = (t + magic) - magic;
+  float px = xc - n * 0.693359375f;
+  px -= n * -2.12194440e-4f;
+  float y = 1.9875691500e-4f;
+  y = y * px + 1.3981999507e-3f;
+  y = y * px + 8.3334519073e-3f;
+  y = y * px + 4.1665795894e-2f;
+  y = y * px + 1.6666665459e-1f;
+  y = y * px + 5.0000001201e-1f;
+  y = y * (px * px) + px + 1.0f;
+  const std::int32_t bits = (static_cast<std::int32_t>(n) + 127) << 23;
+  float scale;
+  __builtin_memcpy(&scale, &bits, sizeof(scale));
+  float r = y * scale;
+  if (x < -87.0f) r = 0.0f;
+  return r;
+}
+
+/// r⁻⁶ Born surface integral of one atom against a q-point batch.
+/// Double-lane body + scalar tail; the tail is bitwise the per-term code
+/// of core::batch_born_integral(_fast).
+template <int N, bool Fast>
+double born_integral_w(double ax, double ay, double az,
+                       const core::QPointBatch& q) {
+  using vd = typename lanes_of<N>::vd;
+  const std::size_t n = q.size();
+  const double* __restrict qx = q.x.data();
+  const double* __restrict qy = q.y.data();
+  const double* __restrict qz = q.z.data();
+  const double* __restrict wnx = q.wnx.data();
+  const double* __restrict wny = q.wny.data();
+  const double* __restrict wnz = q.wnz.data();
+  const vd vax = bc<vd>(ax), vay = bc<vd>(ay), vaz = bc<vd>(az);
+  const vd one = bc<vd>(1.0), zero = bc<vd>(0.0), thr = bc<vd>(1e-12);
+  vd acc = zero;
+  std::size_t k = 0;
+  for (; k + N <= n; k += N) {
+    const vd dx = loadu<vd>(qx + k) - vax;
+    const vd dy = loadu<vd>(qy + k) - vay;
+    const vd dz = loadu<vd>(qz + k) - vaz;
+    const vd r2 = dx * dx + dy * dy + dz * dz;
+    const vd mask = r2 > thr ? one : zero;
+    const vd safe_r2 = r2 + (one - mask);
+    vd inv_r6;
+    if constexpr (Fast) {
+      const vd t = fast_rsqrt_pd<N>(safe_r2);
+      const vd t2 = t * t;
+      inv_r6 = t2 * t2 * t2;
+    } else {
+      inv_r6 = one / (safe_r2 * safe_r2 * safe_r2);
+    }
+    const vd wdot = loadu<vd>(wnx + k) * dx + loadu<vd>(wny + k) * dy +
+                    loadu<vd>(wnz + k) * dz;
+    acc += mask * wdot * inv_r6;
+  }
+  double sum = hsum(acc);
+  for (; k < n; ++k) {
+    const double dx = qx[k] - ax;
+    const double dy = qy[k] - ay;
+    const double dz = qz[k] - az;
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    const double mask = r2 > 1e-12 ? 1.0 : 0.0;
+    const double safe_r2 = r2 + (1.0 - mask);
+    double inv_r6;
+    if constexpr (Fast) {
+      const double t = core::fast_rsqrt(safe_r2);
+      const double t2 = t * t;
+      inv_r6 = t2 * t2 * t2;
+    } else {
+      inv_r6 = 1.0 / (safe_r2 * safe_r2 * safe_r2);
+    }
+    sum += mask * (wnx[k] * dx + wny[k] * dy + wnz[k] * dz) * inv_r6;
+  }
+  return sum;
+}
+
+/// Mixed-precision Born integral: float streams at 2N lanes, double
+/// accumulation. Each float term is widened to double *before* it joins
+/// an accumulator, so the tail (scalar float ops, then a double add)
+/// contributes exactly the value a vector lane would have.
+template <int N>
+double born_integral_mixed_w(double ax, double ay, double az,
+                             const core::QPointBatchF& q) {
+  using vd = typename lanes_of<N>::vd;
+  using vf = typename lanes_of<N>::vf;
+  using vfh = typename lanes_of<N>::vfh;
+  constexpr int NF = lanes_of<N>::nf;
+  const std::size_t n = q.size();
+  const float* __restrict qx = q.x.data();
+  const float* __restrict qy = q.y.data();
+  const float* __restrict qz = q.z.data();
+  const float* __restrict wnx = q.wnx.data();
+  const float* __restrict wny = q.wny.data();
+  const float* __restrict wnz = q.wnz.data();
+  const float axf = static_cast<float>(ax);
+  const float ayf = static_cast<float>(ay);
+  const float azf = static_cast<float>(az);
+  const vf vax = bc<vf>(axf), vay = bc<vf>(ayf), vaz = bc<vf>(azf);
+  const vf onef = bc<vf>(1.0f), zerof = bc<vf>(0.0f);
+  const vf thr = bc<vf>(kMixedGuard2F);
+  const vd zerod = bc<vd>(0.0);
+  vd acc_lo = zerod, acc_hi = zerod;
+  std::size_t k = 0;
+  for (; k + NF <= n; k += NF) {
+    const vf dx = loadu<vf>(qx + k) - vax;
+    const vf dy = loadu<vf>(qy + k) - vay;
+    const vf dz = loadu<vf>(qz + k) - vaz;
+    const vf r2 = dx * dx + dy * dy + dz * dz;
+    const vf mask = r2 > thr ? onef : zerof;
+    const vf safe_r2 = r2 + (onef - mask);
+    const vf inv_r6 = onef / (safe_r2 * safe_r2 * safe_r2);
+    const vf wdot = loadu<vf>(wnx + k) * dx + loadu<vf>(wny + k) * dy +
+                    loadu<vf>(wnz + k) * dz;
+    const vf term = mask * wdot * inv_r6;
+    vfh lo, hi;
+    split_f<N>(term, lo, hi);
+    acc_lo += widen_f<N>(lo);
+    acc_hi += widen_f<N>(hi);
+  }
+  double sum = hsum(acc_lo + acc_hi);
+  for (; k < n; ++k) {
+    const float dx = qx[k] - axf;
+    const float dy = qy[k] - ayf;
+    const float dz = qz[k] - azf;
+    const float r2 = dx * dx + dy * dy + dz * dz;
+    const float mask = r2 > kMixedGuard2F ? 1.0f : 0.0f;
+    const float safe_r2 = r2 + (1.0f - mask);
+    const float inv_r6 = 1.0f / (safe_r2 * safe_r2 * safe_r2);
+    const float term =
+        mask * (wnx[k] * dx + wny[k] * dy + wnz[k] * dz) * inv_r6;
+    sum += static_cast<double>(term);
+  }
+  return sum;
+}
+
+/// Exact / fastmath GB pair sum of one pivot atom against an atom batch.
+/// The exact body uses pack.hpp exp_pd (≈1 ulp vs libm); the exact tail
+/// keeps std::exp so it stays bitwise the batch kernel's per-term code.
+/// The fast body replicates core::fast_exp / fast_rsqrt per lane.
+template <int N, bool Fast>
+double epol_sum_w(double vx, double vy, double vz, double qv, double rv,
+                  const core::AtomBatch& atoms) {
+  using vd = typename lanes_of<N>::vd;
+  const std::size_t n = atoms.size();
+  const double* __restrict ux = atoms.x.data();
+  const double* __restrict uy = atoms.y.data();
+  const double* __restrict uz = atoms.z.data();
+  const double* __restrict qu = atoms.charge.data();
+  const double* __restrict ru = atoms.born.data();
+  const vd vvx = bc<vd>(vx), vvy = bc<vd>(vy), vvz = bc<vd>(vz);
+  const vd vrv = bc<vd>(rv), four = bc<vd>(4.0), zero = bc<vd>(0.0);
+  vd acc = zero;
+  std::size_t k = 0;
+  for (; k + N <= n; k += N) {
+    const vd dx = loadu<vd>(ux + k) - vvx;
+    const vd dy = loadu<vd>(uy + k) - vvy;
+    const vd dz = loadu<vd>(uz + k) - vvz;
+    const vd r2 = dx * dx + dy * dy + dz * dz;
+    const vd d = loadu<vd>(ru + k) * vrv;
+    const vd arg = (zero - r2) / (four * d);
+    vd e, f2;
+    if constexpr (Fast) {
+      e = fast_exp_pd<N>(arg);
+      f2 = r2 + d * e;
+      acc += loadu<vd>(qu + k) * fast_rsqrt_pd<N>(f2);
+    } else {
+      e = exp_pd<N>(arg);
+      f2 = r2 + d * e;
+      acc += loadu<vd>(qu + k) / vsqrt_pd(f2);
+    }
+  }
+  double sum = hsum(acc);
+  for (; k < n; ++k) {
+    const double dx = ux[k] - vx;
+    const double dy = uy[k] - vy;
+    const double dz = uz[k] - vz;
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    const double d = ru[k] * rv;
+    if constexpr (Fast) {
+      const double f2 = r2 + d * core::fast_exp(-r2 / (4.0 * d));
+      sum += qu[k] * core::fast_rsqrt(f2);
+    } else {
+      const double f2 = r2 + d * std::exp(-r2 / (4.0 * d));
+      sum += qu[k] / std::sqrt(f2);
+    }
+  }
+  return qv * sum;
+}
+
+/// Mixed-precision GB pair sum: float streams at 2N lanes, Born radii
+/// narrowed from their double plane lane-wise inside the kernel, double
+/// accumulation. No coincidence guard is needed: f² ≥ d·e > 0 whenever
+/// radii are positive, which the Born finalization guarantees.
+template <int N>
+double epol_sum_mixed_w(double vx, double vy, double vz, double qv, double rv,
+                        const core::AtomBatchF& atoms) {
+  using vd = typename lanes_of<N>::vd;
+  using vf = typename lanes_of<N>::vf;
+  using vfh = typename lanes_of<N>::vfh;
+  constexpr int NF = lanes_of<N>::nf;
+  const std::size_t n = atoms.size();
+  const float* __restrict ux = atoms.x.data();
+  const float* __restrict uy = atoms.y.data();
+  const float* __restrict uz = atoms.z.data();
+  const float* __restrict qu = atoms.charge.data();
+  const double* __restrict ru = atoms.born.data();
+  const float vxf = static_cast<float>(vx);
+  const float vyf = static_cast<float>(vy);
+  const float vzf = static_cast<float>(vz);
+  const float rvf = static_cast<float>(rv);
+  const vf vvx = bc<vf>(vxf), vvy = bc<vf>(vyf), vvz = bc<vf>(vzf);
+  const vf vrv = bc<vf>(rvf), fourf = bc<vf>(4.0f), zerof = bc<vf>(0.0f);
+  const vd zerod = bc<vd>(0.0);
+  vd acc_lo = zerod, acc_hi = zerod;
+  std::size_t k = 0;
+  for (; k + NF <= n; k += NF) {
+    const vf dx = loadu<vf>(ux + k) - vvx;
+    const vf dy = loadu<vf>(uy + k) - vvy;
+    const vf dz = loadu<vf>(uz + k) - vvz;
+    const vf r2 = dx * dx + dy * dy + dz * dz;
+    const vd b_lo = loadu<vd>(ru + k);
+    const vd b_hi = loadu<vd>(ru + k + N);
+    const vf ruf = join_f<N>(narrow_d<N>(b_lo), narrow_d<N>(b_hi));
+    const vf d = ruf * vrv;
+    const vf e = exp_ps<N>((zerof - r2) / (fourf * d));
+    const vf f2 = r2 + d * e;
+    const vf term = loadu<vf>(qu + k) / vsqrt_ps(f2);
+    vfh lo, hi;
+    split_f<N>(term, lo, hi);
+    acc_lo += widen_f<N>(lo);
+    acc_hi += widen_f<N>(hi);
+  }
+  double sum = hsum(acc_lo + acc_hi);
+  for (; k < n; ++k) {
+    const float dx = ux[k] - vxf;
+    const float dy = uy[k] - vyf;
+    const float dz = uz[k] - vzf;
+    const float r2 = dx * dx + dy * dy + dz * dz;
+    const float d = static_cast<float>(ru[k]) * rvf;
+    const float e = exp_ps_scalar(-r2 / (4.0f * d));
+    const float f2 = r2 + d * e;
+    const float term = qu[k] / __builtin_sqrtf(f2);
+    sum += static_cast<double>(term);
+  }
+  return qv * sum;
+}
+
+/// Bin-pair far field over one (u-node, v-node) charge-by-bin table pair:
+/// for every nonzero u-bin, a vector sweep over the v-bin range. Zero
+/// v-bins contribute exactly 0 (rep[] > 0 ⇒ f_GB finite ⇒ 0·finite), so
+/// no masking is needed for the sum; the pair counter is reconstructed as
+/// nnz_u·nnz_v, exactly what the scalar skip-loop reports.
+template <int N, bool Fast>
+double epol_far_bins_w(const double* ub, int ulo, int uhi,
+                       const double* rep_u, const double* vb, int vlo,
+                       int vhi, const double* rep_v, double d2,
+                       std::uint64_t& binpairs) {
+  using vd = typename lanes_of<N>::vd;
+  if (ulo > uhi || vlo > vhi) return 0.0;
+  std::uint64_t nnz_v = 0;
+  for (int j = vlo; j <= vhi; ++j) nnz_v += vb[j] != 0.0 ? 1u : 0u;
+  const vd vdd2 = bc<vd>(d2), four = bc<vd>(4.0), zero = bc<vd>(0.0);
+  double total = 0.0;
+  std::uint64_t nnz_u = 0;
+  for (int i = ulo; i <= uhi; ++i) {
+    if (ub[i] == 0.0) continue;
+    ++nnz_u;
+    const double r = rep_u[i];
+    const vd vr = bc<vd>(r);
+    vd acc = zero;
+    int j = vlo;
+    for (; j + N <= vhi + 1; j += N) {
+      const vd w = loadu<vd>(vb + j);
+      const vd rr = vr * loadu<vd>(rep_v + j);
+      const vd arg = (zero - vdd2) / (four * rr);
+      if constexpr (Fast) {
+        const vd f2 = vdd2 + rr * fast_exp_pd<N>(arg);
+        acc += w * fast_rsqrt_pd<N>(f2);
+      } else {
+        const vd f2 = vdd2 + rr * exp_pd<N>(arg);
+        acc += w / vsqrt_pd(f2);
+      }
+    }
+    double row = hsum(acc);
+    for (; j <= vhi; ++j) {
+      const double rr = r * rep_v[j];
+      if constexpr (Fast) {
+        const double f2 = d2 + rr * core::fast_exp(-d2 / (4.0 * rr));
+        row += vb[j] * core::fast_rsqrt(f2);
+      } else {
+        const double f2 = d2 + rr * std::exp(-d2 / (4.0 * rr));
+        row += vb[j] / std::sqrt(f2);
+      }
+    }
+    total += ub[i] * row;
+  }
+  binpairs += nnz_u * nnz_v;
+  return total;
+}
+
+/// Assemble the width's dispatch table (simd/dispatch.hpp KernelSet).
+/// The function pointers target this TU's internal-linkage
+/// instantiations, compiled with this TU's ISA flags and nobody else's.
+template <int N>
+KernelSet make_kernel_set(const char* name) {
+  KernelSet ks;
+  ks.born_integral = &born_integral_w<N, false>;
+  ks.born_integral_fast = &born_integral_w<N, true>;
+  ks.born_integral_mixed = &born_integral_mixed_w<N>;
+  ks.epol_sum = &epol_sum_w<N, false>;
+  ks.epol_sum_fast = &epol_sum_w<N, true>;
+  ks.epol_sum_mixed = &epol_sum_mixed_w<N>;
+  ks.epol_far_bins = &epol_far_bins_w<N, false>;
+  ks.epol_far_bins_fast = &epol_far_bins_w<N, true>;
+  ks.lanes = N;
+  ks.float_lanes = 2 * N;
+  ks.name = name;
+  return ks;
+}
+
+#endif  // OCTGB_SIMD_KERNELS_IMPL_INCLUDED

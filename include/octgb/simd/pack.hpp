@@ -1,0 +1,283 @@
+// \file pack.hpp
+// Vector primitives of the explicit SIMD layer (DESIGN.md §2.7).
+//
+// DELIBERATELY NOT a normal header: this file is textually #included
+// INSIDE an anonymous namespace by kernels_impl.hpp, which is itself
+// included inside each per-ISA translation unit (src/simd/kernels_v*.cpp).
+// Every type and function here therefore gets internal linkage, one
+// private copy per TU — the only safe arrangement when the same
+// templates are compiled under different -m ISA flags (a vague-linkage
+// instantiation shared across TUs could bind every TU to, say, the
+// AVX-512 copy and SIGILL on narrower CPUs).
+//
+// Consequently this file must not include anything itself; the enclosing
+// TU provides <cmath>, <cstdint>, <cstddef> and the octgb headers at
+// global scope before entering the namespace.
+//
+// The lane model: GCC/Clang generic vector extensions with fixed widths —
+// N ∈ {2, 4, 8} double lanes per vector, 2N float lanes in mixed mode.
+// The compiler maps them onto whatever the TU's ISA flags allow (SSE2 or
+// NEON for N=2, AVX2 for N=4, AVX-512F for N=8). All TUs are compiled
+// with -ffp-contract=off so every multiply/add rounds individually; this
+// makes each vector lane bit-identical to the corresponding scalar
+// expression, which the remainder-tail and splice properties in
+// simd_diff_test rely on.
+
+#ifndef OCTGB_SIMD_PACK_INCLUDED
+#define OCTGB_SIMD_PACK_INCLUDED
+
+typedef double vd2 __attribute__((vector_size(16)));
+typedef double vd4 __attribute__((vector_size(32)));
+typedef double vd8 __attribute__((vector_size(64)));
+typedef std::uint64_t vu2 __attribute__((vector_size(16)));
+typedef std::uint64_t vu4 __attribute__((vector_size(32)));
+typedef std::uint64_t vu8 __attribute__((vector_size(64)));
+typedef std::int64_t vq2 __attribute__((vector_size(16)));
+typedef std::int64_t vq4 __attribute__((vector_size(32)));
+typedef std::int64_t vq8 __attribute__((vector_size(64)));
+typedef float vf2 __attribute__((vector_size(8)));
+typedef float vf4 __attribute__((vector_size(16)));
+typedef float vf8 __attribute__((vector_size(32)));
+typedef float vf16 __attribute__((vector_size(64)));
+typedef std::int32_t vi4 __attribute__((vector_size(16)));
+typedef std::int32_t vi8 __attribute__((vector_size(32)));
+typedef std::int32_t vi16 __attribute__((vector_size(64)));
+
+/// Lane-type bundle for a width of N double lanes. `vf` carries the mixed
+/// mode's 2N float lanes; `vfh` is the N-lane half used when converting
+/// float streams to/from the N-lane double accumulators.
+template <int N>
+struct lanes_of;
+template <>
+struct lanes_of<2> {
+  using vd = vd2;
+  using vu = vu2;
+  using vq = vq2;
+  using vf = vf4;
+  using vfh = vf2;
+  using vi = vi4;
+  static constexpr int nf = 4;
+};
+template <>
+struct lanes_of<4> {
+  using vd = vd4;
+  using vu = vu4;
+  using vq = vq4;
+  using vf = vf8;
+  using vfh = vf4;
+  using vi = vi8;
+  static constexpr int nf = 8;
+};
+template <>
+struct lanes_of<8> {
+  using vd = vd8;
+  using vu = vu8;
+  using vq = vq8;
+  using vf = vf16;
+  using vfh = vf8;
+  using vi = vi16;
+  static constexpr int nf = 16;
+};
+
+/// Broadcast a scalar into every lane.
+template <class V, class T>
+inline V bc(T x) {
+  V r = {};
+  constexpr int n = static_cast<int>(sizeof(V) / sizeof(T));
+  for (int i = 0; i < n; ++i) r[i] = x;
+  return r;
+}
+
+/// Unaligned load of one vector's worth of elements.
+template <class V, class T>
+inline V loadu(const T* p) {
+  V r;
+  __builtin_memcpy(&r, p, sizeof(V));
+  return r;
+}
+
+/// Deterministic pairwise horizontal sum: halves are added as vectors,
+/// then the final two lanes as scalars. Same tree shape every call, so
+/// results are bitwise stable run to run (and across call sites).
+inline double hsum(vd2 v) { return v[0] + v[1]; }
+inline double hsum(vd4 v) {
+  const vd2 lo = __builtin_shufflevector(v, v, 0, 1);
+  const vd2 hi = __builtin_shufflevector(v, v, 2, 3);
+  return hsum(lo + hi);
+}
+inline double hsum(vd8 v) {
+  const vd4 lo = __builtin_shufflevector(v, v, 0, 1, 2, 3);
+  const vd4 hi = __builtin_shufflevector(v, v, 4, 5, 6, 7);
+  return hsum(lo + hi);
+}
+
+/// Lane-wise IEEE sqrt. The per-element __builtin_sqrt collapses to the
+/// vector sqrt instruction under -fno-math-errno; each lane is correctly
+/// rounded, matching the scalar std::sqrt bit for bit.
+template <class V>
+inline V vsqrt_pd(V x) {
+  V r = x;
+  constexpr int n = static_cast<int>(sizeof(V) / sizeof(double));
+  for (int i = 0; i < n; ++i) r[i] = __builtin_sqrt(x[i]);
+  return r;
+}
+template <class V>
+inline V vsqrt_ps(V x) {
+  V r = x;
+  constexpr int n = static_cast<int>(sizeof(V) / sizeof(float));
+  for (int i = 0; i < n; ++i) r[i] = __builtin_sqrtf(x[i]);
+  return r;
+}
+
+/// Split a 2N-lane float vector into its N-lane halves and back.
+template <int N>
+inline void split_f(typename lanes_of<N>::vf v, typename lanes_of<N>::vfh& lo,
+                    typename lanes_of<N>::vfh& hi) {
+  if constexpr (N == 2) {
+    lo = __builtin_shufflevector(v, v, 0, 1);
+    hi = __builtin_shufflevector(v, v, 2, 3);
+  } else if constexpr (N == 4) {
+    lo = __builtin_shufflevector(v, v, 0, 1, 2, 3);
+    hi = __builtin_shufflevector(v, v, 4, 5, 6, 7);
+  } else {
+    lo = __builtin_shufflevector(v, v, 0, 1, 2, 3, 4, 5, 6, 7);
+    hi = __builtin_shufflevector(v, v, 8, 9, 10, 11, 12, 13, 14, 15);
+  }
+}
+template <int N>
+inline typename lanes_of<N>::vf join_f(typename lanes_of<N>::vfh lo,
+                                       typename lanes_of<N>::vfh hi) {
+  if constexpr (N == 2) {
+    return __builtin_shufflevector(lo, hi, 0, 1, 2, 3);
+  } else if constexpr (N == 4) {
+    return __builtin_shufflevector(lo, hi, 0, 1, 2, 3, 4, 5, 6, 7);
+  } else {
+    return __builtin_shufflevector(lo, hi, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                   11, 12, 13, 14, 15);
+  }
+}
+
+/// float half → double vector, and double vector → float half. The
+/// conversions are exact (widening) and correctly rounded (narrowing),
+/// identical per lane to the scalar static_casts in the remainder tails.
+template <int N>
+inline typename lanes_of<N>::vd widen_f(typename lanes_of<N>::vfh h) {
+  return __builtin_convertvector(h, typename lanes_of<N>::vd);
+}
+template <int N>
+inline typename lanes_of<N>::vfh narrow_d(typename lanes_of<N>::vd d) {
+  return __builtin_convertvector(d, typename lanes_of<N>::vfh);
+}
+
+/// Vector replica of core::fast_rsqrt, op for op: same bit-level seed,
+/// same two Newton steps. With -ffp-contract=off every lane is bitwise
+/// identical to the scalar function (which the baseline build cannot
+/// contract either — x86-64 SSE2 has no FMA).
+template <int N>
+inline typename lanes_of<N>::vd fast_rsqrt_pd(typename lanes_of<N>::vd x) {
+  using vd = typename lanes_of<N>::vd;
+  using vu = typename lanes_of<N>::vu;
+  const vu i = bc<vu>(0x5fe6eb50c7b537a9ULL) - (((vu)x) >> 1);
+  vd y = (vd)i;
+  y = y * (bc<vd>(1.5) - bc<vd>(0.5) * x * y * y);
+  y = y * (bc<vd>(1.5) - bc<vd>(0.5) * x * y * y);
+  return y;
+}
+
+/// Vector replica of core::fast_exp (Schraudolph), with the same range
+/// hardening: non-positive accumulator → 0, ≥ +inf bit pattern → +inf,
+/// NaN → 0 (matching !(t > 0)). In-range lanes are bitwise identical to
+/// the scalar function.
+template <int N>
+inline typename lanes_of<N>::vd fast_exp_pd(typename lanes_of<N>::vd x) {
+  using vd = typename lanes_of<N>::vd;
+  using vu = typename lanes_of<N>::vu;
+  constexpr double a = 4503599627370496.0 / 0.6931471805599453;  // 2^52/ln2
+  constexpr double b = 4503599627370496.0 * 1023.0;              // bias
+  constexpr double c = 60801.0 * 4294967296.0;  // mean-error correction
+  constexpr double kInfBits = 9218868437227405312.0;  // bits of +inf
+  const vd t = bc<vd>(a) * x + bc<vd>(b - c);
+  const auto pos = t > bc<vd>(0.0);
+  const auto ovf = t >= bc<vd>(kInfBits);
+  vd tsafe = pos ? t : bc<vd>(1.0);
+  tsafe = ovf ? bc<vd>(1.0) : tsafe;  // keep the convert in-range
+  const vu u = __builtin_convertvector(tsafe, vu);
+  vd r = (vd)u;
+  r = pos ? r : bc<vd>(0.0);
+  r = ovf ? bc<vd>(__builtin_inf()) : r;
+  return r;
+}
+
+/// Vector exp(x) for the exact kernels: Cephes-style range reduction
+/// (round-to-nearest via the 1.5·2^52 magic constant) plus the standard
+/// degree-2/3 Padé approximant, ~1 ulp over the kernels' domain (x ≤ 0).
+/// Differs from libm's exp by ≤ ~2e-16 relative — covered by the ε
+/// bounds in simd_diff_test, not by bitwise contracts. Non-finite and
+/// out-of-range inputs are clamped before the float→int conversion so no
+/// lane ever hits undefined behavior.
+template <int N>
+inline typename lanes_of<N>::vd exp_pd(typename lanes_of<N>::vd x) {
+  using vd = typename lanes_of<N>::vd;
+  using vq = typename lanes_of<N>::vq;
+  const auto is_nan = x != x;
+  vd xc = is_nan ? bc<vd>(0.0) : x;
+  xc = xc > bc<vd>(709.0) ? bc<vd>(709.0) : xc;
+  xc = xc < bc<vd>(-709.0) ? bc<vd>(-709.0) : xc;
+  const vd magic = bc<vd>(6755399441055744.0);  // 1.5 * 2^52
+  const vd t = xc * bc<vd>(1.4426950408889634074);
+  const vd n = (t + magic) - magic;  // round-to-nearest-even(t)
+  vd px = xc - n * bc<vd>(6.93145751953125e-1);
+  px -= n * bc<vd>(1.42860682030941723212e-6);
+  const vd xx = px * px;
+  vd p = bc<vd>(1.26177193074810590878e-4);
+  p = p * xx + bc<vd>(3.02994407707441961300e-2);
+  p = p * xx + bc<vd>(9.99999999999999999910e-1);
+  p = p * px;
+  vd q = bc<vd>(3.00198505138664455042e-6);
+  q = q * xx + bc<vd>(2.52448340349684104192e-3);
+  q = q * xx + bc<vd>(2.27265548208155028766e-1);
+  q = q * xx + bc<vd>(2.0);
+  const vd e = bc<vd>(1.0) + bc<vd>(2.0) * p / (q - p);
+  const vq ni = __builtin_convertvector(n, vq);
+  const vq bits = (ni + 1023) << 52;
+  vd r = e * (vd)bits;
+  r = x < bc<vd>(-708.0) ? bc<vd>(0.0) : r;
+  r = x > bc<vd>(708.0) ? bc<vd>(__builtin_inf()) : r;
+  r = is_nan ? x : r;
+  return r;
+}
+
+/// Single-precision exp for the mixed-precision f_GB kernel (Cephes expf
+/// reduction + degree-5 polynomial, ~1 ulp in float). Inputs below −87
+/// flush to 0 — in f² = r² + d·e the lost denormal tail is ≤ 1e-38·d,
+/// invisible next to r² ≥ 87·4d. The scalar remainder tail uses
+/// exp_ps_scalar (kernels_impl.hpp), which replicates these exact ops.
+template <int N>
+inline typename lanes_of<N>::vf exp_ps(typename lanes_of<N>::vf x) {
+  using vf = typename lanes_of<N>::vf;
+  using vi = typename lanes_of<N>::vi;
+  const auto is_nan = x != x;
+  vf xc = is_nan ? bc<vf>(0.0f) : x;
+  xc = xc > bc<vf>(88.3762626647949f) ? bc<vf>(88.3762626647949f) : xc;
+  xc = xc < bc<vf>(-88.3762626647949f) ? bc<vf>(-88.3762626647949f) : xc;
+  const vf magic = bc<vf>(12582912.0f);  // 1.5 * 2^23
+  const vf t = xc * bc<vf>(1.44269504088896341f);
+  const vf n = (t + magic) - magic;
+  vf px = xc - n * bc<vf>(0.693359375f);
+  px -= n * bc<vf>(-2.12194440e-4f);
+  vf y = bc<vf>(1.9875691500e-4f);
+  y = y * px + bc<vf>(1.3981999507e-3f);
+  y = y * px + bc<vf>(8.3334519073e-3f);
+  y = y * px + bc<vf>(4.1665795894e-2f);
+  y = y * px + bc<vf>(1.6666665459e-1f);
+  y = y * px + bc<vf>(5.0000001201e-1f);
+  y = y * (px * px) + px + bc<vf>(1.0f);
+  const vi ni = __builtin_convertvector(n, vi);
+  const vi bits = (ni + 127) << 23;
+  vf r = y * (vf)bits;
+  r = x < bc<vf>(-87.0f) ? bc<vf>(0.0f) : r;
+  r = is_nan ? x : r;
+  return r;
+}
+
+#endif  // OCTGB_SIMD_PACK_INCLUDED

@@ -57,6 +57,13 @@ class MetricsRegistry {
   /// Accumulate interaction-plan cache counters under `prefix`
   /// ("plan.builds" … per the OBSERVABILITY.md schema).
   void add_plan(const std::string& prefix, const perf::PlanCounters& p);
+  /// Record the resolved explicit-SIMD kernel configuration under
+  /// `prefix`: sets "kernel.simd.lanes" / "kernel.simd.mixed" to the
+  /// resolved width and precision mode, and bumps the per-width
+  /// "kernel.simd.evals.<isa>" counter once per call (one call per
+  /// evaluation by convention; see OBSERVABILITY.md).
+  void add_simd(const std::string& prefix, const char* isa_name, int lanes,
+                bool mixed);
   /// Accumulate scheduler statistics under `prefix`. Raw integers rather
   /// than ws::SchedulerStats so trace/ does not depend on ws/ (which
   /// depends back on trace/ for steal events).

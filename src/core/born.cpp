@@ -7,6 +7,7 @@
 #include "octgb/core/gb_params.hpp"
 #include "octgb/core/naive.hpp"
 #include "octgb/core/plan.hpp"
+#include "octgb/simd/dispatch.hpp"
 #include "octgb/trace/trace.hpp"
 #include "octgb/util/check.hpp"
 #include "octgb/ws/scheduler.hpp"
@@ -42,6 +43,8 @@ struct IntegralsPass {
   double one_plus_eps_pow6;  ///< (1+ε)^(1/6)
   bool approx_math;
   KernelKind kernel;
+  const simd::KernelSet* vec;  ///< non-null: explicit-SIMD near field
+  bool mixed;                  ///< float streams (vec must be non-null)
   std::span<double> node_s;
   std::span<double> atom_s;
   PlanRecorder* recorder;    ///< non-null: capture decisions, stay serial
@@ -61,7 +64,23 @@ struct IntegralsPass {
     }
     if (a.is_leaf()) {
       if (recorder) recorder->near(a_id, q_id);
-      if (kernel == KernelKind::Batched) {
+      if (kernel == KernelKind::Batched && vec != nullptr) {
+        const double* __restrict ax = ta.soa_x.data();
+        const double* __restrict ay = ta.soa_y.data();
+        const double* __restrict az = ta.soa_z.data();
+        if (mixed) {
+          const QPointBatchF qb = tq.node_batch_f(q);
+          for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
+            atomic_add(atom_s[ai],
+                       vec->born_integral_mixed(ax[ai], ay[ai], az[ai], qb));
+        } else {
+          const QPointBatch qb = tq.node_batch(q);
+          const auto fn =
+              approx_math ? vec->born_integral_fast : vec->born_integral;
+          for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
+            atomic_add(atom_s[ai], fn(ax[ai], ay[ai], az[ai], qb));
+        }
+      } else if (kernel == KernelKind::Batched) {
         const QPointBatch qb = tq.node_batch(q);
         const double* __restrict ax = ta.soa_x.data();
         const double* __restrict ay = ta.soa_y.data();
@@ -129,7 +148,13 @@ double inv_r6(double r2, bool approx_math) {
 double born_far_term(const Vec3& ac, const Vec3& qc, const Vec3& wn,
                      bool approx_math) {
   const Vec3 delta = qc - ac;
-  return wn.dot(delta) * inv_r6(geom::dist2(ac, qc), approx_math);
+  const double r2 = geom::dist2(ac, qc);
+  // Same coincidence guard as the near kernels (r ≤ 1e-6): the criterion
+  // never admits d = 0, but direct calls and degenerate single-point
+  // geometry can — return 0 instead of an infinity that would poison the
+  // node partial. !(r2 > …) also catches NaN centroids.
+  if (!(r2 > 1e-12)) return 0.0;
+  return wn.dot(delta) * inv_r6(r2, approx_math);
 }
 
 double scalar_born_pair(const Vec3& pa, const QPointsTree& tq,
@@ -151,7 +176,8 @@ void approx_integrals(const AtomsTree& ta, const QPointsTree& tq,
                       double eps_born, bool approx_math,
                       std::span<double> node_s, std::span<double> atom_s,
                       perf::WorkCounters& counters, bool strict_criterion,
-                      KernelKind kernel, PlanRecorder* recorder) {
+                      KernelKind kernel, const simd::VectorParams& vector,
+                      PlanRecorder* recorder) {
   OCTGB_CHECK_MSG(eps_born > 0.0, "eps_born must be positive");
   OCTGB_CHECK(node_s.size() == ta.tree.nodes().size());
   OCTGB_CHECK(atom_s.size() == ta.num_atoms());
@@ -160,6 +186,11 @@ void approx_integrals(const AtomsTree& ta, const QPointsTree& tq,
   const double pow6 = strict_criterion
                           ? std::pow(1.0 + eps_born, 1.0 / 6.0)
                           : 1.0 + eps_born;
+  const simd::VectorParams rvec = simd::resolve(vector);
+  const simd::KernelSet* vec =
+      kernel == KernelKind::Batched ? simd::kernels(rvec.isa) : nullptr;
+  const bool mixed = vec != nullptr && !approx_math &&
+                     rvec.precision == simd::Precision::Mixed;
   const auto leaf_range = [&](std::int64_t lo, std::int64_t hi) {
     // One span per leaf-range task: the per-worker Born activity the
     // trace shows under the phase-level "born.traversal" span.
@@ -174,6 +205,8 @@ void approx_integrals(const AtomsTree& ta, const QPointsTree& tq,
                          pow6,
                          approx_math,
                          kernel,
+                         vec,
+                         mixed,
                          node_s,
                          atom_s,
                          recorder};

@@ -6,6 +6,7 @@
 #include "octgb/core/born.hpp"
 #include "octgb/core/gb_params.hpp"
 #include "octgb/core/plan.hpp"
+#include "octgb/simd/dispatch.hpp"
 #include "octgb/util/check.hpp"
 #include "octgb/ws/scheduler.hpp"
 
@@ -34,6 +35,8 @@ struct DualPass {
   double threshold;  ///< admissibility factor k: far iff (d+s) ≤ k(d−s)
   bool approx_math;
   KernelKind kernel;
+  const simd::KernelSet* vec;  ///< non-null: explicit-SIMD near field
+  bool mixed;                  ///< float streams (vec must be non-null)
   std::span<double> node_s;
   std::span<double> atom_s;
   perf::WorkCounters* shared;
@@ -47,7 +50,23 @@ struct DualPass {
 
   void exact_pair(const Octree::Node& a, const Octree::Node& q,
                   DualCounts& lc) const {
-    if (kernel == KernelKind::Batched) {
+    if (kernel == KernelKind::Batched && vec != nullptr) {
+      const double* __restrict ax = ta.soa_x.data();
+      const double* __restrict ay = ta.soa_y.data();
+      const double* __restrict az = ta.soa_z.data();
+      if (mixed) {
+        const QPointBatchF qb = tq.node_batch_f(q);
+        for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
+          atomic_add(atom_s[ai],
+                     vec->born_integral_mixed(ax[ai], ay[ai], az[ai], qb));
+      } else {
+        const QPointBatch qb = tq.node_batch(q);
+        const auto fn =
+            approx_math ? vec->born_integral_fast : vec->born_integral;
+        for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
+          atomic_add(atom_s[ai], fn(ax[ai], ay[ai], az[ai], qb));
+      }
+    } else if (kernel == KernelKind::Batched) {
       const QPointBatch qb = tq.node_batch(q);
       const double* __restrict ax = ta.soa_x.data();
       const double* __restrict ay = ta.soa_y.data();
@@ -127,6 +146,7 @@ void approx_integrals_dual(const AtomsTree& ta, const QPointsTree& tq,
                            std::span<double> node_s, std::span<double> atom_s,
                            perf::WorkCounters& counters,
                            bool strict_criterion, KernelKind kernel,
+                           const simd::VectorParams& vector,
                            PlanRecorder* recorder) {
   OCTGB_CHECK_MSG(eps_born > 0.0, "eps_born must be positive");
   OCTGB_CHECK(node_s.size() == ta.tree.nodes().size());
@@ -135,8 +155,14 @@ void approx_integrals_dual(const AtomsTree& ta, const QPointsTree& tq,
   const double threshold = strict_criterion
                                ? std::pow(1.0 + eps_born, 1.0 / 6.0)
                                : 1.0 + eps_born;
-  DualPass pass{ta,     tq,     threshold, approx_math, kernel,
-                node_s, atom_s, &counters,  recorder};
+  const simd::VectorParams rvec = simd::resolve(vector);
+  const simd::KernelSet* vec =
+      kernel == KernelKind::Batched ? simd::kernels(rvec.isa) : nullptr;
+  const bool mixed = vec != nullptr && !approx_math &&
+                     rvec.precision == simd::Precision::Mixed;
+  DualPass pass{ta,    tq,     threshold, approx_math, kernel,
+                vec,   mixed,  node_s,    atom_s,      &counters,
+                recorder};
   DualCounts lc;
   pass.descend(0, 0, lc);
   pass.flush(lc);

@@ -4,6 +4,7 @@
 
 #include "octgb/core/dual_traversal.hpp"
 #include "octgb/perf/stats.hpp"
+#include "octgb/simd/dispatch.hpp"
 #include "octgb/trace/trace.hpp"
 #include "octgb/util/check.hpp"
 
@@ -64,7 +65,8 @@ void GBEngine::phase_integrals(Segment q_leaf_segment,
       std::span<const std::uint32_t>(leaves).subspan(
           q_leaf_segment.begin, q_leaf_segment.size()),
       config_.approx.eps_born, config_.approx.approx_math, node_s, atom_s,
-      counters, config_.approx.strict_born_criterion, config_.approx.kernel);
+      counters, config_.approx.strict_born_criterion, config_.approx.kernel,
+      config_.approx.vector);
 }
 
 void GBEngine::phase_push(Segment atom_segment,
@@ -95,7 +97,8 @@ double GBEngine::phase_epol(const EpolContext& ctx,
                      std::span<const std::uint32_t>(leaves).subspan(
                          a_leaf_segment.begin, a_leaf_segment.size()),
                      config_.approx.eps_epol, config_.approx.approx_math,
-                     config_.gb, counters, config_.approx.kernel);
+                     config_.gb, counters, config_.approx.kernel,
+                     config_.approx.vector);
 }
 
 double GBEngine::phase_epol_atom_based(const EpolContext& ctx,
@@ -106,7 +109,7 @@ double GBEngine::phase_epol_atom_based(const EpolContext& ctx,
   return approx_epol_atom_based(
       ta_, ctx, born_tree, atom_segment.begin, atom_segment.end,
       config_.approx.eps_epol, config_.approx.approx_math, config_.gb,
-      counters, config_.approx.kernel);
+      counters, config_.approx.kernel, config_.approx.vector);
 }
 
 std::vector<double> GBEngine::born_to_input_order(
@@ -168,6 +171,14 @@ EvalResult GBEngine::compute_eval(EvalScratch& scratch, ws::Scheduler* sched,
   double epol = 0.0;
 
   const ApproxParams& approx = config_.approx;
+  // Resolve the vector request once: the Born cache is stamped with the
+  // *resolved* params, so Auto and an explicit widest-ISA request hit the
+  // same cache entry.
+  const simd::VectorParams rvec = simd::resolve(approx.vector);
+  if (config_.trace.enabled) {
+    trace::counter("kernel.simd.lanes",
+                   static_cast<double>(simd::lanes(rvec.isa)));
+  }
   const PlanKey key{engine_id_,
                     topology_epoch_,
                     approx.eps_born,
@@ -180,7 +191,7 @@ EvalResult GBEngine::compute_eval(EvalScratch& scratch, ws::Scheduler* sched,
   if (allow_plan && approx.plan == PlanMode::Auto) {
     if (pc.plan.valid() && pc.plan.key() == key) {
       ++pc.stats.key_hits;
-      act = pc.plan.born_valid(geometry_epoch_, approx.approx_math)
+      act = pc.plan.born_valid(geometry_epoch_, approx.approx_math, rvec)
                 ? Action::BornReuse
                 : Action::Replay;
     } else {
@@ -219,7 +230,7 @@ EvalResult GBEngine::compute_eval(EvalScratch& scratch, ws::Scheduler* sched,
       }
       case Action::Replay: {
         OCTGB_SPAN("plan.replay");
-        pc.plan.replay(ta_, tq_, approx.approx_math, scratch.node_s,
+        pc.plan.replay(ta_, tq_, approx.approx_math, rvec, scratch.node_s,
                        scratch.atom_s, result.work);
         break;
       }
@@ -231,12 +242,12 @@ EvalResult GBEngine::compute_eval(EvalScratch& scratch, ws::Scheduler* sched,
           approx_integrals(ta_, tq_, q_leaves(), approx.eps_born,
                            approx.approx_math, scratch.node_s, scratch.atom_s,
                            captured, approx.strict_born_criterion,
-                           approx.kernel, &rec);
+                           approx.kernel, rvec, &rec);
         } else {
           approx_integrals_dual(ta_, tq_, approx.eps_born, approx.approx_math,
                                 scratch.node_s, scratch.atom_s, captured,
                                 approx.strict_born_criterion, approx.kernel,
-                                &rec);
+                                rvec, &rec);
         }
         if (pc.plan.finalize(ta_, tq_, geometry_epoch_, captured))
           ++scratch.allocation_events;
@@ -250,7 +261,8 @@ EvalResult GBEngine::compute_eval(EvalScratch& scratch, ws::Scheduler* sched,
         } else {
           approx_integrals_dual(ta_, tq_, approx.eps_born, approx.approx_math,
                                 scratch.node_s, scratch.atom_s, result.work,
-                                approx.strict_born_criterion, approx.kernel);
+                                approx.strict_born_criterion, approx.kernel,
+                                rvec);
         }
         break;
       }
@@ -262,7 +274,7 @@ EvalResult GBEngine::compute_eval(EvalScratch& scratch, ws::Scheduler* sched,
         // result.work holds exactly the phase A + push counters here;
         // cache them with the radii so a future Born reuse reports the
         // same counts a fresh traversal would.
-        if (pc.plan.store_born(geometry_epoch_, approx.approx_math,
+        if (pc.plan.store_born(geometry_epoch_, approx.approx_math, rvec,
                                scratch.born_tree, result.work))
           ++scratch.allocation_events;
       }

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "octgb/core/fastmath.hpp"
+#include "octgb/simd/dispatch.hpp"
 #include "octgb/trace/trace.hpp"
 #include "octgb/util/check.hpp"
 #include "octgb/ws/scheduler.hpp"
@@ -147,6 +148,8 @@ struct EpolPass {
   double eps;
   bool approx_math;
   KernelKind kernel;
+  const simd::KernelSet* vec;  ///< non-null: explicit-SIMD kernels
+  bool mixed;                  ///< float streams (vec must be non-null)
 
   // V side: either a leaf node (node-based division)…
   const Octree::Node* v_node = nullptr;
@@ -216,11 +219,38 @@ struct EpolPass {
   /// scalar loop (cross-tree calls never hit r ≈ 0 — the sets are
   /// disjoint bodies).
   double exact_leaf_batched(const Octree::Node& u, EpolCounts& lc) const {
-    const AtomBatch ub = ta.node_batch(u, born);
     const double* __restrict vx = tv.soa_x.data();
     const double* __restrict vy = tv.soa_y.data();
     const double* __restrict vz = tv.soa_z.data();
     double sum = 0.0;
+    if (vec != nullptr && mixed) {
+      const AtomBatchF ub = ta.node_batch_f(u, born);
+      if (v_node) {
+        for (std::uint32_t vi = v_node->begin; vi < v_node->end; ++vi)
+          sum += vec->epol_sum_mixed(vx[vi], vy[vi], vz[vi], tv.charge[vi],
+                                     born_v[vi], ub);
+        lc.exact += static_cast<std::uint64_t>(u.size()) * v_node->size();
+      } else {
+        sum = vec->epol_sum_mixed(vx[v_atom], vy[v_atom], vz[v_atom],
+                                  tv.charge[v_atom], born_v[v_atom], ub);
+        lc.exact += u.size();
+      }
+      return sum;
+    }
+    const AtomBatch ub = ta.node_batch(u, born);
+    if (vec != nullptr) {
+      const auto fn = approx_math ? vec->epol_sum_fast : vec->epol_sum;
+      if (v_node) {
+        for (std::uint32_t vi = v_node->begin; vi < v_node->end; ++vi)
+          sum += fn(vx[vi], vy[vi], vz[vi], tv.charge[vi], born_v[vi], ub);
+        lc.exact += static_cast<std::uint64_t>(u.size()) * v_node->size();
+      } else {
+        sum = fn(vx[v_atom], vy[v_atom], vz[v_atom], tv.charge[v_atom],
+                 born_v[v_atom], ub);
+        lc.exact += u.size();
+      }
+      return sum;
+    }
     if (v_node) {
       for (std::uint32_t vi = v_node->begin; vi < v_node->end; ++vi) {
         sum += approx_math
@@ -249,6 +279,16 @@ struct EpolPass {
       const std::size_t v_id = v_node_id;
       const double* vb =
           ctx_v.bins.data() + v_id * static_cast<std::size_t>(ctx_v.nbins);
+      if (kernel == KernelKind::Batched && vec != nullptr) {
+        // Vectorized M² bin-pair loop. Counts nnz_u·nnz_v bin pairs —
+        // identical to the scalar skip-zeros loop below (zero-charge lanes
+        // contribute exactly 0 because rep[·] > 0 keeps f_GB finite).
+        const auto fn =
+            approx_math ? vec->epol_far_bins_fast : vec->epol_far_bins;
+        return fn(ub, ctx.bin_lo[u_id], ctx.bin_hi[u_id], ctx.rep.data(), vb,
+                  ctx_v.bin_lo[v_id], ctx_v.bin_hi[v_id], ctx_v.rep.data(),
+                  d2, lc.binpairs);
+      }
       for (int i = ctx.bin_lo[u_id]; i <= ctx.bin_hi[u_id]; ++i) {
         if (ub[i] == 0.0) continue;
         for (int j = ctx_v.bin_lo[v_id]; j <= ctx_v.bin_hi[v_id]; ++j) {
@@ -279,9 +319,15 @@ double approx_epol(const AtomsTree& ta, const EpolContext& ctx,
                    std::span<const double> born_tree,
                    std::span<const std::uint32_t> v_leaf_ids, double eps_epol,
                    bool approx_math, const GBParams& gb,
-                   perf::WorkCounters& counters, KernelKind kernel) {
+                   perf::WorkCounters& counters, KernelKind kernel,
+                   const simd::VectorParams& vector) {
   OCTGB_CHECK(born_tree.size() == ta.num_atoms());
   if (ta.tree.empty() || v_leaf_ids.empty()) return 0.0;
+  const simd::VectorParams rvec = simd::resolve(vector);
+  const simd::KernelSet* vec =
+      kernel == KernelKind::Batched ? simd::kernels(rvec.isa) : nullptr;
+  const bool mixed = vec != nullptr && !approx_math &&
+                     rvec.precision == simd::Precision::Mixed;
   double total = 0.0;
   ws::Scheduler::parallel_for(
       0, static_cast<std::int64_t>(v_leaf_ids.size()), 1,
@@ -293,7 +339,7 @@ double approx_epol(const AtomsTree& ta, const EpolContext& ctx,
         for (std::int64_t li = lo; li < hi; ++li) {
           EpolPass pass{ta,        ctx,      born_tree,
                         ta,        ctx,      born_tree,
-                        eps_epol,  approx_math, kernel,
+                        eps_epol,  approx_math, kernel, vec, mixed,
                         &ta.tree.node(v_leaf_ids[li]), 0};
           pass.v_node_id = v_leaf_ids[li];
           mine += pass.descend(0, lc);
@@ -312,9 +358,15 @@ double approx_epol_atom_based(const AtomsTree& ta, const EpolContext& ctx,
                               double eps_epol, bool approx_math,
                               const GBParams& gb,
                               perf::WorkCounters& counters,
-                              KernelKind kernel) {
+                              KernelKind kernel,
+                              const simd::VectorParams& vector) {
   OCTGB_CHECK(born_tree.size() == ta.num_atoms());
   if (ta.tree.empty() || atom_begin >= atom_end) return 0.0;
+  const simd::VectorParams rvec = simd::resolve(vector);
+  const simd::KernelSet* vec =
+      kernel == KernelKind::Batched ? simd::kernels(rvec.isa) : nullptr;
+  const bool mixed = vec != nullptr && !approx_math &&
+                     rvec.precision == simd::Precision::Mixed;
 
   // Atom-based division works on the leaves *clipped to the atom range*:
   // a segment boundary that falls inside a leaf splits it, and the split
@@ -349,7 +401,7 @@ double approx_epol_atom_based(const AtomsTree& ta, const EpolContext& ctx,
 
           EpolPass pass{ta,       ctx,         born_tree, ta, ctx,
                         born_tree, eps_epol,   approx_math,
-                        kernel,   &v,          0};
+                        kernel,   vec,         mixed,     &v, 0};
           // The clipped leaf is not a persistent node; bin lookups on the
           // V side must use its own charge-by-bin table, so fall back to
           // the per-atom path when the clip is partial.
@@ -360,8 +412,8 @@ double approx_epol_atom_based(const AtomsTree& ta, const EpolContext& ctx,
             for (std::uint32_t ai = b; ai < e; ++ai) {
               EpolPass atom_pass{ta,        ctx,      born_tree,
                                  ta,        ctx,      born_tree,
-                                 eps_epol,  approx_math, kernel,
-                                 nullptr,   ai};
+                                 eps_epol,  approx_math, kernel, vec,
+                                 mixed,     nullptr,  ai};
               mine += atom_pass.descend(0, lc);
             }
           }
@@ -379,10 +431,16 @@ double approx_epol_cross(const AtomsTree& ta, const EpolContext& ctx_a,
                          const EpolContext& ctx_b,
                          std::span<const double> born_b, double eps_epol,
                          bool approx_math, const GBParams& gb,
-                         perf::WorkCounters& counters, KernelKind kernel) {
+                         perf::WorkCounters& counters, KernelKind kernel,
+                         const simd::VectorParams& vector) {
   OCTGB_CHECK(born_a.size() == ta.num_atoms());
   OCTGB_CHECK(born_b.size() == tb.num_atoms());
   if (ta.tree.empty() || tb.tree.empty()) return 0.0;
+  const simd::VectorParams rvec = simd::resolve(vector);
+  const simd::KernelSet* vec =
+      kernel == KernelKind::Batched ? simd::kernels(rvec.isa) : nullptr;
+  const bool mixed = vec != nullptr && !approx_math &&
+                     rvec.precision == simd::Precision::Mixed;
   const auto& v_leaves = tb.tree.leaf_ids();
   double total = 0.0;
   ws::Scheduler::parallel_for(
@@ -394,7 +452,7 @@ double approx_epol_cross(const AtomsTree& ta, const EpolContext& ctx_a,
         for (std::int64_t li = lo; li < hi; ++li) {
           EpolPass pass{ta,        ctx_a,    born_a,
                         tb,        ctx_b,    born_b,
-                        eps_epol,  approx_math, kernel,
+                        eps_epol,  approx_math, kernel, vec, mixed,
                         &tb.tree.node(v_leaves[li]), 0};
           pass.v_node_id = v_leaves[li];
           mine += pass.descend(0, lc);

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "octgb/core/born.hpp"
+#include "octgb/simd/dispatch.hpp"
 #include "octgb/util/check.hpp"
 #include "octgb/ws/scheduler.hpp"
 
@@ -239,11 +240,19 @@ bool InteractionPlan::validate(const AtomsTree& ta, const QPointsTree& tq,
 }
 
 void InteractionPlan::replay(const AtomsTree& ta, const QPointsTree& tq,
-                             bool approx_math, std::span<double> node_s,
+                             bool approx_math,
+                             const simd::VectorParams& vector,
+                             std::span<double> node_s,
                              std::span<double> atom_s,
                              perf::WorkCounters& work) const {
   OCTGB_CHECK_MSG(valid_, "replay() on an invalid plan");
   const bool batched = key_.kernel == KernelKind::Batched;
+  // Same dispatch resolution as the traversals: identical out-of-line
+  // kernel code per near pair keeps replay bit-identical to capture.
+  const simd::VectorParams rvec = simd::resolve(vector);
+  const simd::KernelSet* vec = batched ? simd::kernels(rvec.isa) : nullptr;
+  const bool mixed = vec != nullptr && !approx_math &&
+                     rvec.precision == simd::Precision::Mixed;
   const std::int64_t nchunks = static_cast<std::int64_t>(chunks());
   // Chunks are cost-balanced already; grain 1 keeps every chunk stealable.
   ws::Scheduler::parallel_for(
@@ -275,7 +284,24 @@ void InteractionPlan::replay(const AtomsTree& ta, const QPointsTree& tq,
             for (std::uint32_t k = near_begin_[g]; k < near_begin_[g + 1];
                  ++k) {
               const Octree::Node& q = tq.tree.node(near_q_sorted_[k]);
-              if (batched) {
+              if (batched && vec != nullptr) {
+                const double* __restrict ax = ta.soa_x.data();
+                const double* __restrict ay = ta.soa_y.data();
+                const double* __restrict az = ta.soa_z.data();
+                if (mixed) {
+                  const QPointBatchF qb = tq.node_batch_f(q);
+                  for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
+                    atom_s[ai] +=
+                        vec->born_integral_mixed(ax[ai], ay[ai], az[ai], qb);
+                } else {
+                  const QPointBatch qb = tq.node_batch(q);
+                  const auto fn =
+                      approx_math ? vec->born_integral_fast
+                                  : vec->born_integral;
+                  for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
+                    atom_s[ai] += fn(ax[ai], ay[ai], az[ai], qb);
+                }
+              } else if (batched) {
                 const QPointBatch qb = tq.node_batch(q);
                 const double* __restrict ax = ta.soa_x.data();
                 const double* __restrict ay = ta.soa_y.data();
@@ -302,6 +328,7 @@ void InteractionPlan::replay(const AtomsTree& ta, const QPointsTree& tq,
 
 bool InteractionPlan::store_born(std::uint64_t geometry_epoch,
                                  bool approx_math,
+                                 const simd::VectorParams& vector,
                                  std::span<const double> born_tree,
                                  const perf::WorkCounters& born_work) {
   OCTGB_CHECK_MSG(valid_, "store_born() on an invalid plan");
@@ -309,6 +336,7 @@ bool InteractionPlan::store_born(std::uint64_t geometry_epoch,
   born_tree_.assign(born_tree.begin(), born_tree.end());
   born_geometry_epoch_ = geometry_epoch;
   born_approx_math_ = approx_math;
+  born_vector_ = vector;
   born_work_ = born_work;
   born_valid_ = true;
   return born_tree_.capacity() > cap;

@@ -5,6 +5,17 @@
 
 namespace octgb::core {
 
+namespace {
+
+/// Round a double plane into its float mirror (mixed-precision streams).
+void narrow_plane(const std::vector<double>& src, std::vector<float>& dst) {
+  dst.resize(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i)
+    dst[i] = static_cast<float>(src[i]);
+}
+
+}  // namespace
+
 AtomsTree AtomsTree::build(const mol::Molecule& mol,
                            const octree::BuildParams& params) {
   OCTGB_SPAN("tree.build.atoms");
@@ -35,13 +46,20 @@ void AtomsTree::rebuild_derived() {
   soa_y.resize(tree.num_points());
   soa_z.resize(tree.num_points());
   split_soa(tree.points(), soa_x, soa_y, soa_z);
+  narrow_plane(soa_x, soa_xf);
+  narrow_plane(soa_y, soa_yf);
+  narrow_plane(soa_z, soa_zf);
+  narrow_plane(charge, charge_f);
 }
 
 std::size_t AtomsTree::footprint_bytes() const {
   return tree.footprint_bytes() + charge.capacity() * sizeof(double) +
          vdw_radius.capacity() * sizeof(double) +
          (soa_x.capacity() + soa_y.capacity() + soa_z.capacity()) *
-             sizeof(double);
+             sizeof(double) +
+         (soa_xf.capacity() + soa_yf.capacity() + soa_zf.capacity() +
+          charge_f.capacity()) *
+             sizeof(float);
 }
 
 QPointsTree QPointsTree::build(const surface::Surface& surf,
@@ -98,6 +116,12 @@ void QPointsTree::rebuild_derived() {
   soa_wny.resize(wnormal.size());
   soa_wnz.resize(wnormal.size());
   split_soa(wnormal, soa_wnx, soa_wny, soa_wnz);
+  narrow_plane(soa_x, soa_xf);
+  narrow_plane(soa_y, soa_yf);
+  narrow_plane(soa_z, soa_zf);
+  narrow_plane(soa_wnx, soa_wnxf);
+  narrow_plane(soa_wny, soa_wnyf);
+  narrow_plane(soa_wnz, soa_wnzf);
 }
 
 std::size_t QPointsTree::footprint_bytes() const {
@@ -106,7 +130,10 @@ std::size_t QPointsTree::footprint_bytes() const {
          node_wnormal.capacity() * sizeof(geom::Vec3) +
          (soa_x.capacity() + soa_y.capacity() + soa_z.capacity() +
           soa_wnx.capacity() + soa_wny.capacity() + soa_wnz.capacity()) *
-             sizeof(double);
+             sizeof(double) +
+         (soa_xf.capacity() + soa_yf.capacity() + soa_zf.capacity() +
+          soa_wnxf.capacity() + soa_wnyf.capacity() + soa_wnzf.capacity()) *
+             sizeof(float);
 }
 
 Preprocessed Preprocessed::build(const mol::Molecule& mol,

@@ -1,0 +1,131 @@
+// Runtime ISA resolution for the explicit vector layer. CPU detection is
+// done once and cached, so every resolve() during a process lifetime
+// agrees — the engine stamps resolved VectorParams into the Born cache
+// and relies on that stability.
+
+#include "octgb/simd/dispatch.hpp"
+
+namespace octgb::simd {
+
+namespace {
+
+int rank(VectorIsa isa) {
+  switch (isa) {
+    case VectorIsa::Scalar:
+      return 0;
+    case VectorIsa::V128:
+      return 1;
+    case VectorIsa::V256:
+      return 2;
+    case VectorIsa::V512:
+      return 3;
+    case VectorIsa::Auto:
+      break;
+  }
+  return -1;
+}
+
+VectorIsa detect_cpu_widest() {
+#if defined(__x86_64__) || defined(_M_X64)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f")) return VectorIsa::V512;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return VectorIsa::V256;
+  return VectorIsa::V128;  // SSE2 is the x86-64 baseline
+#else
+  // NEON on aarch64; plain GCC vector expansion elsewhere. Either way the
+  // 128-bit TU is always correct to run.
+  return VectorIsa::V128;
+#endif
+}
+
+VectorIsa widest_available() {
+  static const VectorIsa widest = [] {
+    const VectorIsa cpu = detect_cpu_widest();
+    const VectorIsa built = max_built_isa();
+    return rank(cpu) < rank(built) ? cpu : built;
+  }();
+  return widest;
+}
+
+/// What Auto resolves to. Deliberately stops at 256 bits even when
+/// AVX-512 is runnable: 512-bit execution is frequency-throttled or
+/// emulated on many parts (client cores, some hypervisors), and the
+/// division-bound Born kernel rarely recovers the clock loss from the
+/// extra lanes — measured replay throughput regresses v512 vs v256 on
+/// such hosts. An explicit isa = V512 opts in after measuring;
+/// bench_kernels emits one series per width for exactly that decision.
+VectorIsa auto_isa() {
+  const VectorIsa widest = widest_available();
+  return rank(widest) > rank(VectorIsa::V256) ? VectorIsa::V256 : widest;
+}
+
+}  // namespace
+
+VectorIsa max_built_isa() {
+#if defined(OCTGB_SIMD_HAS_V512)
+  return VectorIsa::V512;
+#elif defined(OCTGB_SIMD_HAS_V256)
+  return VectorIsa::V256;
+#else
+  return VectorIsa::V128;
+#endif
+}
+
+bool isa_available(VectorIsa isa) {
+  if (isa == VectorIsa::Scalar) return true;
+  if (isa == VectorIsa::Auto) return false;
+  return rank(isa) <= rank(widest_available());
+}
+
+VectorIsa resolve_isa(VectorIsa requested) {
+  if (requested == VectorIsa::Scalar) return VectorIsa::Scalar;
+  const VectorIsa widest = widest_available();
+  if (requested == VectorIsa::Auto) return auto_isa();
+  return rank(requested) <= rank(widest) ? requested : widest;
+}
+
+VectorParams resolve(VectorParams requested) {
+  requested.isa = resolve_isa(requested.isa);
+  return requested;
+}
+
+const KernelSet* kernels(VectorIsa isa) {
+  switch (resolve_isa(isa)) {
+    case VectorIsa::V128:
+      return detail::make_kernels_v128();
+#if defined(OCTGB_SIMD_HAS_V256)
+    case VectorIsa::V256:
+      return detail::make_kernels_v256();
+#endif
+#if defined(OCTGB_SIMD_HAS_V512)
+    case VectorIsa::V512:
+      return detail::make_kernels_v512();
+#endif
+    default:
+      return nullptr;  // Scalar: use the legacy batch kernels
+  }
+}
+
+const char* isa_name(VectorIsa isa) {
+  switch (isa) {
+    case VectorIsa::Auto:
+      return "auto";
+    case VectorIsa::Scalar:
+      return "scalar";
+    case VectorIsa::V128:
+      return "v128";
+    case VectorIsa::V256:
+      return "v256";
+    case VectorIsa::V512:
+      return "v512";
+  }
+  return "?";
+}
+
+int lanes(VectorIsa isa) {
+  const KernelSet* ks = kernels(isa);
+  return ks ? ks->lanes : 0;
+}
+
+}  // namespace octgb::simd

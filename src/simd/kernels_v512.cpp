@@ -1,0 +1,28 @@
+// 512-bit (8 double lanes / 16 float lanes) kernels, compiled with
+// -mavx512f (plus -fno-math-errno -ffp-contract=off). Only compiled when
+// the compiler supports the flag and OCTGB_SIMD_MAX_ISA allows it; only
+// *executed* when the running CPU reports AVX-512F (dispatch.cpp). The
+// anonymous namespace keeps these AVX-512-compiled instantiations out of
+// every other TU's symbol space — without it a vague-linkage template
+// body built here could be the one the linker keeps, and a v128-only CPU
+// would SIGILL inside what looks like portable code.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "octgb/core/fastmath.hpp"
+#include "octgb/simd/dispatch.hpp"
+
+namespace octgb::simd {
+namespace {
+#include "octgb/simd/kernels_impl.hpp"
+}  // namespace
+
+namespace detail {
+const KernelSet* make_kernels_v512() {
+  static const KernelSet ks = make_kernel_set<8>("v512");
+  return &ks;
+}
+}  // namespace detail
+}  // namespace octgb::simd

@@ -101,6 +101,16 @@ void MetricsRegistry::add_plan(const std::string& prefix,
   add(scoped("plan.validations", prefix), p.validations);
 }
 
+void MetricsRegistry::add_simd(const std::string& prefix,
+                               const char* isa_name, int lanes, bool mixed) {
+  set(scoped("kernel.simd.lanes", prefix),
+      static_cast<std::uint64_t>(lanes));
+  set(scoped("kernel.simd.mixed", prefix),
+      static_cast<std::uint64_t>(mixed ? 1 : 0));
+  add(scoped(std::string("kernel.simd.evals.") + isa_name, prefix),
+      std::uint64_t{1});
+}
+
 void MetricsRegistry::add_scheduler(const std::string& prefix,
                                     std::uint64_t spawns,
                                     std::uint64_t steals,

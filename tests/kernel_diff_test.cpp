@@ -10,10 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "octgb/core/batch_kernels.hpp"
+#include "octgb/core/born.hpp"
 #include "octgb/core/engine.hpp"
+#include "octgb/core/fastmath.hpp"
 #include "octgb/core/naive.hpp"
 #include "octgb/mol/generate.hpp"
 #include "octgb/surface/surface.hpp"
@@ -293,6 +296,88 @@ TEST(BatchKernelEdge, EpolSelfTermIsIncludedByContract) {
   // self term carries that error through sqrt — allow the §V-C band.
   EXPECT_NEAR(core::batch_epol_sum_fast(1.0, -2.0, 0.5, 0.8, 1.7, self),
               0.8 * 0.8 / 1.7, 0.05 * 0.8 * 0.8 / 1.7);
+}
+
+TEST(BatchKernelEdge, BornFarTermCoincidentCentroidsContributeZero) {
+  // The admissibility criterion never admits d = 0, but direct calls and
+  // degenerate single-point geometry can produce coincident (or NaN)
+  // centroids; the far term must yield 0, not ±inf or NaN.
+  const geom::Vec3 c{1.0, -2.0, 3.0};
+  const geom::Vec3 wn{5.0, 7.0, -1.0};
+  EXPECT_EQ(core::born_far_term(c, c, wn, /*approx_math=*/false), 0.0);
+  EXPECT_EQ(core::born_far_term(c, c, wn, /*approx_math=*/true), 0.0);
+  // Inside the r² ≤ 1e-12 coincidence band: still zero.
+  const geom::Vec3 near_c{1.0 + 1e-7, -2.0, 3.0};
+  EXPECT_EQ(core::born_far_term(c, near_c, wn, false), 0.0);
+  // NaN centroid (poisoned upstream geometry) must not leak NaN into the
+  // node partial.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(core::born_far_term(c, {nan, 0.0, 0.0}, wn, false), 0.0);
+  // Just outside the band: a genuine (huge but finite) contribution.
+  const geom::Vec3 out_c{1.0 + 2e-6, -2.0, 3.0};
+  const double t = core::born_far_term(c, out_c, wn, false);
+  EXPECT_TRUE(std::isfinite(t));
+  EXPECT_GT(t, 0.0);
+}
+
+TEST(BatchKernelEdge, ScalarBornPairSkipsCoincidentQPoints) {
+  // A q-point exactly on the atom and one inside the guard band must be
+  // skipped; a zero-weight q-point outside the band contributes exactly 0
+  // without perturbing the sum.
+  const mol::Molecule m = mol::generate_protein({.target_atoms = 40,
+                                                 .seed = 9});
+  const surface::Surface s = surface::build_surface(m, {.subdivision = 0});
+  core::EngineConfig cfg;
+  GBEngine engine(m, s, cfg);
+  const auto& tq = engine.qpoints_tree();
+  const auto q_pts = tq.tree.points();
+  // Query placed exactly on the first q-point of the full range.
+  const double v = core::scalar_born_pair(
+      q_pts[0], tq, 0, static_cast<std::uint32_t>(tq.num_points()), false);
+  EXPECT_TRUE(std::isfinite(v));
+  const double vf = core::scalar_born_pair(
+      q_pts[0], tq, 0, static_cast<std::uint32_t>(tq.num_points()), true);
+  EXPECT_TRUE(std::isfinite(vf));
+}
+
+TEST(BatchKernelEdge, CriterionBoundaryPairsClassifyConsistently) {
+  // born_far_enough admits the boundary (≤): (d+s) == pow·(d−s) is far.
+  // Degenerate zero-radius nodes are far whenever d > 0.
+  EXPECT_TRUE(core::born_far_enough(1.0, 0.0, 0.0, 1.2));
+  EXPECT_FALSE(core::born_far_enough(0.0, 0.0, 0.0, 1.2));  // den == 0
+  // Touching nodes (d == ra + rq): denominator zero, never far.
+  EXPECT_FALSE(core::born_far_enough(3.0, 2.0, 1.0, 1e12));
+  // Exact boundary: pow = (d+s)/(d−s) with d=5, s=1 → 6/4 = 1.5.
+  EXPECT_TRUE(core::born_far_enough(5.0, 0.5, 0.5, 1.5));
+  EXPECT_FALSE(core::born_far_enough(5.0, 0.5, 0.5,
+                                     std::nextafter(1.5, 0.0)));
+  // epol_far_enough is strict (>): equality is near.
+  const double eps = 0.5;
+  const double bound = (1.0 + 2.0) * (1.0 + 2.0 / eps);  // ru+rv = 3
+  EXPECT_FALSE(core::epol_far_enough(bound, 1.0, 2.0, eps));
+  EXPECT_TRUE(
+      core::epol_far_enough(std::nextafter(bound, 1e300), 1.0, 2.0, eps));
+}
+
+TEST(BatchKernelEdge, FastExpIsHardenedAgainstNanAndOverflow) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // NaN must map to 0 (the !(t > 0) guard), never reach the float→int
+  // cast, and never leak NaN downstream.
+  EXPECT_EQ(core::fast_exp(nan), 0.0);
+  // Deep underflow and −inf: exactly 0.
+  EXPECT_EQ(core::fast_exp(-1000.0), 0.0);
+  EXPECT_EQ(core::fast_exp(-inf), 0.0);
+  // Overflow (beyond the ~709 usable range) and +inf: clamp to +inf
+  // instead of a UB cast of a value ≥ 2^63.
+  EXPECT_EQ(core::fast_exp(1000.0), inf);
+  EXPECT_EQ(core::fast_exp(inf), inf);
+  // The usable range is untouched by the hardening: a few percent of exp.
+  for (double x : {-20.0, -1.0, -0.1, 0.0, 0.1, 1.0, 20.0}) {
+    const double approx = core::fast_exp(x);
+    EXPECT_TRUE(std::isfinite(approx)) << "x " << x;
+    EXPECT_NEAR(approx, std::exp(x), 0.05 * std::exp(x)) << "x " << x;
+  }
 }
 
 TEST(BatchKernelEdge, SplitSoaRoundTrips) {

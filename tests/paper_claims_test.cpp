@@ -7,9 +7,12 @@
 
 #include "octgb/core/engine.hpp"
 #include "octgb/core/naive.hpp"
+#include "octgb/core/session.hpp"
 #include "octgb/mol/generate.hpp"
 #include "octgb/mol/zdock.hpp"
 #include "octgb/sim/cluster.hpp"
+#include "octgb/simd/dispatch.hpp"
+#include "octgb/simd/types.hpp"
 #include "octgb/surface/surface.hpp"
 
 using namespace octgb;
@@ -104,5 +107,84 @@ TEST(PaperClaims, ErrorBudgetHoldsAcrossTheSizeLadder) {
     core::GBEngine engine(m, surf);
     const double e = engine.compute().epol;
     EXPECT_LT(std::abs(e - naive_e) / std::abs(naive_e), 0.01) << name;
+  }
+}
+
+TEST(PaperClaims, MixedPrecisionStaysInsideThePaperAccuracyEnvelope) {
+  // The explicit-SIMD float-stream mode (DESIGN.md §2.7) must not consume
+  // the paper's "<1% error w.r.t. the naive exact algorithm" budget: at
+  // every compiled-and-runnable width, Mixed-precision Epol on the fig.
+  // 8/9 benchmark structures stays inside the same envelope as Double,
+  // and the float rounding itself perturbs the energy by far less than
+  // the tree approximation does.
+  const simd::VectorIsa widths[] = {simd::VectorIsa::V128,
+                                    simd::VectorIsa::V256,
+                                    simd::VectorIsa::V512};
+  for (const char* name : {"1PPE_l_b", "1WQ1_l_b", "1DE4_r_b"}) {
+    const auto m = mol::make_benchmark_molecule(name);
+    const auto surf = surface::build_surface(m);
+    const auto naive_born = core::naive_born_radii(m, surf);
+    const double naive_e = core::naive_epol(m, naive_born);
+    core::EngineConfig dcfg;
+    dcfg.approx.vector = {simd::VectorIsa::Scalar, simd::Precision::Double};
+    const double e_double = core::GBEngine(m, surf, dcfg).compute().epol;
+    for (simd::VectorIsa isa : widths) {
+      if (!simd::isa_available(isa)) continue;
+      core::EngineConfig cfg;
+      cfg.approx.vector = {isa, simd::Precision::Mixed};
+      const double e_mixed = core::GBEngine(m, surf, cfg).compute().epol;
+      EXPECT_LT(std::abs(e_mixed - naive_e) / std::abs(naive_e), 0.01)
+          << name << " " << simd::isa_name(isa);
+      // Float streams contribute well under a tenth of the budget on
+      // their own, independent of width.
+      EXPECT_LT(std::abs(e_mixed - e_double) / std::abs(e_double), 1e-3)
+          << name << " " << simd::isa_name(isa);
+    }
+  }
+}
+
+TEST(PaperClaims, CrossScreenDeviationIsBoundedUnderEveryWidth) {
+  // Pose screening is the throughput consumer of the vector kernels; the
+  // acceptance bound is that switching width and/or precision moves a
+  // CrossScreen complex energy by at most 0.7% relative to the scalar
+  // double reference — small against the mode's own few-percent envelope
+  // vs Full mode, so kernel choice never dominates a screening decision.
+  mol::Molecule rec = mol::generate_protein({.target_atoms = 500, .seed = 7});
+  mol::Molecule lig = mol::generate_protein({.target_atoms = 120, .seed = 8});
+  lig.transform(geom::RigidTransform::translate({15.0, 0, 0}));
+  mol::Molecule combined;
+  for (const auto& a : rec.atoms()) combined.add_atom(a);
+  const std::size_t ligand_begin = combined.size();
+  for (const auto& a : lig.atoms()) combined.add_atom(a);
+  const auto surf = surface::build_surface(combined, {.subdivision = 1});
+
+  std::vector<geom::RigidTransform> poses;
+  for (double shift : {0.0, 4.0, 12.0})
+    poses.push_back(geom::RigidTransform::translate({shift, 0, 0}));
+
+  const auto screen_epols = [&](simd::VectorParams vec) {
+    core::EngineConfig cfg;
+    cfg.approx.vector = vec;
+    core::ScoringSession session(combined, surf, cfg, {.subdivision = 1});
+    return session.score_poses(poses, ligand_begin,
+                               core::PoseMode::CrossScreen);
+  };
+
+  const auto ref =
+      screen_epols({simd::VectorIsa::Scalar, simd::Precision::Double});
+  for (simd::VectorIsa isa : {simd::VectorIsa::V128, simd::VectorIsa::V256,
+                              simd::VectorIsa::V512}) {
+    if (!simd::isa_available(isa)) continue;
+    for (simd::Precision prec :
+         {simd::Precision::Double, simd::Precision::Mixed}) {
+      const auto got = screen_epols({isa, prec});
+      ASSERT_EQ(got.size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_LT(std::abs(got[i].epol - ref[i].epol) /
+                      std::abs(ref[i].epol),
+                  0.007)
+            << simd::isa_name(isa) << " pose " << i;
+      }
+    }
   }
 }
