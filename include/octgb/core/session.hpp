@@ -93,6 +93,12 @@ class ScoringSession {
     return scratch_.plan_cache.stats;
   }
 
+  /// Total bytes this warm session keeps resident: the copied molecule and
+  /// surface, both octrees, the evaluation scratch (phase buffers, Epol
+  /// context, cached plan + Born radii), and the base-pose snapshots. This
+  /// is the unit the svc artifact cache's byte budget accounts in.
+  std::size_t footprint_bytes() const;
+
   /// Evaluate at the engine's current settings, reusing the session
   /// scratch — repeated calls on an unchanged shape allocate nothing.
   EvalResult evaluate(ws::Scheduler* sched = nullptr);

@@ -50,6 +50,11 @@
 #include "octgb/perf/stats.hpp"
 #include "octgb/sim/cluster.hpp"
 #include "octgb/surface/surface.hpp"
+#include "octgb/svc/admission.hpp"
+#include "octgb/svc/cache.hpp"
+#include "octgb/svc/digest.hpp"
+#include "octgb/svc/placement.hpp"
+#include "octgb/svc/service.hpp"
 #include "octgb/trace/metrics.hpp"
 #include "octgb/trace/trace.hpp"
 #include "octgb/util/args.hpp"

@@ -135,4 +135,55 @@ static_assert(sizeof(PlanCounters) ==
               "PlanCounters field added: update kFieldCount, operator+=, "
               "and trace::MetricsRegistry::add_plan");
 
+/// Multi-tenant scoring-service statistics (octgb/svc/service.hpp). Counts
+/// the admission, cache, and execution outcomes of a service's lifetime;
+/// exported under the `svc.*` metric names by
+/// trace::MetricsRegistry::add_svc (schema in OBSERVABILITY.md, operator
+/// handbook in docs/SERVICE.md).
+struct ServiceCounters {
+  std::uint64_t submitted = 0;       ///< jobs offered to submit()
+  std::uint64_t completed = 0;       ///< jobs finished (result delivered)
+  std::uint64_t rejected_tenant_queue_full = 0;  ///< per-tenant bound hit
+  std::uint64_t rejected_queue_full = 0;         ///< global bound hit
+  std::uint64_t rejected_too_large = 0;          ///< molecule over max_atoms
+  std::uint64_t rejected_shutting_down = 0;      ///< submitted past stop()
+  std::uint64_t preprocessed = 0;    ///< artifact builds (cache misses)
+  std::uint64_t evaluations = 0;     ///< single-energy evaluations executed
+  std::uint64_t poses_scored = 0;    ///< poses scored by screen jobs
+  std::uint64_t cache_hits = 0;      ///< submissions served by a warm artifact
+  std::uint64_t cache_misses = 0;    ///< submissions that built their artifact
+  std::uint64_t cache_evictions = 0; ///< artifacts evicted by the byte budget
+
+  /// Field count guard, mirroring WorkCounters.
+  static constexpr std::size_t kFieldCount = 12;
+
+  /// Total submissions turned away, over every rejection reason.
+  std::uint64_t rejected_total() const {
+    return rejected_tenant_queue_full + rejected_queue_full +
+           rejected_too_large + rejected_shutting_down;
+  }
+
+  /// Field-wise accumulation (per-service counters into fleet totals).
+  ServiceCounters& operator+=(const ServiceCounters& o) {
+    submitted += o.submitted;
+    completed += o.completed;
+    rejected_tenant_queue_full += o.rejected_tenant_queue_full;
+    rejected_queue_full += o.rejected_queue_full;
+    rejected_too_large += o.rejected_too_large;
+    rejected_shutting_down += o.rejected_shutting_down;
+    preprocessed += o.preprocessed;
+    evaluations += o.evaluations;
+    poses_scored += o.poses_scored;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    cache_evictions += o.cache_evictions;
+    return *this;
+  }
+};
+
+static_assert(sizeof(ServiceCounters) ==
+                  ServiceCounters::kFieldCount * sizeof(std::uint64_t),
+              "ServiceCounters field added: update kFieldCount, operator+=, "
+              "and trace::MetricsRegistry::add_svc");
+
 }  // namespace octgb::perf

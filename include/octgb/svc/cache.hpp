@@ -1,0 +1,124 @@
+#pragma once
+/// \file cache.hpp
+/// Content-addressed LRU artifact cache for the scoring service.
+///
+/// An *artifact* is one molecule's fully warmed evaluation state — the
+/// `core::ScoringSession` holding its octrees, reusable scratch, captured
+/// interaction plan and Born-result cache. Building one is the expensive
+/// cold path (surface trees + plan capture); every later submission with
+/// the same content digest (digest.hpp) skips all of it and goes straight
+/// to a warm `evaluate_at` / `score_poses`.
+///
+/// Semantics (operator handbook: docs/SERVICE.md):
+///
+///   - Keying — the full job digest: molecule content + surface/tree
+///     parameters + partition/arithmetic knobs. Same digest ⇒ identical
+///     trees, identical plan, identical result bits (DESIGN.md §2.8).
+///   - Sharing — `acquire()` returns a shared handle; concurrent misses on
+///     one digest build the artifact exactly once (later arrivals block on
+///     the entry's build latch instead of duplicating the preprocessing).
+///     Jobs executing on one artifact serialize on its `exec_mu` — the
+///     parallelism of the service comes from *different* molecules running
+///     on disjoint core subsets, not from racing one session.
+///   - Eviction — strict LRU under a byte budget. Entry cost is measured
+///     after the build (trees + scratch + plan + molecule + surface).
+///     Evicted entries are unlinked from the index; in-flight jobs holding
+///     the shared handle finish unharmed and the memory is reclaimed when
+///     the last handle drops. The most-recently-used entry is never
+///     evicted, so one oversized molecule degrades the cache to
+///     single-entry instead of thrashing to nothing.
+///
+/// Thread-safety: every public method is safe to call concurrently;
+/// svc_test exercises concurrent acquire/evict under TSan.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "octgb/core/session.hpp"
+#include "octgb/svc/digest.hpp"
+
+namespace octgb::svc {
+
+/// Aggregate cache statistics (exported as `svc.cache.*`, OBSERVABILITY.md).
+struct CacheStats {
+  std::uint64_t hits = 0;        ///< acquires served by a resident artifact
+  std::uint64_t misses = 0;      ///< acquires that had to build
+  std::uint64_t evictions = 0;   ///< entries unlinked by the byte budget
+  std::uint64_t coalesced = 0;   ///< misses that waited on another build
+  std::size_t bytes = 0;         ///< resident bytes (built entries)
+  std::size_t entries = 0;       ///< resident entry count
+};
+
+/// One cached artifact: the warm session plus its execution lock.
+struct Artifact {
+  Digest digest;                                  ///< cache key
+  std::unique_ptr<core::ScoringSession> session;  ///< warm state (post-build)
+  std::mutex exec_mu;     ///< jobs on this artifact serialize here
+  std::size_t bytes = 0;  ///< measured footprint (0 until built)
+  std::uint64_t uses = 0; ///< acquire count (monotonic)
+};
+
+/// Shared handle to a cached (or freshly built) artifact.
+using ArtifactPtr = std::shared_ptr<Artifact>;
+
+/// Builds an artifact's session on a cache miss; invoked outside the
+/// cache-wide lock so concurrent misses on *different* digests build in
+/// parallel.
+using ArtifactBuilder = std::function<std::unique_ptr<core::ScoringSession>()>;
+
+/// Content-hash-keyed LRU cache of warm scoring artifacts.
+class ArtifactCache {
+ public:
+  /// `budget_bytes` is the resident-set high-water target. The
+  /// most-recently-used entry is exempt from eviction, so the floor is one
+  /// resident artifact — a budget of 0 degrades the cache to
+  /// single-entry (repeat traffic on one hot molecule still hits).
+  explicit ArtifactCache(std::size_t budget_bytes);
+
+  ArtifactCache(const ArtifactCache&) = delete;             ///< non-copyable
+  ArtifactCache& operator=(const ArtifactCache&) = delete;  ///< non-assignable
+
+  /// Look up `d`; on a miss run `build` (outside the cache lock) and
+  /// insert the result. `hit` (optional) reports whether the artifact was
+  /// already resident *and built*. Never returns null: a failed build
+  /// propagates the builder's exception to every waiter.
+  ArtifactPtr acquire(const Digest& d, const ArtifactBuilder& build,
+                      bool* hit = nullptr);
+
+  /// True when `d` is resident and built (no LRU touch — for tests).
+  bool contains(const Digest& d) const;
+
+  /// Statistics snapshot.
+  CacheStats stats() const;
+
+  /// The configured byte budget.
+  std::size_t budget_bytes() const { return budget_; }
+
+  /// Drop every resident entry (in-flight handles stay valid).
+  void clear();
+
+ private:
+  struct Slot {
+    ArtifactPtr artifact;
+    bool built = false;             ///< build finished successfully
+    bool failed = false;            ///< build threw (slot is a tombstone)
+    std::list<Digest>::iterator lru;  ///< position in lru_ (MRU at front)
+  };
+
+  void touch(Slot& s);           // move to MRU; caller holds mu_
+  void evict_over_budget();      // caller holds mu_
+
+  const std::size_t budget_;
+  mutable std::mutex mu_;
+  std::condition_variable build_cv_;  ///< signaled when any build settles
+  std::map<Digest, Slot> index_;
+  std::list<Digest> lru_;  ///< front = most recent
+  CacheStats stats_;
+};
+
+}  // namespace octgb::svc

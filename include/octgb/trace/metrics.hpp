@@ -64,6 +64,9 @@ class MetricsRegistry {
   /// evaluation by convention; see OBSERVABILITY.md).
   void add_simd(const std::string& prefix, const char* isa_name, int lanes,
                 bool mixed);
+  /// Accumulate scoring-service counters under `prefix` ("svc.submitted"
+  /// … per the OBSERVABILITY.md `svc.*` schema).
+  void add_svc(const std::string& prefix, const perf::ServiceCounters& s);
   /// Accumulate scheduler statistics under `prefix`. Raw integers rather
   /// than ws::SchedulerStats so trace/ does not depend on ws/ (which
   /// depends back on trace/ for steal events).

@@ -72,6 +72,23 @@ ScoringSession::ScoringSession(const mol::Molecule& mol,
 
 ScoringSession::~ScoringSession() = default;
 
+std::size_t ScoringSession::footprint_bytes() const {
+  std::size_t bytes = mol_.footprint_bytes() + surf_.footprint_bytes() +
+                      engine_.footprint_bytes() + scratch_.footprint_bytes();
+  bytes += (base_atom_pos_.capacity() + base_q_pos_.capacity() +
+            base_q_normal_.capacity() + pose_pos_.capacity()) *
+           sizeof(geom::Vec3);
+  if (screen_) {
+    bytes += screen_->rec_engine.footprint_bytes() +
+             screen_->lig_engine.footprint_bytes() +
+             (screen_->rec_born_tree.capacity() +
+              screen_->lig_born_tree.capacity() +
+              screen_->lig_born_input.capacity()) *
+                 sizeof(double);
+  }
+  return bytes;
+}
+
 void ScoringSession::snapshot_base() {
   base_atom_pos_.resize(mol_.size());
   for (std::size_t i = 0; i < mol_.size(); ++i)

@@ -101,6 +101,23 @@ void MetricsRegistry::add_plan(const std::string& prefix,
   add(scoped("plan.validations", prefix), p.validations);
 }
 
+void MetricsRegistry::add_svc(const std::string& prefix,
+                              const perf::ServiceCounters& s) {
+  add(scoped("svc.submitted", prefix), s.submitted);
+  add(scoped("svc.completed", prefix), s.completed);
+  add(scoped("svc.rejected.tenant_queue_full", prefix),
+      s.rejected_tenant_queue_full);
+  add(scoped("svc.rejected.queue_full", prefix), s.rejected_queue_full);
+  add(scoped("svc.rejected.too_large", prefix), s.rejected_too_large);
+  add(scoped("svc.rejected.shutting_down", prefix), s.rejected_shutting_down);
+  add(scoped("svc.preprocessed", prefix), s.preprocessed);
+  add(scoped("svc.evaluations", prefix), s.evaluations);
+  add(scoped("svc.poses_scored", prefix), s.poses_scored);
+  add(scoped("svc.cache.hits", prefix), s.cache_hits);
+  add(scoped("svc.cache.misses", prefix), s.cache_misses);
+  add(scoped("svc.cache.evictions", prefix), s.cache_evictions);
+}
+
 void MetricsRegistry::add_simd(const std::string& prefix,
                                const char* isa_name, int lanes, bool mixed) {
   set(scoped("kernel.simd.lanes", prefix),

@@ -6,7 +6,10 @@ files exists on disk (anchors are stripped; http/https/mailto links are
 skipped — CI must not depend on the network). Exits nonzero and lists
 every broken link.
 
-Usage: tools/check_md_links.py README.md DESIGN.md ...
+Arguments may be markdown files or directories; a directory is walked
+recursively and every *.md under it is checked.
+
+Usage: tools/check_md_links.py README.md DESIGN.md docs/ ...
 """
 
 import os
@@ -46,9 +49,18 @@ def main(argv):
     if len(argv) < 2:
         print(__doc__)
         return 2
+    targets = []
     all_broken = []
+    for arg in argv[1:]:
+        if os.path.isdir(arg):
+            for root, _dirs, files in os.walk(arg):
+                targets.extend(
+                    os.path.join(root, f) for f in sorted(files)
+                    if f.endswith(".md"))
+        else:
+            targets.append(arg)
     checked = 0
-    for md in argv[1:]:
+    for md in targets:
         if not os.path.exists(md):
             all_broken.append((md, 0, "<file itself missing>"))
             continue
