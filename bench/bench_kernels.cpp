@@ -193,18 +193,18 @@ void BM_LeafBornKernel(benchmark::State& state, KernelVariant variant) {
       if (mixed) {
         const core::QPointBatchF qb = tq.node_batch_f(q);
         for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
-          acc += ks->born_integral_mixed(ta.soa_x[ai], ta.soa_y[ai],
-                                         ta.soa_z[ai], qb);
+          acc += ks->born_integral_mixed(ta.soa_x()[ai], ta.soa_y()[ai],
+                                         ta.soa_z()[ai], qb);
       } else if (ks != nullptr) {
         const core::QPointBatch qb = tq.node_batch(q);
         for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
-          acc += ks->born_integral(ta.soa_x[ai], ta.soa_y[ai],
-                                   ta.soa_z[ai], qb);
+          acc += ks->born_integral(ta.soa_x()[ai], ta.soa_y()[ai],
+                                   ta.soa_z()[ai], qb);
       } else if (batched) {
         const core::QPointBatch qb = tq.node_batch(q);
         for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
-          acc += core::batch_born_integral(ta.soa_x[ai], ta.soa_y[ai],
-                                           ta.soa_z[ai], qb);
+          acc += core::batch_born_integral(ta.soa_x()[ai], ta.soa_y()[ai],
+                                           ta.soa_z()[ai], qb);
       } else {
         const auto atom_pts = ta.tree.points();
         const auto q_pts = tq.tree.points();
@@ -251,19 +251,19 @@ void BM_LeafEpolKernel(benchmark::State& state, KernelVariant variant) {
       if (mixed) {
         const core::AtomBatchF ub = ta.node_batch_f(u, born_tree);
         for (std::uint32_t vi = v.begin; vi < v.end; ++vi)
-          acc += ks->epol_sum_mixed(ta.soa_x[vi], ta.soa_y[vi],
-                                    ta.soa_z[vi], ta.charge[vi],
+          acc += ks->epol_sum_mixed(ta.soa_x()[vi], ta.soa_y()[vi],
+                                    ta.soa_z()[vi], ta.charge[vi],
                                     born_tree[vi], ub);
       } else if (ks != nullptr) {
         const core::AtomBatch ub = ta.node_batch(u, born_tree);
         for (std::uint32_t vi = v.begin; vi < v.end; ++vi)
-          acc += ks->epol_sum(ta.soa_x[vi], ta.soa_y[vi], ta.soa_z[vi],
+          acc += ks->epol_sum(ta.soa_x()[vi], ta.soa_y()[vi], ta.soa_z()[vi],
                               ta.charge[vi], born_tree[vi], ub);
       } else if (batched) {
         const core::AtomBatch ub = ta.node_batch(u, born_tree);
         for (std::uint32_t vi = v.begin; vi < v.end; ++vi)
-          acc += core::batch_epol_sum(ta.soa_x[vi], ta.soa_y[vi],
-                                      ta.soa_z[vi], ta.charge[vi],
+          acc += core::batch_epol_sum(ta.soa_x()[vi], ta.soa_y()[vi],
+                                      ta.soa_z()[vi], ta.charge[vi],
                                       born_tree[vi], ub);
       } else {
         const auto pts = ta.tree.points();

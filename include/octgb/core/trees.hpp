@@ -20,21 +20,27 @@ namespace octgb::core {
 
 /// Atoms octree T_A with payloads in tree order.
 ///
-/// Besides the AoS point copy inside the octree, the tree caches the atom
-/// coordinates as three SoA planes (`soa_x/y/z`, tree order, built once at
-/// construction). Any node's atoms occupy the contiguous range
-/// [begin, end) of those planes, so a leaf's SoA batch for the batched
-/// kernels is just a set of subspans — no per-call gather.
+/// The SoA coordinate planes live inside the octree itself: the Morton
+/// builder writes them during its sort scatter, so the node order *is*
+/// the plane order and the former per-build gather here is gone
+/// (DESIGN.md §2.9). soa_x()/y()/z() are views of those planes; any
+/// node's atoms occupy the contiguous range [begin, end), so a leaf's SoA
+/// batch for the batched kernels is just a set of subspans.
 struct AtomsTree {
   octree::Octree tree;
   std::vector<double> charge;     ///< tree order
   std::vector<double> vdw_radius; ///< intrinsic radius, tree order
-  std::vector<double> soa_x, soa_y, soa_z;  ///< coordinates, tree order
   /// Float mirrors of the coordinate/charge planes for the mixed-precision
   /// kernels (simd/dispatch.hpp), rounded once per rebuild_derived() —
   /// the streamed operands of AtomBatchF. Born radii have no float plane
   /// (see AtomBatchF).
   std::vector<float> soa_xf, soa_yf, soa_zf, charge_f;
+
+  /// Coordinate planes, tree order (owned and maintained by the octree
+  /// across builds, refits and resorts).
+  std::span<const double> soa_x() const { return tree.soa_x(); }
+  std::span<const double> soa_y() const { return tree.soa_y(); }
+  std::span<const double> soa_z() const { return tree.soa_z(); }
 
   static AtomsTree build(const mol::Molecule& mol,
                          const octree::BuildParams& params = {});
@@ -62,9 +68,9 @@ struct AtomsTree {
   AtomBatch node_batch(const octree::Octree::Node& n,
                        std::span<const double> born_tree) const {
     return AtomBatch{
-        std::span<const double>(soa_x).subspan(n.begin, n.size()),
-        std::span<const double>(soa_y).subspan(n.begin, n.size()),
-        std::span<const double>(soa_z).subspan(n.begin, n.size()),
+        soa_x().subspan(n.begin, n.size()),
+        soa_y().subspan(n.begin, n.size()),
+        soa_z().subspan(n.begin, n.size()),
         std::span<const double>(charge).subspan(n.begin, n.size()),
         born_tree.subspan(n.begin, n.size())};
   }
@@ -98,12 +104,16 @@ struct QPointsTree {
   /// leaf entries are read by APPROX-INTEGRALS, but internal aggregates
   /// are cheap and used by tests.
   std::vector<geom::Vec3> node_wnormal;
-  std::vector<double> soa_x, soa_y, soa_z;        ///< positions, tree order
   std::vector<double> soa_wnx, soa_wny, soa_wnz;  ///< w·n, tree order
   /// Float mirrors for the mixed-precision Born kernel (QPointBatchF),
   /// rounded once per rebuild_derived().
   std::vector<float> soa_xf, soa_yf, soa_zf;
   std::vector<float> soa_wnxf, soa_wnyf, soa_wnzf;
+
+  /// Coordinate planes, tree order (owned by the octree; see AtomsTree).
+  std::span<const double> soa_x() const { return tree.soa_x(); }
+  std::span<const double> soa_y() const { return tree.soa_y(); }
+  std::span<const double> soa_z() const { return tree.soa_z(); }
 
   static QPointsTree build(const surface::Surface& surf,
                            const octree::BuildParams& params = {});
@@ -125,9 +135,9 @@ struct QPointsTree {
   /// SoA view of one node's quadrature points for batch_born_integral.
   QPointBatch node_batch(const octree::Octree::Node& n) const {
     return QPointBatch{
-        std::span<const double>(soa_x).subspan(n.begin, n.size()),
-        std::span<const double>(soa_y).subspan(n.begin, n.size()),
-        std::span<const double>(soa_z).subspan(n.begin, n.size()),
+        soa_x().subspan(n.begin, n.size()),
+        soa_y().subspan(n.begin, n.size()),
+        soa_z().subspan(n.begin, n.size()),
         std::span<const double>(soa_wnx).subspan(n.begin, n.size()),
         std::span<const double>(soa_wny).subspan(n.begin, n.size()),
         std::span<const double>(soa_wnz).subspan(n.begin, n.size())};

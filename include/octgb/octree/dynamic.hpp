@@ -77,6 +77,12 @@ class DynamicOctree {
     /// rebuild_radius_slack.
     double rebuild_radius_factor = 1.5;
     double rebuild_radius_slack = 1.0;  ///< Å
+    /// Use Octree::resort() instead of refit() on Morton-built trees:
+    /// each update re-sorts only the points whose grid cell changed,
+    /// restoring build-fresh quality (bit-identical to a rebuild on the
+    /// pinned grid) without the inflation drift that refits accumulate. A
+    /// full rebuild still happens when a point escapes the build grid.
+    bool enable_resort = false;
   };
 
   /// Build from the initial positions (input order).
@@ -88,12 +94,15 @@ class DynamicOctree {
   const Octree& tree() const { return tree_; }
 
   /// Move the points to `positions` (same length and input order as the
-  /// constructor). Performs an O(n) refit, or a full rebuild when the
-  /// quality threshold trips. Returns true when a rebuild happened.
+  /// constructor). Performs an O(n) refit (or, with enable_resort, a
+  /// moved-points re-sort), or a full rebuild when the quality threshold
+  /// trips or a point escapes the build grid. Returns true when a rebuild
+  /// happened.
   bool update(std::span<const geom::Vec3> positions);
 
   std::size_t refits() const { return refits_; }
   std::size_t rebuilds() const { return rebuilds_; }
+  std::size_t resorts() const { return resorts_; }
 
   /// Worst current leaf inflation: max over leaves of
   /// radius_now / max(radius_at_build, slack).
@@ -108,6 +117,7 @@ class DynamicOctree {
   RefitMonitor monitor_;
   std::size_t refits_ = 0;
   std::size_t rebuilds_ = 0;
+  std::size_t resorts_ = 0;
 };
 
 }  // namespace octgb::octree

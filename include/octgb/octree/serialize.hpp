@@ -8,7 +8,16 @@
 /// score many times across processes. Format: a small header (magic,
 /// version, counts) followed by the flat node array, permuted points and
 /// permutation — all little-endian PODs, validated on load.
+///
+/// Version 2 (DESIGN.md §2.9) appends the Morton state as two tagged
+/// sections after the v1 body: "mkey" (the sorted build-time keys, raw
+/// u64 span — memcpy in, memcpy out) and "mgrd" (the quantization grid as
+/// five doubles: origin xyz, cell size, bits). Both sections are always
+/// present with count 0 for trees without Morton state, so the stream
+/// layout stays deterministic. Version-1 streams (which never carried
+/// these sections) still load; writers always emit v2.
 
+#include <cstdint>
 #include <iosfwd>
 #include <span>
 #include <string>
@@ -56,5 +65,13 @@ void write_vec3_section(std::ostream& out, std::string_view tag,
 /// Read a section previously written with write_vec3_section.
 std::vector<geom::Vec3> read_vec3_section(std::istream& in,
                                           std::string_view tag);
+
+/// Write a tagged section of u64s (the v2 Morton-key span).
+void write_u64_section(std::ostream& out, std::string_view tag,
+                       std::span<const std::uint64_t> data);
+
+/// Read a section previously written with write_u64_section.
+std::vector<std::uint64_t> read_u64_section(std::istream& in,
+                                            std::string_view tag);
 
 }  // namespace octgb::octree

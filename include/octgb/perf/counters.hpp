@@ -186,4 +186,43 @@ static_assert(sizeof(ServiceCounters) ==
               "ServiceCounters field added: update kFieldCount, operator+=, "
               "and trace::MetricsRegistry::add_svc");
 
+/// Octree construction statistics (octree/octree.cpp). Each Octree carries
+/// its own instance (Octree::build_stats()) so concurrent service builds
+/// never share a counter; benches accumulate them into run totals. All
+/// counts are deterministic functions of the input and the BuildParams —
+/// bench_octree_build's CI gate asserts they stay flat across repeats.
+/// Exported under the `tree.build.*` metric names by
+/// trace::MetricsRegistry::add_tree_build (schema in OBSERVABILITY.md).
+struct TreeBuildCounters {
+  std::uint64_t morton_builds = 0;  ///< sort-based linear-octree builds
+  std::uint64_t legacy_builds = 0;  ///< recursive reference builds
+  std::uint64_t points_sorted = 0;  ///< (key, id) pairs sorted
+  std::uint64_t sort_passes = 0;    ///< radix permute passes (serial path)
+  std::uint64_t nodes_emitted = 0;  ///< nodes written (all builds/resorts)
+  std::uint64_t leaves_emitted = 0; ///< leaves among nodes_emitted
+  std::uint64_t resorts = 0;        ///< re-sort refits performed
+  std::uint64_t resort_moved = 0;   ///< points whose Morton key changed
+
+  /// Field count guard, mirroring WorkCounters.
+  static constexpr std::size_t kFieldCount = 8;
+
+  /// Field-wise accumulation (per-tree counters into run totals).
+  TreeBuildCounters& operator+=(const TreeBuildCounters& o) {
+    morton_builds += o.morton_builds;
+    legacy_builds += o.legacy_builds;
+    points_sorted += o.points_sorted;
+    sort_passes += o.sort_passes;
+    nodes_emitted += o.nodes_emitted;
+    leaves_emitted += o.leaves_emitted;
+    resorts += o.resorts;
+    resort_moved += o.resort_moved;
+    return *this;
+  }
+};
+
+static_assert(sizeof(TreeBuildCounters) ==
+                  TreeBuildCounters::kFieldCount * sizeof(std::uint64_t),
+              "TreeBuildCounters field added: update kFieldCount, "
+              "operator+=, and trace::MetricsRegistry::add_tree_build");
+
 }  // namespace octgb::perf

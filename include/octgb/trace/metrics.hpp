@@ -67,6 +67,11 @@ class MetricsRegistry {
   /// Accumulate scoring-service counters under `prefix` ("svc.submitted"
   /// … per the OBSERVABILITY.md `svc.*` schema).
   void add_svc(const std::string& prefix, const perf::ServiceCounters& s);
+  /// Accumulate octree-construction counters under `prefix`
+  /// ("tree.build.morton" … per the OBSERVABILITY.md `tree.build.*`
+  /// schema).
+  void add_tree_build(const std::string& prefix,
+                      const perf::TreeBuildCounters& t);
   /// Accumulate scheduler statistics under `prefix`. Raw integers rather
   /// than ws::SchedulerStats so trace/ does not depend on ws/ (which
   /// depends back on trace/ for steal events).

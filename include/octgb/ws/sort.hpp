@@ -1,0 +1,110 @@
+#pragma once
+/// \file sort.hpp
+/// Deterministic parallel merge sort on the work-stealing scheduler.
+///
+/// The Morton octree builder (octree/octree.cpp) sorts (key, id) pairs and
+/// requires the *same permutation on every run and every worker count* —
+/// tree topology feeds bit-identity gates downstream. This sort delivers
+/// that: the recursion splits depend only on the data (halving plus binary
+/// searches), never on the thread schedule, and the merge is stable, so
+/// the output is schedule-independent even with equivalent elements. When
+/// the comparator is a strict total order (no ties), the output is the
+/// unique sorted sequence and therefore also matches any serial sort with
+/// the same comparator.
+///
+/// Like the rest of the ws API, it degrades to serial (std::sort) when no
+/// scheduler is active on the calling thread.
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "octgb/ws/scheduler.hpp"
+
+namespace octgb::ws {
+
+namespace detail {
+
+/// Divide-and-conquer merge of two sorted runs into `out`. Stable: on
+/// ties, a's elements precede b's, matching std::merge. Splits the larger
+/// run at its midpoint and binary-searches the partner, so both halves can
+/// merge as parallel siblings.
+template <typename T, typename Less>
+void parallel_merge(const T* a, std::size_t na, const T* b, std::size_t nb,
+                    T* out, const Less& less, std::size_t grain) {
+  if (na + nb <= grain || na == 0 || nb == 0) {
+    std::merge(a, a + na, b, b + nb, out, less);
+    return;
+  }
+  std::size_t ma, mb;
+  if (na >= nb) {
+    ma = na / 2;
+    // b elements strictly less than the pivot go left; equals go right,
+    // after the pivot (which comes from a) — a-before-b preserved.
+    mb = static_cast<std::size_t>(std::lower_bound(b, b + nb, a[ma], less) -
+                                  b);
+  } else {
+    mb = nb / 2;
+    // a elements less-or-equal go left, ahead of the pivot from b.
+    ma = static_cast<std::size_t>(std::upper_bound(a, a + na, b[mb], less) -
+                                  a);
+  }
+  Scheduler::fork2(
+      [&] { parallel_merge(a, ma, b, mb, out, less, grain); },
+      [&] {
+        parallel_merge(a + ma, na - ma, b + mb, nb - mb, out + ma + mb, less,
+                       grain);
+      });
+}
+
+/// Recursive merge sort ping-ponging between `a` (the data) and `b` (the
+/// scratch buffer). The sorted result lands in `b` when `result_in_b`,
+/// else back in `a`.
+template <typename T, typename Less>
+void parallel_msort(T* a, T* b, std::size_t n, const Less& less,
+                    std::size_t grain, bool result_in_b) {
+  if (n <= grain) {
+    std::sort(a, a + n, less);
+    if (result_in_b) std::copy(a, a + n, b);
+    return;
+  }
+  const std::size_t mid = n / 2;
+  Scheduler::fork2(
+      [&] { parallel_msort(a, b, mid, less, grain, !result_in_b); },
+      [&] {
+        parallel_msort(a + mid, b + mid, n - mid, less, grain, !result_in_b);
+      });
+  // The halves landed in the opposite array; merge them back.
+  const T* src = result_in_b ? a : b;
+  T* dst = result_in_b ? b : a;
+  parallel_merge(src, mid, src + mid, n - mid, dst, less, grain);
+}
+
+}  // namespace detail
+
+/// Sort `items` in place. Parallel (merge sort over the active scheduler)
+/// when one is active and the input is large enough to split; serial
+/// std::sort otherwise. Deterministic across worker counts (see file
+/// comment). Allocates one scratch buffer of items.size() on the parallel
+/// path.
+template <typename T, typename Less = std::less<T>>
+void parallel_sort(std::span<T> items, Less less = {}) {
+  const std::size_t n = items.size();
+  Scheduler* sched = Scheduler::current();
+  const int workers = sched ? sched->num_workers() : 1;
+  // ~8 stealable leaf sorts per worker, but never blocks so small that the
+  // fork overhead dominates the leaf std::sort.
+  const std::size_t grain = std::max<std::size_t>(
+      std::size_t{1} << 11, n / (8 * static_cast<std::size_t>(workers)));
+  if (workers <= 1 || n <= grain) {
+    std::sort(items.begin(), items.end(), less);
+    return;
+  }
+  std::vector<T> scratch(n);
+  detail::parallel_msort(items.data(), scratch.data(), n, less, grain,
+                         /*result_in_b=*/false);
+}
+
+}  // namespace octgb::ws

@@ -65,9 +65,9 @@ struct IntegralsPass {
     if (a.is_leaf()) {
       if (recorder) recorder->near(a_id, q_id);
       if (kernel == KernelKind::Batched && vec != nullptr) {
-        const double* __restrict ax = ta.soa_x.data();
-        const double* __restrict ay = ta.soa_y.data();
-        const double* __restrict az = ta.soa_z.data();
+        const double* __restrict ax = ta.soa_x().data();
+        const double* __restrict ay = ta.soa_y().data();
+        const double* __restrict az = ta.soa_z().data();
         if (mixed) {
           const QPointBatchF qb = tq.node_batch_f(q);
           for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
@@ -82,9 +82,9 @@ struct IntegralsPass {
         }
       } else if (kernel == KernelKind::Batched) {
         const QPointBatch qb = tq.node_batch(q);
-        const double* __restrict ax = ta.soa_x.data();
-        const double* __restrict ay = ta.soa_y.data();
-        const double* __restrict az = ta.soa_z.data();
+        const double* __restrict ax = ta.soa_x().data();
+        const double* __restrict ay = ta.soa_y().data();
+        const double* __restrict az = ta.soa_z().data();
         for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
           const double s =
               approx_math

@@ -51,9 +51,9 @@ struct DualPass {
   void exact_pair(const Octree::Node& a, const Octree::Node& q,
                   DualCounts& lc) const {
     if (kernel == KernelKind::Batched && vec != nullptr) {
-      const double* __restrict ax = ta.soa_x.data();
-      const double* __restrict ay = ta.soa_y.data();
-      const double* __restrict az = ta.soa_z.data();
+      const double* __restrict ax = ta.soa_x().data();
+      const double* __restrict ay = ta.soa_y().data();
+      const double* __restrict az = ta.soa_z().data();
       if (mixed) {
         const QPointBatchF qb = tq.node_batch_f(q);
         for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
@@ -68,9 +68,9 @@ struct DualPass {
       }
     } else if (kernel == KernelKind::Batched) {
       const QPointBatch qb = tq.node_batch(q);
-      const double* __restrict ax = ta.soa_x.data();
-      const double* __restrict ay = ta.soa_y.data();
-      const double* __restrict az = ta.soa_z.data();
+      const double* __restrict ax = ta.soa_x().data();
+      const double* __restrict ay = ta.soa_y().data();
+      const double* __restrict az = ta.soa_z().data();
       for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
         const double s =
             approx_math ? batch_born_integral_fast(ax[ai], ay[ai], az[ai], qb)

@@ -219,9 +219,9 @@ struct EpolPass {
   /// scalar loop (cross-tree calls never hit r ≈ 0 — the sets are
   /// disjoint bodies).
   double exact_leaf_batched(const Octree::Node& u, EpolCounts& lc) const {
-    const double* __restrict vx = tv.soa_x.data();
-    const double* __restrict vy = tv.soa_y.data();
-    const double* __restrict vz = tv.soa_z.data();
+    const double* __restrict vx = tv.soa_x().data();
+    const double* __restrict vy = tv.soa_y().data();
+    const double* __restrict vz = tv.soa_z().data();
     double sum = 0.0;
     if (vec != nullptr && mixed) {
       const AtomBatchF ub = ta.node_batch_f(u, born);

@@ -285,9 +285,9 @@ void InteractionPlan::replay(const AtomsTree& ta, const QPointsTree& tq,
                  ++k) {
               const Octree::Node& q = tq.tree.node(near_q_sorted_[k]);
               if (batched && vec != nullptr) {
-                const double* __restrict ax = ta.soa_x.data();
-                const double* __restrict ay = ta.soa_y.data();
-                const double* __restrict az = ta.soa_z.data();
+                const double* __restrict ax = ta.soa_x().data();
+                const double* __restrict ay = ta.soa_y().data();
+                const double* __restrict az = ta.soa_z().data();
                 if (mixed) {
                   const QPointBatchF qb = tq.node_batch_f(q);
                   for (std::uint32_t ai = a.begin; ai < a.end; ++ai)
@@ -303,9 +303,9 @@ void InteractionPlan::replay(const AtomsTree& ta, const QPointsTree& tq,
                 }
               } else if (batched) {
                 const QPointBatch qb = tq.node_batch(q);
-                const double* __restrict ax = ta.soa_x.data();
-                const double* __restrict ay = ta.soa_y.data();
-                const double* __restrict az = ta.soa_z.data();
+                const double* __restrict ax = ta.soa_x().data();
+                const double* __restrict ay = ta.soa_y().data();
+                const double* __restrict az = ta.soa_z().data();
                 for (std::uint32_t ai = a.begin; ai < a.end; ++ai) {
                   atom_s[ai] +=
                       approx_math

@@ -8,7 +8,7 @@ namespace octgb::core {
 namespace {
 
 /// Round a double plane into its float mirror (mixed-precision streams).
-void narrow_plane(const std::vector<double>& src, std::vector<float>& dst) {
+void narrow_plane(std::span<const double> src, std::vector<float>& dst) {
   dst.resize(src.size());
   for (std::size_t i = 0; i < src.size(); ++i)
     dst[i] = static_cast<float>(src[i]);
@@ -42,21 +42,18 @@ void AtomsTree::refit(std::span<const geom::Vec3> positions) {
 }
 
 void AtomsTree::rebuild_derived() {
-  soa_x.resize(tree.num_points());
-  soa_y.resize(tree.num_points());
-  soa_z.resize(tree.num_points());
-  split_soa(tree.points(), soa_x, soa_y, soa_z);
-  narrow_plane(soa_x, soa_xf);
-  narrow_plane(soa_y, soa_yf);
-  narrow_plane(soa_z, soa_zf);
+  // The double coordinate planes live in the octree (written during the
+  // build's sort scatter and refreshed by refit/resort) — no gather here;
+  // only the float mirrors are derived.
+  narrow_plane(tree.soa_x(), soa_xf);
+  narrow_plane(tree.soa_y(), soa_yf);
+  narrow_plane(tree.soa_z(), soa_zf);
   narrow_plane(charge, charge_f);
 }
 
 std::size_t AtomsTree::footprint_bytes() const {
   return tree.footprint_bytes() + charge.capacity() * sizeof(double) +
          vdw_radius.capacity() * sizeof(double) +
-         (soa_x.capacity() + soa_y.capacity() + soa_z.capacity()) *
-             sizeof(double) +
          (soa_xf.capacity() + soa_yf.capacity() + soa_zf.capacity() +
           charge_f.capacity()) *
              sizeof(float);
@@ -108,17 +105,15 @@ void QPointsTree::rebuild_derived() {
     }
     node_wnormal[id] = s;
   }
-  soa_x.resize(tree.num_points());
-  soa_y.resize(tree.num_points());
-  soa_z.resize(tree.num_points());
-  split_soa(tree.points(), soa_x, soa_y, soa_z);
+  // Coordinate planes come straight from the octree (see AtomsTree); the
+  // weighted-normal payload still splits into its own SoA planes here.
   soa_wnx.resize(wnormal.size());
   soa_wny.resize(wnormal.size());
   soa_wnz.resize(wnormal.size());
   split_soa(wnormal, soa_wnx, soa_wny, soa_wnz);
-  narrow_plane(soa_x, soa_xf);
-  narrow_plane(soa_y, soa_yf);
-  narrow_plane(soa_z, soa_zf);
+  narrow_plane(tree.soa_x(), soa_xf);
+  narrow_plane(tree.soa_y(), soa_yf);
+  narrow_plane(tree.soa_z(), soa_zf);
   narrow_plane(soa_wnx, soa_wnxf);
   narrow_plane(soa_wny, soa_wnyf);
   narrow_plane(soa_wnz, soa_wnzf);
@@ -128,8 +123,7 @@ std::size_t QPointsTree::footprint_bytes() const {
   return tree.footprint_bytes() + wnormal.capacity() * sizeof(geom::Vec3) +
          weight.capacity() * sizeof(double) +
          node_wnormal.capacity() * sizeof(geom::Vec3) +
-         (soa_x.capacity() + soa_y.capacity() + soa_z.capacity() +
-          soa_wnx.capacity() + soa_wny.capacity() + soa_wnz.capacity()) *
+         (soa_wnx.capacity() + soa_wny.capacity() + soa_wnz.capacity()) *
              sizeof(double) +
          (soa_xf.capacity() + soa_yf.capacity() + soa_zf.capacity() +
           soa_wnxf.capacity() + soa_wnyf.capacity() + soa_wnzf.capacity()) *

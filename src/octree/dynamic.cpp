@@ -71,6 +71,18 @@ double DynamicOctree::worst_leaf_inflation() const {
 bool DynamicOctree::update(std::span<const geom::Vec3> positions) {
   OCTGB_CHECK_MSG(positions.size() == tree_.num_points(),
                   "point count changed; build a new DynamicOctree");
+  if (params_.enable_resort && tree_.has_morton()) {
+    if (tree_.resort(positions, params_.build)) {
+      // Topology may have changed; the monitor's per-node baseline must
+      // follow. Quality is build-fresh, so no should_rebuild() check.
+      monitor_.rebase(tree_);
+      ++resorts_;
+      return false;
+    }
+    // A point escaped the build grid's cube: re-anchor with a full build.
+    rebuild(positions);
+    return true;
+  }
   refit(positions);
   if (monitor_.should_rebuild(tree_)) {
     rebuild(positions);

@@ -13,7 +13,11 @@ namespace octgb::octree {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x6f637467622d6f74ULL;  // "octgb-ot"
-constexpr std::uint32_t kVersion = 1;
+// v1: header + nodes + points + permutation.
+// v2: v1 body followed by the "mkey" (sorted Morton keys, u64) and "mgrd"
+//     (quantization grid, 5 doubles) tagged sections — count 0 when the
+//     tree has no Morton state. Readers accept both; writers emit v2.
+constexpr std::uint32_t kVersion = 2;
 
 struct Header {
   std::uint64_t magic = kMagic;
@@ -80,6 +84,18 @@ void write_octree(const Octree& tree, std::ostream& out) {
   out.write(reinterpret_cast<const char*>(tree.point_index().data()),
             static_cast<std::streamsize>(tree.point_index().size() *
                                          sizeof(std::uint32_t)));
+  // v2 Morton state. The keys go out as a raw span (memcpy-grade); the
+  // grid goes out as explicit doubles rather than a struct dump so no
+  // padding bytes ever reach the stream (round-trips stay bit-exact).
+  write_u64_section(out, "mkey", tree.keys());
+  if (tree.has_morton()) {
+    const MortonGrid& g = tree.grid();
+    const double gv[5] = {g.origin.x, g.origin.y, g.origin.z, g.cell,
+                          static_cast<double>(g.bits)};
+    write_f64_section(out, "mgrd", gv);
+  } else {
+    write_f64_section(out, "mgrd", {});
+  }
   OCTGB_CHECK_MSG(static_cast<bool>(out), "octree write failed");
 }
 
@@ -87,7 +103,7 @@ Octree read_octree(std::istream& in) {
   Header h;
   read_pod(in, h);
   OCTGB_CHECK_MSG(h.magic == kMagic, "not an octgb octree stream");
-  OCTGB_CHECK_MSG(h.version == kVersion,
+  OCTGB_CHECK_MSG(h.version == 1 || h.version == kVersion,
                   "unsupported octree version " << h.version);
   OCTGB_CHECK_MSG(h.num_nodes <= (std::uint64_t{1} << 32) &&
                       h.num_points <= (std::uint64_t{1} << 32),
@@ -98,8 +114,30 @@ Octree read_octree(std::istream& in) {
   read_vec(in, nodes, h.num_nodes);
   read_vec(in, points, h.num_points);
   read_vec(in, index, h.num_points);
+  std::vector<std::uint64_t> keys;
+  MortonGrid grid;
+  if (h.version >= 2) {
+    keys = read_u64_section(in, "mkey");
+    const std::vector<double> gv = read_f64_section(in, "mgrd");
+    OCTGB_CHECK_MSG(gv.size() == 5 || gv.empty(),
+                    "octree grid section has " << gv.size()
+                                               << " values, expected 5");
+    OCTGB_CHECK_MSG(keys.empty() == gv.empty(),
+                    "octree stream pairs keys and grid inconsistently");
+    if (!gv.empty()) {
+      grid.origin = {gv[0], gv[1], gv[2]};
+      grid.cell = gv[3];
+      grid.bits = static_cast<std::uint8_t>(gv[4]);
+      OCTGB_CHECK_MSG(grid.bits >= 1 && grid.bits <= kMortonMaxBits &&
+                          grid.cell > 0.0 &&
+                          gv[4] == static_cast<double>(grid.bits),
+                      "octree stream has a malformed Morton grid");
+      OCTGB_CHECK_MSG(keys.size() == h.num_points,
+                      "octree key section disagrees with the point count");
+    }
+  }
   Octree t = Octree::from_parts(std::move(nodes), std::move(points),
-                                std::move(index));
+                                std::move(index), std::move(keys), grid);
   OCTGB_CHECK_MSG(t.validate(), "corrupt octree stream");
   return t;
 }
@@ -168,6 +206,16 @@ std::vector<double> read_f64_section(std::istream& in, std::string_view tag) {
 void write_vec3_section(std::ostream& out, std::string_view tag,
                         std::span<const geom::Vec3> data) {
   write_section(out, tag, data);
+}
+
+void write_u64_section(std::ostream& out, std::string_view tag,
+                       std::span<const std::uint64_t> data) {
+  write_section(out, tag, data);
+}
+
+std::vector<std::uint64_t> read_u64_section(std::istream& in,
+                                            std::string_view tag) {
+  return read_section<std::uint64_t>(in, tag);
 }
 
 std::vector<geom::Vec3> read_vec3_section(std::istream& in,

@@ -118,6 +118,18 @@ void MetricsRegistry::add_svc(const std::string& prefix,
   add(scoped("svc.cache.evictions", prefix), s.cache_evictions);
 }
 
+void MetricsRegistry::add_tree_build(const std::string& prefix,
+                                     const perf::TreeBuildCounters& t) {
+  add(scoped("tree.build.morton", prefix), t.morton_builds);
+  add(scoped("tree.build.legacy", prefix), t.legacy_builds);
+  add(scoped("tree.build.points_sorted", prefix), t.points_sorted);
+  add(scoped("tree.build.sort_passes", prefix), t.sort_passes);
+  add(scoped("tree.build.nodes", prefix), t.nodes_emitted);
+  add(scoped("tree.build.leaves", prefix), t.leaves_emitted);
+  add(scoped("tree.build.resorts", prefix), t.resorts);
+  add(scoped("tree.build.resort_moved", prefix), t.resort_moved);
+}
+
 void MetricsRegistry::add_simd(const std::string& prefix,
                                const char* isa_name, int lanes, bool mixed) {
   set(scoped("kernel.simd.lanes", prefix),

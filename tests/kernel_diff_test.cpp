@@ -85,9 +85,9 @@ TEST(KernelDiff, RawBornKernelMatchesScalarOnRealLeaves) {
       for (std::size_t ai = 0; ai < std::min<std::size_t>(ta.num_atoms(), 64);
            ++ai) {
         const double batched = core::batch_born_integral(
-            ta.soa_x[ai], ta.soa_y[ai], ta.soa_z[ai], qb);
-        const double scalar = scalar_born_integral(ta.soa_x[ai], ta.soa_y[ai],
-                                                   ta.soa_z[ai], qb);
+            ta.soa_x()[ai], ta.soa_y()[ai], ta.soa_z()[ai], qb);
+        const double scalar = scalar_born_integral(ta.soa_x()[ai], ta.soa_y()[ai],
+                                                   ta.soa_z()[ai], qb);
         EXPECT_NEAR(batched, scalar, 1e-9 * (1.0 + std::abs(scalar)))
             << "seed " << seed << " leaf " << q_id << " atom " << ai;
       }
@@ -113,10 +113,10 @@ TEST(KernelDiff, RawEpolKernelMatchesScalarOnRealLeaves) {
       const std::uint32_t vi = ta.tree.node(leaves[(li + 1) % leaves.size()])
                                    .begin;
       const double batched =
-          core::batch_epol_sum(ta.soa_x[vi], ta.soa_y[vi], ta.soa_z[vi],
+          core::batch_epol_sum(ta.soa_x()[vi], ta.soa_y()[vi], ta.soa_z()[vi],
                                ta.charge[vi], born_tree[vi], ub);
       const double scalar =
-          scalar_epol_sum(ta.soa_x[vi], ta.soa_y[vi], ta.soa_z[vi],
+          scalar_epol_sum(ta.soa_x()[vi], ta.soa_y()[vi], ta.soa_z()[vi],
                           ta.charge[vi], born_tree[vi], ub);
       EXPECT_NEAR(batched, scalar, 1e-10 * (1.0 + std::abs(scalar)))
           << "seed " << seed << " leaf " << leaves[li];

@@ -250,6 +250,203 @@ TEST(OctreeSerialize, RejectsGarbageAndTruncation) {
   EXPECT_THROW(octree::read_octree(truncated), octgb::util::CheckError);
 }
 
+// ---- Morton location codes ---------------------------------------------------
+
+#include "octgb/octree/morton.hpp"
+
+namespace {
+
+constexpr std::uint32_t kCoordMax = (1u << octree::kMortonMaxBits) - 1;
+
+std::uint32_t random_coord(util::Xoshiro256& rng) {
+  return static_cast<std::uint32_t>(rng()) & kCoordMax;
+}
+
+}  // namespace
+
+TEST(Morton, SpreadCompactRoundTripsEvery21BitValue) {
+  util::Xoshiro256 rng(31);
+  std::vector<std::uint64_t> values = {0, 1, kCoordMax, kCoordMax - 1,
+                                       1u << 20, 0x155555, 0x0aaaaa};
+  for (int i = 0; i < 2000; ++i) values.push_back(random_coord(rng));
+  for (const std::uint64_t v : values) {
+    EXPECT_EQ(octree::morton_compact(octree::morton_spread(v)), v);
+    // Spread bits stay inside the every-third-bit mask.
+    EXPECT_EQ(octree::morton_spread(v) & ~0x1249249249249249ULL, 0u);
+  }
+}
+
+TEST(Morton, EncodeDecodeIdentityIncludingBoundaryCoords) {
+  util::Xoshiro256 rng(32);
+  std::vector<octree::MortonCoords> coords = {
+      {0, 0, 0},          {kCoordMax, kCoordMax, kCoordMax},
+      {kCoordMax, 0, 0},  {0, kCoordMax, 0},
+      {0, 0, kCoordMax},  {1, 2, 4},
+      {1u << 20, 1, 0}};
+  for (int i = 0; i < 2000; ++i)
+    coords.push_back({random_coord(rng), random_coord(rng), random_coord(rng)});
+  for (const auto& c : coords) {
+    const std::uint64_t key = octree::morton_encode(c.x, c.y, c.z);
+    EXPECT_EQ(key >> 63, 0u);  // 3×21 bits leave the top bit clear
+    EXPECT_EQ(octree::morton_decode(key), c);
+  }
+}
+
+TEST(Morton, DigitMatchesLegacyOctantNumbering) {
+  // The whole linear-octree construction rests on this: the 3-bit digit at
+  // level L is exactly the (x | y<<1 | z<<2) octant index the recursive
+  // partitioner would pick at that depth.
+  util::Xoshiro256 rng(33);
+  const int bits = octree::kMortonMaxBits;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t x = random_coord(rng), y = random_coord(rng),
+                        z = random_coord(rng);
+    const std::uint64_t key = octree::morton_encode(x, y, z);
+    for (int level = 0; level < bits; ++level) {
+      const int shift = bits - 1 - level;
+      const unsigned expected = ((x >> shift) & 1u) | (((y >> shift) & 1u) << 1)
+                                | (((z >> shift) & 1u) << 2);
+      EXPECT_EQ(octree::morton_digit(key, level, bits), expected);
+    }
+  }
+}
+
+TEST(Morton, CommonLevelsCountsSharedPrefixDigits) {
+  const int bits = octree::kMortonMaxBits;
+  const std::uint64_t a = octree::morton_encode(5, 9, 2);
+  EXPECT_EQ(octree::morton_common_levels(a, a, bits), bits);
+  // Flip the x-bit of the top-level digit: diverges immediately.
+  const std::uint64_t top = octree::morton_encode(1u << 20, 0, 0);
+  EXPECT_EQ(octree::morton_common_levels(a, a ^ top, bits), 0);
+  // Flip the deepest digit only: agreement on all but the last level.
+  EXPECT_EQ(octree::morton_common_levels(a, a ^ 1u, bits), bits - 1);
+}
+
+TEST(Morton, SortedKeyOrderIsDepthFirstOctantOrder) {
+  // On a built tree: every node's key range shares the node's digit path,
+  // and sibling ranges appear in strictly increasing digit order — sorted
+  // key order *is* depth-first traversal order.
+  const auto pts = random_points(2500, 34);
+  const Octree t = Octree::build(pts);
+  ASSERT_TRUE(t.has_morton());
+  const auto keys = t.keys();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  const int bits = t.grid().bits;
+  for (const auto& n : t.nodes()) {
+    if (n.is_leaf()) continue;
+    unsigned prev_digit = 0;
+    for (std::uint8_t c = 0; c < n.child_count; ++c) {
+      const auto& ch = t.node(n.first_child + c);
+      // Within one child, every key carries the same digit at the
+      // parent's depth; across siblings those digits strictly increase.
+      const unsigned digit =
+          octree::morton_digit(keys[ch.begin], n.depth, bits);
+      EXPECT_EQ(octree::morton_digit(keys[ch.end - 1], n.depth, bits), digit);
+      if (c > 0) {
+        EXPECT_GT(digit, prev_digit);
+      }
+      prev_digit = digit;
+    }
+  }
+}
+
+TEST(MortonGridT, KeyOfCellCenterRoundTrips) {
+  const auto pts = random_points(600, 35);
+  const octree::MortonGrid g = octree::MortonGrid::of(pts, 12);
+  for (const auto& p : pts) {
+    const std::uint64_t k = g.key(p);
+    EXPECT_EQ(g.key(g.cell_center(k)), k);
+  }
+}
+
+TEST(MortonGridT, QuantizeClampsOutOfCubeCoordinates) {
+  const std::vector<geom::Vec3> pts = {{0, 0, 0}, {10, 10, 10}};
+  const octree::MortonGrid g = octree::MortonGrid::of(pts, 8);
+  EXPECT_TRUE(g.contains({5, 5, 5}));
+  EXPECT_FALSE(g.contains({11, 5, 5}));
+  EXPECT_EQ(g.quantize(g.origin.x - 1.0, g.origin.x), 0u);
+  const double side_len = g.cell * g.side();
+  EXPECT_EQ(g.quantize(g.origin.x + side_len + 1.0, g.origin.x),
+            g.side() - 1);
+  // Exact corner coordinates land in the first / last cell.
+  EXPECT_EQ(g.quantize(g.origin.x, g.origin.x), 0u);
+  EXPECT_LE(g.quantize(g.origin.x + side_len, g.origin.x), g.side() - 1);
+}
+
+TEST(Morton, CoincidentPointsShareOneKeyAndOneLeaf) {
+  // Equal keys can never be separated by more digits: the Morton builder
+  // makes the run a leaf immediately (no depth-capped degenerate chains).
+  std::vector<geom::Vec3> pts(100, {1, 1, 1});
+  BuildParams params;
+  params.max_leaf_size = 8;
+  const Octree t = Octree::build(pts, params);
+  EXPECT_TRUE(t.validate());
+  ASSERT_EQ(t.nodes().size(), 1u);  // root itself is the leaf
+  EXPECT_EQ(t.root().size(), 100u);
+}
+
+TEST(OctreeSerialize, V2RoundTripsMortonStateBitExact) {
+  const auto pts = random_points(900, 36);
+  const Octree original = Octree::build(pts);
+  ASSERT_TRUE(original.has_morton());
+  std::stringstream buf;
+  octree::write_octree(original, buf);
+  const Octree loaded = octree::read_octree(buf);
+  EXPECT_TRUE(loaded.validate());
+  ASSERT_TRUE(loaded.has_morton());
+  EXPECT_EQ(loaded.grid(), original.grid());
+  ASSERT_EQ(loaded.keys().size(), original.keys().size());
+  EXPECT_TRUE(std::equal(loaded.keys().begin(), loaded.keys().end(),
+                         original.keys().begin()));
+  // The SoA planes are derived state but must come back identical too.
+  EXPECT_TRUE(std::equal(loaded.soa_x().begin(), loaded.soa_x().end(),
+                         original.soa_x().begin()));
+  // A loaded tree keeps its re-sort capability (grid + keys intact).
+  std::vector<geom::Vec3> moved(pts.begin(), pts.end());
+  moved[7].x += 0.5;
+  Octree mutable_loaded = loaded;
+  EXPECT_TRUE(mutable_loaded.resort(moved, {}));
+  EXPECT_TRUE(mutable_loaded.validate());
+}
+
+TEST(OctreeSerialize, LegacyTreeRoundTripsThroughV2WithoutMortonState) {
+  const auto pts = random_points(400, 37);
+  const Octree legacy = Octree::build_legacy(pts);
+  ASSERT_FALSE(legacy.has_morton());
+  std::stringstream buf;
+  octree::write_octree(legacy, buf);
+  const Octree loaded = octree::read_octree(buf);
+  EXPECT_TRUE(loaded.validate());
+  EXPECT_FALSE(loaded.has_morton());
+  EXPECT_TRUE(loaded.keys().empty());
+  EXPECT_EQ(loaded.nodes().size(), legacy.nodes().size());
+}
+
+TEST(OctreeSerialize, V1StreamStillLoads) {
+  // Synthesize a v1 stream from a v2 one: a Morton-less tree's v2 tail is
+  // exactly two empty tagged sections (24-byte headers, no payload), so
+  // stripping them and patching the version field back to 1 reproduces the
+  // old format byte for byte.
+  const auto pts = random_points(350, 38);
+  const Octree legacy = Octree::build_legacy(pts);
+  std::stringstream buf;
+  octree::write_octree(legacy, buf);
+  std::string bytes = buf.str();
+  ASSERT_GT(bytes.size(), 48u);
+  bytes.resize(bytes.size() - 48);  // drop the "mkey" + "mgrd" sections
+  bytes[8] = 1;                     // version field (after the u64 magic)
+  std::stringstream v1(bytes);
+  const Octree loaded = octree::read_octree(v1);
+  EXPECT_TRUE(loaded.validate());
+  EXPECT_FALSE(loaded.has_morton());
+  ASSERT_EQ(loaded.nodes().size(), legacy.nodes().size());
+  for (std::size_t i = 0; i < legacy.nodes().size(); ++i) {
+    EXPECT_EQ(loaded.node(i).centroid, legacy.node(i).centroid);
+    EXPECT_EQ(loaded.node(i).begin, legacy.node(i).begin);
+    EXPECT_EQ(loaded.node(i).end, legacy.node(i).end);
+  }
+}
+
 TEST(OctreeSerialize, FileRoundTrip) {
   const auto pts = random_points(300, 23);
   const Octree t = Octree::build(pts);

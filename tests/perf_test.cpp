@@ -103,6 +103,22 @@ TEST(WorkCounters, SumCoversEveryField) {
     EXPECT_EQ(*fields[i], 2 * ((i + 1) * 1000 + i)) << "field index " << i;
 }
 
+// Same guard for the octree-construction counters.
+TEST(TreeBuildCounters, SumCoversEveryField) {
+  static_assert(TreeBuildCounters::kFieldCount == 8,
+                "new TreeBuildCounters field: extend this test's field list");
+  TreeBuildCounters a;
+  std::uint64_t* const fields[TreeBuildCounters::kFieldCount] = {
+      &a.morton_builds, &a.legacy_builds,  &a.points_sorted, &a.sort_passes,
+      &a.nodes_emitted, &a.leaves_emitted, &a.resorts,       &a.resort_moved};
+  for (std::size_t i = 0; i < TreeBuildCounters::kFieldCount; ++i)
+    *fields[i] = (i + 1) * 1000 + i;  // all distinct, all nonzero
+  TreeBuildCounters b = a;
+  a += b;
+  for (std::size_t i = 0; i < TreeBuildCounters::kFieldCount; ++i)
+    EXPECT_EQ(*fields[i], 2 * ((i + 1) * 1000 + i)) << "field index " << i;
+}
+
 TEST(WorkCounters, TotalInteractionsExcludesTraversalAndScheduler) {
   // Interaction counters are included...
   WorkCounters w;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -139,7 +140,8 @@ TEST(Persist, PreprocessedRoundTripsBitForBit) {
   EXPECT_EQ(loaded.atoms.charge, pre.atoms.charge);
   EXPECT_EQ(loaded.qpoints.weight, pre.qpoints.weight);
   // Derived planes are recomputed, not serialized — they must still match.
-  EXPECT_EQ(loaded.atoms.soa_x, pre.atoms.soa_x);
+  // (Coordinate planes live inside the octree now; compare the spans.)
+  EXPECT_TRUE(std::ranges::equal(loaded.atoms.soa_x(), pre.atoms.soa_x()));
   EXPECT_EQ(loaded.qpoints.soa_wnx, pre.qpoints.soa_wnx);
 
   // An engine adopting the loaded artifact evaluates identically.

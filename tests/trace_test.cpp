@@ -343,6 +343,28 @@ TEST_F(TraceMetrics, AddWorkCoversEveryCounterField) {
   EXPECT_EQ(m.get_int("grid.cells"), 20u);
 }
 
+TEST_F(TraceMetrics, AddTreeBuildCoversEveryCounterField) {
+  perf::TreeBuildCounters t;
+  t.morton_builds = 1;
+  t.legacy_builds = 2;
+  t.points_sorted = 3;
+  t.sort_passes = 4;
+  t.nodes_emitted = 5;
+  t.leaves_emitted = 6;
+  t.resorts = 7;
+  t.resort_moved = 8;
+  trace::MetricsRegistry m;
+  m.add_tree_build("atoms", t);
+  // One metric per TreeBuildCounters field (kFieldCount guards the struct).
+  EXPECT_EQ(m.size(), perf::TreeBuildCounters::kFieldCount);
+  EXPECT_EQ(m.get_int("tree.build.morton.atoms"), 1u);
+  EXPECT_EQ(m.get_int("tree.build.sort_passes.atoms"), 4u);
+  EXPECT_EQ(m.get_int("tree.build.resort_moved.atoms"), 8u);
+  m.add_tree_build("", t);
+  m.add_tree_build("", t);
+  EXPECT_EQ(m.get_int("tree.build.nodes"), 10u);
+}
+
 TEST_F(TraceMetrics, AddSimdFollowsTheKernelSchema) {
   trace::MetricsRegistry m;
   // One call per evaluation: lanes/mixed reflect the latest resolution
