@@ -48,12 +48,29 @@ std::string encode_checkpoint(const SuperstepCheckpoint& c);
 util::Expected<SuperstepCheckpoint, std::string> decode_checkpoint(
     std::string_view bytes);
 
-/// Simulated stable storage shared by every rank of a Runtime::run. A
-/// thread-safe key → bytes map: survives simulated rank death (it lives on
-/// the launching thread's stack), models a parallel filesystem the real
-/// cluster would checkpoint to. All operations are linearizable.
+/// Stable storage shared by every rank. Two modes:
+///
+///   * in-memory (default ctor) — a thread-safe key → bytes map that
+///     survives *simulated* rank death (it lives on the launching
+///     thread's stack); the PR-1..8 in-process harness.
+///   * directory-backed (ctor with a path) — each key is a file written
+///     via util::io::write_file_atomic (tmp + rename), so it survives
+///     *real* rank death across a process boundary: a rank SIGKILLed
+///     mid-put leaves either the old value or the complete new one,
+///     never a torn file. This is what the out-of-process elastic runs
+///     under tools/octgb_launch use; every rank process opens the same
+///     job-directory store.
+///
+/// All operations are linearizable (the map by mutex, the directory by
+/// rename atomicity).
 class CheckpointStore {
  public:
+  /// In-memory store.
+  CheckpointStore() = default;
+
+  /// Directory-backed store rooted at `dir` (created if absent).
+  explicit CheckpointStore(std::string dir);
+
   /// Store `value` under `key`, replacing any previous value.
   void put(const std::string& key, std::string value);
 
@@ -85,8 +102,14 @@ class CheckpointStore {
   std::uint64_t hits() const;
   std::uint64_t misses() const;
 
+  /// Directory of a file-backed store; empty for the in-memory mode.
+  const std::string& directory() const { return dir_; }
+
  private:
+  std::string file_of(const std::string& key) const;
+
   mutable std::mutex mu_;
+  std::string dir_;  ///< empty → in-memory mode
   std::unordered_map<std::string, std::string> map_;
   mutable std::uint64_t puts_ = 0;
   mutable std::uint64_t hits_ = 0;

@@ -28,6 +28,8 @@
 
 namespace octgb::core {
 
+class CheckpointStore;  // core/checkpoint.hpp
+
 /// Hybrid run configuration.
 struct HybridConfig {
   int ranks = 2;             ///< P
@@ -56,6 +58,32 @@ struct HybridResult {
 
 /// Run the Fig. 4 algorithm on a prebuilt engine.
 HybridResult run_hybrid(const GBEngine& engine, const HybridConfig& config);
+
+// --- per-rank entry points (transport-agnostic) ----------------------------
+//
+// The rank bodies of run_hybrid / run_hybrid_elastic, factored out so they
+// run over *any* mpp transport: the in-thread Runtime (the wrappers below)
+// or a real rank process under tools/octgb_launch, where each process
+// calls one of these with its ProcessRuntime Comm. The static work
+// division is recomputed inside from (engine, config) — deterministic, so
+// every rank derives identical segments, exactly like the paper's
+// replicated-data processes.
+
+/// What one rank knows at the end of a run.
+struct RankOutcome {
+  double epol = 0.0;               ///< the globally reduced energy
+  std::vector<double> born_tree;   ///< full Born array, tree order
+  perf::WorkCounters work;
+  // Elastic-only recovery accounting (zero for the plain hybrid body).
+  std::uint64_t tasks_computed = 0;
+  std::uint64_t tasks_recomputed = 0;
+  std::uint64_t control_retries = 0;
+};
+
+/// One rank of the plain Fig. 4 pipeline. `comm.size()` must equal
+/// `config.ranks`.
+RankOutcome run_hybrid_rank(const GBEngine& engine,
+                            const HybridConfig& config, mpp::Comm& comm);
 
 // --- elastic (self-healing) driver ----------------------------------------
 //
@@ -91,6 +119,11 @@ struct ElasticConfig {
   double control_deadline_ms = 20.0;
   /// Re-plan attempts per phase before declaring the run wedged.
   int max_attempts = 10000;
+  /// External stable storage. When set, run_hybrid_elastic checkpoints
+  /// there (e.g. a file-backed store shared by real rank processes)
+  /// instead of a run-local in-memory store. The store is NOT cleared:
+  /// re-running over a partially full store resumes from it.
+  CheckpointStore* store = nullptr;
 };
 
 /// Outcome of an elastic run, with recovery accounting.
@@ -122,5 +155,14 @@ struct ElasticResult {
 /// the bit-identical-recovery contract faults_test enforces.
 ElasticResult run_hybrid_elastic(const GBEngine& engine,
                                  const ElasticConfig& config);
+
+/// One rank of the elastic pipeline, checkpointing into `store` (which
+/// every rank must share — the in-thread wrapper passes one object, real
+/// rank processes pass file-backed stores over the same directory).
+/// `comm.size()` must equal `config.hybrid.ranks`. Throws
+/// mpp::RankKilledError (in-thread) when a fault-plan kill fires.
+RankOutcome run_elastic_rank(const GBEngine& engine,
+                             const ElasticConfig& config, mpp::Comm& comm,
+                             CheckpointStore& store);
 
 }  // namespace octgb::core

@@ -1,40 +1,48 @@
 #pragma once
 /// \file mpp.hpp
-/// In-process message-passing runtime — the reproduction's stand-in for
-/// MPI/MVAPICH2 on the Lonestar4 cluster (see DESIGN.md §2).
+/// Message-passing runtime — the reproduction's stand-in for MPI/MVAPICH2
+/// on the Lonestar4 cluster (see DESIGN.md §2).
 ///
-/// Ranks are std::threads inside one process. The API mirrors the MPI
-/// subset the paper's algorithm needs: blocking tagged send/recv plus
-/// Barrier, Bcast, Reduce, Allreduce, Gatherv, Allgatherv — all built on
-/// top of point-to-point messages with binomial-tree algorithms, exactly
-/// like a real MPI implementation, so measured message counts and byte
-/// volumes are faithful. A Topology maps ranks to nodes/sockets so traffic
-/// is classified intra- vs inter-node for the cost model.
+/// The API mirrors the MPI subset the paper's algorithm needs: blocking
+/// tagged send/recv plus Barrier, Bcast, Reduce, Allreduce, Gatherv,
+/// Allgatherv — all built on top of point-to-point messages with
+/// binomial-tree algorithms, exactly like a real MPI implementation, so
+/// measured message counts and byte volumes are faithful. A Topology maps
+/// ranks to nodes/sockets so traffic is classified intra- vs inter-node
+/// for the cost model.
 ///
-/// Failure model (DESIGN.md §2.5): failures are first-class events, not
-/// hangs. A seeded faults::FaultInjector (Runtime::Options::fault_plan)
-/// can drop/delay/duplicate/corrupt messages and stall or kill ranks on a
-/// reproducible schedule. Receives gain deadline and retry-with-backoff
-/// variants returning Expected<..., CommError>; an optional per-message
-/// CRC turns in-flight corruption into a detectable ChecksumMismatch; and
-/// a shared failure detector (dead flags + per-rank heartbeats + a global
-/// failure epoch) makes blocking receives and collectives *fail fast*
-/// with PeerDead instead of deadlocking when a peer dies.
+/// Comm is transport-agnostic (mpp/transport.hpp): the same communicator
+/// runs over the in-thread transport below (ranks are std::threads inside
+/// one process, Runtime::run) or over the out-of-process transport
+/// (mpp/proc.hpp: shared-memory rings + TCP between real rank processes
+/// started by tools/octgb_launch).
+///
+/// Failure model (DESIGN.md §2.5, §2.10): failures are first-class events,
+/// not hangs. In-thread, a seeded faults::FaultInjector
+/// (Runtime::Options::fault_plan) can drop/delay/duplicate/corrupt
+/// messages and stall or kill ranks on a reproducible schedule;
+/// out-of-process, the launcher SIGKILLs real rank processes and the wire
+/// can genuinely drop connections. Either way: receives gain deadline and
+/// retry-with-backoff variants returning Expected<..., CommError>;
+/// per-message CRCs turn corruption into a detectable ChecksumMismatch;
+/// and a shared failure detector (dead flags + per-rank heartbeats + a
+/// global failure epoch) makes blocking receives and collectives *fail
+/// fast* with PeerDead instead of deadlocking when a peer dies — a
+/// retrying receive even aborts its remaining backoff window the moment
+/// the failure epoch advances.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <cstring>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "octgb/mpp/faults.hpp"
+#include "octgb/mpp/transport.hpp"
 #include "octgb/perf/machine_model.hpp"
 #include "octgb/trace/trace.hpp"
 #include "octgb/util/check.hpp"
@@ -42,67 +50,12 @@
 
 namespace octgb::mpp {
 
-/// Maps ranks onto cluster nodes. Rank r lives on node r / ranks_per_node —
-/// the block placement ibrun uses on Lonestar4.
-struct Topology {
-  int ranks_per_node = 12;
-
-  int node_of(int rank) const { return rank / ranks_per_node; }
-  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
-};
-
-namespace detail {
-struct SharedState;
-}
-
-// --- failure semantics ------------------------------------------------------
-
-/// Why a recoverable communication operation failed.
-enum class CommStatus : std::uint8_t {
-  Timeout,           ///< deadline expired with no matching message
-  PeerDead,          ///< the source rank died (failure detector)
-  ChecksumMismatch,  ///< per-message CRC did not verify (corruption)
-};
-
-/// Stable display name for a CommStatus ("timeout", ...).
-const char* comm_status_name(CommStatus status);
-
-/// A failed communication operation: what went wrong and the (src, tag,
-/// bytes) triple that identifies the message being waited for.
-struct CommError {
-  CommStatus status = CommStatus::Timeout;
-  int rank = -1;           ///< the rank the operation ran on
-  int src = -1;            ///< expected source rank
-  int tag = 0;             ///< expected tag
-  std::size_t bytes = 0;   ///< expected payload size
-
-  /// Human-readable description including the (src, tag, bytes) triple.
-  std::string describe() const;
-};
-
-/// Result of a recoverable receive.
-using CommResult = util::Expected<util::Unit, CommError>;
-
-/// Thrown by the *blocking* communication API when a failure-semantics
-/// error occurs (deadline expiry under Options::default_deadline_ms, dead
-/// peer, checksum mismatch). Carries the structured CommError.
-class CommException : public std::runtime_error {
- public:
-  explicit CommException(CommError error)
-      : std::runtime_error(error.describe()), error_(error) {}
-
-  /// The structured error.
-  const CommError& error() const { return error_; }
-
- private:
-  CommError error_;
-};
-
 /// Thrown inside a rank when a FaultPlan kill rule fires: the in-process
 /// equivalent of the OS killing an MPI process. The runtime marks the rank
 /// dead in the failure detector *before* throwing, treats an escaped
 /// RankKilledError as a simulated process exit (not a global abort), and
-/// surviving ranks observe the death through PeerDead errors.
+/// surviving ranks observe the death through PeerDead errors. (The
+/// out-of-process transport needs no analogue — its kills are SIGKILLs.)
 class RankKilledError : public std::runtime_error {
  public:
   RankKilledError(int rank, std::uint64_t op)
@@ -124,9 +77,23 @@ struct RetryPolicy {
   int attempts = 3;
   double deadline_ms = 100.0;
   double backoff = 2.0;
+  /// Abort the remaining attempts (and any in-progress wait) as soon as
+  /// the failure epoch advances past its value at the first attempt: a
+  /// death anywhere in the job means the caller should re-plan now, not
+  /// after the backoff window drains. PeerDead always fails fast.
+  bool abort_on_epoch_advance = true;
 };
 
-/// Per-rank communicator handle. Valid only inside Runtime::run.
+class Comm;
+
+namespace detail {
+/// Bind a Comm to a transport endpoint (used by the runtimes; Comm's
+/// constructor stays private so user code cannot fabricate handles).
+Comm make_comm(Endpoint* endpoint, int rank, int size);
+}  // namespace detail
+
+/// Per-rank communicator handle. Valid only inside Runtime::run (thread
+/// transport) or ProcessRuntime::run (out-of-process transport).
 class Comm {
  public:
   int rank() const { return rank_; }
@@ -138,8 +105,8 @@ class Comm {
   /// Blocking tagged send of raw bytes.
   void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
   /// Blocking tagged receive; message size must equal `bytes`. Throws
-  /// CommException on timeout (when Options::default_deadline_ms is set),
-  /// dead peer, or checksum mismatch.
+  /// CommException on timeout (when the transport's default deadline is
+  /// set), dead peer, checksum mismatch, or lost connection.
   void recv_bytes(int src, int tag, void* data, std::size_t bytes);
 
   /// Receive with an explicit deadline (milliseconds; <= 0 waits
@@ -150,7 +117,9 @@ class Comm {
 
   /// Receive with retry-with-backoff: re-arms the deadline per attempt
   /// (survives injected delays and corrupt copies followed by clean
-  /// duplicates). Timeout/ChecksumMismatch retry; PeerDead fails fast.
+  /// duplicates). Timeout/ChecksumMismatch retry; PeerDead fails fast,
+  /// and (per RetryPolicy::abort_on_epoch_advance) so does any advance of
+  /// the failure epoch mid-wait.
   CommResult recv_bytes_retry(int src, int tag, void* data,
                               std::size_t bytes, const RetryPolicy& policy);
 
@@ -179,8 +148,8 @@ class Comm {
   }
 
   /// Complete a posted receive (blocks until the message arrives; honours
-  /// Options::default_deadline_ms like recv_bytes). Waiting twice on the
-  /// same request is a contract violation (CheckError).
+  /// the transport's default deadline like recv_bytes). Waiting twice on
+  /// the same request is a contract violation (CheckError).
   void wait(Request& request);
 
   /// Complete a posted receive with an explicit deadline. On success the
@@ -235,8 +204,9 @@ class Comm {
 
   // --- failure detector ---------------------------------------------------
 
-  /// True when `rank` has not (yet) died. Exact in this in-process
-  /// runtime: a killed rank flips its dead flag before unwinding.
+  /// True when `rank` has not (yet) died. Exact in the in-thread runtime
+  /// (a killed rank flips its dead flag before unwinding); out-of-process
+  /// it reflects the launcher's reap of the rank's real process.
   bool is_alive(int rank) const;
 
   /// Ascending list of currently-alive ranks (a consistent snapshot at
@@ -269,6 +239,8 @@ class Comm {
   // With the failure detector active, a collective involving a dead rank
   // fails fast (CommException{PeerDead}) instead of hanging; the elastic
   // driver (core/hybrid.hpp) catches and re-plans over the survivors.
+  // Collective internals inherit per-hop CRC protection from the
+  // transport (opt-in checksum in-thread, always-on on the wire).
 
   void barrier();
 
@@ -315,21 +287,25 @@ class Comm {
 
  private:
   friend class Runtime;
-  Comm(detail::SharedState* state, int rank, int size)
-      : state_(state), rank_(rank), size_(size) {}
+  friend Comm detail::make_comm(detail::Endpoint* endpoint, int rank,
+                                int size);
+  Comm(detail::Endpoint* endpoint, int rank, int size)
+      : ep_(endpoint), rank_(rank), size_(size) {}
 
   void account_send(int dest, std::size_t bytes);
   int next_coll_tag();
 
   /// Heartbeat + injector checkpoint run at the top of every comm op;
-  /// returns the op's index. Applies scheduled stalls and kills (the
-  /// latter by marking this rank dead and throwing RankKilledError).
+  /// returns the op's index. In-thread, applies scheduled stalls and
+  /// kills (the latter by marking this rank dead and throwing
+  /// RankKilledError).
   std::uint64_t fault_point();
   /// The deadline/retry receive core shared by all receive flavours.
+  /// `abort_epoch` >= 0 aborts the wait once the failure epoch passes it.
   CommResult recv_impl(int src, int tag, void* data, std::size_t bytes,
-                       double deadline_ms);
+                       double deadline_ms, int abort_epoch = -1);
 
-  detail::SharedState* state_;
+  detail::Endpoint* ep_;
   int rank_;
   int size_;
   int coll_seq_ = 0;
@@ -338,7 +314,8 @@ class Comm {
   perf::CommCounters counters_;
 };
 
-/// Runs a function on P ranks, each on its own thread.
+/// Runs a function on P ranks, each on its own thread (the in-thread
+/// transport). For real rank processes see mpp/proc.hpp.
 class Runtime {
  public:
   struct Options {
@@ -351,7 +328,8 @@ class Runtime {
     double default_deadline_ms = 0.0;
     /// Attach a CRC-32 to every message and verify it on receive;
     /// injected corruption then surfaces as ChecksumMismatch instead of
-    /// silently wrong payloads.
+    /// silently wrong payloads. Collective internals are covered too —
+    /// every hop of a bcast/reduce/gatherv is a checksummed message.
     bool checksum = false;
     /// Seeded fault schedule executed by a deterministic FaultInjector;
     /// empty = no faults (and zero overhead on the message path).

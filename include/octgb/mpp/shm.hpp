@@ -1,0 +1,153 @@
+#pragma once
+/// \file shm.hpp
+/// Shared-memory half of the out-of-process transport (DESIGN.md §2.10).
+///
+/// The launcher maps one file-backed segment per job; every rank process
+/// attaches the same mapping. The segment holds:
+///
+///   * a control block — job shape, failure epoch, per-rank dead flags and
+///     heartbeats. This is the job's failure-detector ground truth: the
+///     launcher (the only reliable observer of a SIGKILLed process) marks
+///     deaths here, and on a single machine it doubles as the stand-in for
+///     the out-of-band control network a real cluster would use;
+///   * one SPSC byte ring per *ordered same-node rank pair* — the
+///     intra-node data path. Cross-node pairs carry no ring; their data
+///     goes over TCP (mpp/proc.hpp).
+///
+/// The rings are lock-free byte pipes with monotonic head/tail cursors
+/// (std::atomic over shared memory is valid here: the lock-free integral
+/// specializations are address-free). They are SIGKILL-safe by
+/// construction: a producer publishes bytes only by storing `tail` *after*
+/// the memcpy, so a process dying mid-push leaves at worst an unpublished
+/// suffix — never a torn frame — and holds no lock a survivor could block
+/// on. Frames larger than the ring flow through in pieces; the consumer
+/// reassembles them from its private staging buffer.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "octgb/mpp/transport.hpp"
+
+namespace octgb::mpp::shm {
+
+/// Failure-detector slot for one rank, cache-line separated so heartbeat
+/// stores from different ranks never false-share.
+struct alignas(64) RankSlot {
+  std::atomic<std::int32_t> dead;
+  std::atomic<std::uint64_t> heartbeat;
+};
+
+/// Job-wide control block at offset 0 of the segment.
+struct ControlHeader {
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::int32_t ranks = 0;
+  std::int32_t ranks_per_node = 0;
+  std::int32_t reserved = 0;
+  std::uint64_t ring_bytes = 0;
+  double default_deadline_ms = 0.0;
+  std::atomic<std::int32_t> failure_epoch;
+  std::atomic<std::int32_t> attached;
+};
+
+/// View over one SPSC ring (header + buffer) inside the segment. Exactly
+/// one producer process and one consumer process per ring; a Ring object
+/// is a cheap non-owning handle.
+class Ring {
+ public:
+  /// Ring cursors, each on its own cache line. Monotonic byte counts:
+  /// readable = tail - head, writable = capacity - readable.
+  struct Header {
+    alignas(64) std::atomic<std::uint64_t> head;  ///< consumer cursor
+    alignas(64) std::atomic<std::uint64_t> tail;  ///< producer cursor
+  };
+
+  Ring() = default;
+  Ring(Header* header, std::uint8_t* buffer, std::uint64_t capacity)
+      : h_(header), buf_(buffer), capacity_(capacity) {}
+
+  bool valid() const { return h_ != nullptr; }
+  std::uint64_t capacity() const { return capacity_; }
+
+  /// Bytes ready to pop / space ready to push (racy snapshots; exact for
+  /// the respective single consumer / single producer).
+  std::size_t readable() const;
+  std::size_t writable() const;
+
+  /// Push up to `bytes` (possibly less, possibly 0 when full); returns
+  /// the count actually written. Producer side only.
+  std::size_t try_push(const void* data, std::size_t bytes);
+
+  /// Pop up to `max_bytes` into `out`; returns the count actually read.
+  /// Consumer side only.
+  std::size_t try_pop(void* out, std::size_t max_bytes);
+
+  /// Bytes needed in the segment for a ring of `capacity` payload bytes.
+  static std::size_t footprint(std::uint64_t capacity) {
+    return sizeof(Header) + capacity;
+  }
+
+ private:
+  Header* h_ = nullptr;
+  std::uint8_t* buf_ = nullptr;
+  std::uint64_t capacity_ = 0;
+};
+
+/// One mapped transport segment. The launcher create()s it before forking;
+/// every rank attach()es it read-write. Movable, unmaps on destruction.
+class Segment {
+ public:
+  struct Options {
+    int ranks = 1;
+    Topology topology;
+    std::uint64_t ring_bytes = std::uint64_t{1} << 20;
+    double default_deadline_ms = 0.0;
+  };
+
+  Segment() = default;
+  Segment(Segment&& other) noexcept;
+  Segment& operator=(Segment&& other) noexcept;
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+  ~Segment();
+
+  /// Create (truncate) the segment file and initialize the layout.
+  static Segment create(const std::string& path, const Options& options);
+
+  /// Map an existing segment; validates magic/version/shape.
+  static Segment attach(const std::string& path);
+
+  bool valid() const { return base_ != nullptr; }
+  int ranks() const;
+  Topology topology() const;
+  double default_deadline_ms() const;
+
+  /// Failure detector (the launcher and every rank share these).
+  bool is_alive(int rank) const;
+  int failure_epoch() const;
+  std::uint64_t heartbeat_of(int rank) const;
+  void beat(int rank);
+
+  /// Mark `rank` dead and advance the failure epoch (idempotent: a rank
+  /// already dead bumps nothing). Called by the launcher when it reaps or
+  /// SIGKILLs a rank, and by the transport when reconnection gives up.
+  void mark_dead(int rank);
+
+  /// Count of processes that have attach()ed so far (rendezvous aid).
+  int attached() const;
+
+  /// The src→dst data ring; invalid() Ring for cross-node pairs or
+  /// src == dst (those pairs have no shm path).
+  Ring ring(int src, int dst) const;
+
+ private:
+  ControlHeader* header() const;
+  RankSlot* slots() const;
+
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace octgb::mpp::shm

@@ -1,7 +1,15 @@
 #include "octgb/core/checkpoint.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "octgb/util/check.hpp"
+#include "octgb/util/io.hpp"
 #include "octgb/util/strings.hpp"
 
 namespace octgb::core {
@@ -115,37 +123,88 @@ util::Expected<SuperstepCheckpoint, std::string> decode_checkpoint(
   return Result::success(std::move(c));
 }
 
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  OCTGB_CHECK_MSG(!dir_.empty(), "file-backed store needs a directory");
+  if (::mkdir(dir_.c_str(), 0755) != 0)
+    OCTGB_CHECK_MSG(errno == EEXIST,
+                    "cannot create checkpoint directory " << dir_);
+}
+
+std::string CheckpointStore::file_of(const std::string& key) const {
+  // Keys are "phase/task"; flatten the separator so each key is one file.
+  std::string name = key;
+  for (char& c : name)
+    if (c == '/') c = '_';
+  return dir_ + "/" + name + ".ck";
+}
+
 void CheckpointStore::put(const std::string& key, std::string value) {
   std::lock_guard<std::mutex> lock(mu_);
-  map_[key] = std::move(value);
+  if (dir_.empty()) {
+    map_[key] = std::move(value);
+  } else {
+    OCTGB_CHECK_MSG(util::io::write_file_atomic(file_of(key), value),
+                    "checkpoint write failed for " << key);
+  }
   ++puts_;
 }
 
 std::optional<std::string> CheckpointStore::get(
     const std::string& key) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(key);
-  if (it == map_.end()) {
+  if (dir_.empty()) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+  }
+  std::string bytes;
+  if (!util::io::read_file(file_of(key), bytes)) {
     ++misses_;
     return std::nullopt;
   }
   ++hits_;
-  return it->second;
+  return bytes;
 }
 
 bool CheckpointStore::contains(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return map_.find(key) != map_.end();
+  if (dir_.empty()) return map_.find(key) != map_.end();
+  return ::access(file_of(key).c_str(), F_OK) == 0;
 }
 
 void CheckpointStore::clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  map_.clear();
+  if (dir_.empty()) {
+    map_.clear();
+    return;
+  }
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() > 3 && name.compare(name.size() - 3, 3, ".ck") == 0)
+      std::remove((dir_ + "/" + name).c_str());
+  }
+  ::closedir(d);
 }
 
 std::size_t CheckpointStore::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
+  if (dir_.empty()) return map_.size();
+  std::size_t n = 0;
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return 0;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() > 3 && name.compare(name.size() - 3, 3, ".ck") == 0)
+      ++n;
+  }
+  ::closedir(d);
+  return n;
 }
 
 std::string CheckpointStore::key_of(std::string_view phase,

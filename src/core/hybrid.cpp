@@ -11,36 +11,152 @@
 
 namespace octgb::core {
 
+namespace {
+
+/// The static Fig. 4 work division: identical on every rank (the paper's
+/// replicated-data processes each compute it locally, and so does every
+/// rank process under the out-of-process transport).
+struct Division {
+  std::vector<Segment> q_segments;
+  std::vector<Segment> a_leaf_segments;
+  std::vector<Segment> atom_segments;
+};
+
+Division make_division(const GBEngine& engine, const HybridConfig& config) {
+  const int P = config.ranks;
+  const auto& q_leaves = engine.q_leaves();
+  const auto& a_leaves = engine.a_leaves();
+  Division d;
+  d.q_segments.resize(P);
+  d.a_leaf_segments.resize(P);
+  d.atom_segments.resize(P);
+  if (config.weighted_division) {
+    auto wq = weighted_leaf_segments(engine.qpoints_tree().tree, q_leaves, P);
+    auto wa = weighted_leaf_segments(engine.atoms_tree().tree, a_leaves, P);
+    for (int i = 0; i < P; ++i) {
+      d.q_segments[i] = wq[i];
+      d.a_leaf_segments[i] = wa[i];
+    }
+  } else {
+    for (int i = 0; i < P; ++i) {
+      d.q_segments[i] = even_segment(q_leaves.size(), P, i);
+      d.a_leaf_segments[i] = even_segment(a_leaves.size(), P, i);
+    }
+  }
+  for (int i = 0; i < P; ++i)
+    d.atom_segments[i] = even_segment(engine.num_atoms(), P, i);
+  return d;
+}
+
+}  // namespace
+
+RankOutcome run_hybrid_rank(const GBEngine& engine,
+                            const HybridConfig& config, mpp::Comm& comm) {
+  OCTGB_CHECK_MSG(comm.size() == config.ranks,
+                  "comm has " << comm.size() << " ranks, config wants "
+                              << config.ranks);
+  const int r = comm.rank();
+  const auto n_nodes = engine.num_ta_nodes();
+  const auto n_atoms = engine.num_atoms();
+  const Division div = make_division(engine, config);
+
+  RankOutcome out;
+  perf::WorkCounters& work = out.work;
+
+  // Per-rank scheduler: OCT_MPI+CILK when p > 1.
+  std::unique_ptr<ws::Scheduler> sched;
+  if (config.threads_per_rank > 1)
+    sched = std::make_unique<ws::Scheduler>(config.threads_per_rank);
+
+  std::vector<double> node_s(n_nodes, 0.0);
+  std::vector<double> atom_s(n_atoms, 0.0);
+  std::vector<double> born_tree(n_atoms, 0.0);
+  double epol_part = 0.0;
+
+  auto step2 = [&] {
+    engine.phase_integrals(div.q_segments[r], node_s, atom_s, work);
+  };
+  auto step4 = [&] {
+    engine.phase_push(div.atom_segments[r], node_s, atom_s, born_tree,
+                      work);
+  };
+
+  // Step 2 (node-based division of T_Q leaves).
+  {
+    OCTGB_SPAN("hybrid.integrals");
+    if (sched)
+      sched->run(step2);
+    else
+      step2();
+  }
+
+  // Step 3: gather everyone's partial integrals.
+  {
+    OCTGB_SPAN("hybrid.allreduce.integrals");
+    comm.allreduce_sum(std::span<double>(node_s));
+    comm.allreduce_sum(std::span<double>(atom_s));
+  }
+
+  // Step 4: Born radii for my atom segment.
+  {
+    OCTGB_SPAN("hybrid.push");
+    if (sched)
+      sched->run(step4);
+    else
+      step4();
+  }
+
+  // Step 5: exchange Born radii. Atom segments are contiguous in tree
+  // order and rank-ordered, so the concatenation is the full array.
+  {
+    OCTGB_SPAN("hybrid.allgather.born");
+    const auto seg = div.atom_segments[r];
+    std::vector<double> all = comm.allgatherv(std::span<const double>(
+        born_tree.data() + seg.begin, seg.size()));
+    OCTGB_CHECK(all.size() == n_atoms);
+    born_tree = std::move(all);
+  }
+
+  // Step 6: partial energy (node- or atom-based division).
+  {
+    OCTGB_SPAN("hybrid.epol");
+    const EpolContext ctx = engine.build_epol_context(born_tree);
+    auto step6 = [&] {
+      epol_part = config.atom_based_epol
+                      ? engine.phase_epol_atom_based(
+                            ctx, born_tree, div.atom_segments[r], work)
+                      : engine.phase_epol(ctx, born_tree,
+                                          div.a_leaf_segments[r], work);
+    };
+    if (sched)
+      sched->run(step6);
+    else
+      step6();
+  }
+
+  // Step 7: total energy on every rank (Allreduce, as in Fig. 4 the
+  // master accumulates; allreduce also covers the bcast the examples
+  // want).
+  {
+    OCTGB_SPAN("hybrid.reduce.epol");
+    out.epol = comm.allreduce_sum(epol_part);
+  }
+
+  if (sched) {
+    const auto st = sched->stats();
+    work.spawns += st.spawns;
+    work.steals += st.steals;
+  }
+  out.born_tree = std::move(born_tree);
+  return out;
+}
+
 HybridResult run_hybrid(const GBEngine& engine, const HybridConfig& config) {
   if (engine.config().trace.enabled) trace::Tracer::instance().set_enabled(true);
   OCTGB_CHECK_MSG(config.ranks >= 1, "need at least one rank");
   OCTGB_CHECK_MSG(config.threads_per_rank >= 1, "need at least one thread");
 
   const int P = config.ranks;
-  const auto n_nodes = engine.num_ta_nodes();
-  const auto n_atoms = engine.num_atoms();
-  const auto& q_leaves = engine.q_leaves();
-  const auto& a_leaves = engine.a_leaves();
-
-  // Precompute the static division (identical on every rank in the paper;
-  // computed once here since it is deterministic).
-  std::vector<Segment> q_segments(P), a_leaf_segments(P), atom_segments(P);
-  if (config.weighted_division) {
-    auto wq = weighted_leaf_segments(engine.qpoints_tree().tree, q_leaves, P);
-    auto wa = weighted_leaf_segments(engine.atoms_tree().tree, a_leaves, P);
-    for (int i = 0; i < P; ++i) {
-      q_segments[i] = wq[i];
-      a_leaf_segments[i] = wa[i];
-    }
-  } else {
-    for (int i = 0; i < P; ++i) {
-      q_segments[i] = even_segment(q_leaves.size(), P, i);
-      a_leaf_segments[i] = even_segment(a_leaves.size(), P, i);
-    }
-  }
-  for (int i = 0; i < P; ++i)
-    atom_segments[i] = even_segment(n_atoms, P, i);
-
   HybridResult result;
   result.work_per_rank.resize(P);
   std::vector<double> final_epol(P, 0.0);
@@ -53,97 +169,12 @@ HybridResult run_hybrid(const GBEngine& engine, const HybridConfig& config) {
   opts.topology = config.topology;
 
   result.comm_per_rank = mpp::Runtime::run(opts, [&](mpp::Comm& comm) {
+    RankOutcome out = run_hybrid_rank(engine, config, comm);
     const int r = comm.rank();
-    perf::WorkCounters& work = result.work_per_rank[r];
-
-    // Per-rank scheduler: OCT_MPI+CILK when p > 1.
-    std::unique_ptr<ws::Scheduler> sched;
-    if (config.threads_per_rank > 1)
-      sched = std::make_unique<ws::Scheduler>(config.threads_per_rank);
-
-    std::vector<double> node_s(n_nodes, 0.0);
-    std::vector<double> atom_s(n_atoms, 0.0);
-    std::vector<double> born_tree(n_atoms, 0.0);
-    double epol_part = 0.0;
-
-    auto step2 = [&] {
-      engine.phase_integrals(q_segments[r], node_s, atom_s, work);
-    };
-    auto step4 = [&] {
-      engine.phase_push(atom_segments[r], node_s, atom_s, born_tree, work);
-    };
-
-    // Step 2 (node-based division of T_Q leaves).
-    {
-      OCTGB_SPAN("hybrid.integrals");
-      if (sched)
-        sched->run(step2);
-      else
-        step2();
-    }
-
-    // Step 3: gather everyone's partial integrals.
-    {
-      OCTGB_SPAN("hybrid.allreduce.integrals");
-      comm.allreduce_sum(std::span<double>(node_s));
-      comm.allreduce_sum(std::span<double>(atom_s));
-    }
-
-    // Step 4: Born radii for my atom segment.
-    {
-      OCTGB_SPAN("hybrid.push");
-      if (sched)
-        sched->run(step4);
-      else
-        step4();
-    }
-
-    // Step 5: exchange Born radii. Atom segments are contiguous in tree
-    // order and rank-ordered, so the concatenation is the full array.
-    {
-      OCTGB_SPAN("hybrid.allgather.born");
-      const auto seg = atom_segments[r];
-      std::vector<double> all = comm.allgatherv(std::span<const double>(
-          born_tree.data() + seg.begin, seg.size()));
-      OCTGB_CHECK(all.size() == n_atoms);
-      born_tree = std::move(all);
-    }
-
-    // Step 6: partial energy (node- or atom-based division).
-    {
-      OCTGB_SPAN("hybrid.epol");
-      const EpolContext ctx = engine.build_epol_context(born_tree);
-      auto step6 = [&] {
-        epol_part = config.atom_based_epol
-                        ? engine.phase_epol_atom_based(ctx, born_tree,
-                                                       atom_segments[r], work)
-                        : engine.phase_epol(ctx, born_tree,
-                                            a_leaf_segments[r], work);
-      };
-      if (sched)
-        sched->run(step6);
-      else
-        step6();
-    }
-
-    // Step 7: total energy on every rank (Allreduce, as in Fig. 4 the
-    // master accumulates; allreduce also covers the bcast the examples
-    // want).
-    double epol = 0.0;
-    {
-      OCTGB_SPAN("hybrid.reduce.epol");
-      epol = comm.allreduce_sum(epol_part);
-    }
-
-    if (sched) {
-      const auto st = sched->stats();
-      work.spawns += st.spawns;
-      work.steals += st.steals;
-    }
-
     std::lock_guard<std::mutex> lock(result_mu);
-    final_epol[r] = epol;
-    final_born[r] = std::move(born_tree);
+    result.work_per_rank[r] = out.work;
+    final_epol[r] = out.epol;
+    final_born[r] = std::move(out.born_tree);
   });
 
   result.wall_seconds = timer.seconds();
@@ -156,6 +187,8 @@ HybridResult run_hybrid(const GBEngine& engine, const HybridConfig& config) {
 
   // Replicated-data accounting: each real process holds the molecule data
   // (trees + payloads) plus its private working arrays.
+  const auto n_nodes = engine.num_ta_nodes();
+  const auto n_atoms = engine.num_atoms();
   result.bytes_per_rank =
       engine.footprint_bytes() +
       (n_nodes + 2 * n_atoms) * sizeof(double) /* node_s, atom_s, born */ +
@@ -178,45 +211,260 @@ int control_tag(int phase, int attempt, int kind) {
 
 }  // namespace
 
+RankOutcome run_elastic_rank(const GBEngine& engine,
+                             const ElasticConfig& config, mpp::Comm& comm,
+                             CheckpointStore& store) {
+  const HybridConfig& hc = config.hybrid;
+  OCTGB_CHECK_MSG(comm.size() == hc.ranks,
+                  "comm has " << comm.size() << " ranks, config wants "
+                              << hc.ranks);
+  OCTGB_CHECK_MSG(config.max_attempts <= 32768,
+                  "max_attempts would overflow the control-tag space");
+  const int P = hc.ranks;
+  const int me = comm.rank();
+  const auto n_nodes = engine.num_ta_nodes();
+  const auto n_atoms = engine.num_atoms();
+  // The FIXED task grid: the original P segments, identical to
+  // run_hybrid's static division. Deaths never change task boundaries —
+  // only who computes which task — which is what makes recovery
+  // bit-identical.
+  const Division div = make_division(engine, hc);
+
+  RankOutcome out;
+  perf::WorkCounters& work = out.work;
+
+  std::unique_ptr<ws::Scheduler> sched;
+  if (hc.threads_per_rank > 1)
+    sched = std::make_unique<ws::Scheduler>(hc.threads_per_rank);
+  auto run_sched = [&](const std::function<void()>& fn) {
+    if (sched)
+      sched->run(fn);
+    else
+      fn();
+  };
+
+  // Phase inputs, rebuilt identically on every rank from the store.
+  std::vector<double> node_s, atom_s, born_tree;
+  std::optional<EpolContext> epol_ctx;
+
+  auto compute_task = [&](int phase, int t) {
+    std::vector<double> data;
+    switch (phase) {
+      case 0: {
+        std::vector<double> ns(n_nodes, 0.0), as(n_atoms, 0.0);
+        run_sched(
+            [&] { engine.phase_integrals(div.q_segments[t], ns, as, work); });
+        data.reserve(n_nodes + n_atoms);
+        data.insert(data.end(), ns.begin(), ns.end());
+        data.insert(data.end(), as.begin(), as.end());
+        break;
+      }
+      case 1: {
+        std::vector<double> bt(n_atoms, 0.0);
+        run_sched([&] {
+          engine.phase_push(div.atom_segments[t], node_s, atom_s, bt, work);
+        });
+        const auto seg = div.atom_segments[t];
+        data.assign(bt.begin() + seg.begin,
+                    bt.begin() + seg.begin + seg.size());
+        break;
+      }
+      default: {
+        double part = 0.0;
+        run_sched([&] {
+          part = hc.atom_based_epol
+                     ? engine.phase_epol_atom_based(
+                           *epol_ctx, born_tree, div.atom_segments[t], work)
+                     : engine.phase_epol(*epol_ctx, born_tree,
+                                         div.a_leaf_segments[t], work);
+        });
+        data.push_back(part);
+        break;
+      }
+    }
+    return data;
+  };
+
+  auto missing_tasks = [&](int phase) {
+    std::vector<int> missing;
+    for (int t = 0; t < P; ++t)
+      if (!store.contains(CheckpointStore::key_of(
+              kPhaseNames[phase], static_cast<std::uint64_t>(t))))
+        missing.push_back(t);
+    return missing;
+  };
+
+  auto do_task = [&](int phase, int t) {
+    // Fault point before the compute: keeps the heartbeat fresh and
+    // gives scheduled stalls/kills a deterministic place to land even
+    // when a phase completes without any control traffic.
+    comm.poll();
+    if (store.contains(CheckpointStore::key_of(
+            kPhaseNames[phase], static_cast<std::uint64_t>(t))))
+      return;
+    SuperstepCheckpoint c;
+    c.phase = kPhaseNames[phase];
+    c.task = static_cast<std::uint64_t>(t);
+    c.data = compute_task(phase, t);
+    store.put_checkpoint(c);
+    ++out.tasks_computed;
+    // Task t's original owner is rank t; doing someone else's task is
+    // recovery (or duplicated) work.
+    if (t != me) ++out.tasks_recomputed;
+  };
+
+  // Drive one phase to durability. Correctness rests on the store alone:
+  // the phase is complete exactly when all P task checkpoints exist.
+  // Messages (done → coordinator, release → workers) are only a fast
+  // path; any lost/corrupt/dead-peer control exchange degrades to
+  // re-checking the store and re-dividing the missing tasks over the
+  // ranks still alive.
+  auto sync_phase = [&](int phase) {
+    int attempt = 0;
+    int last_epoch = comm.failure_epoch();
+    for (;;) {
+      OCTGB_CHECK_MSG(attempt < config.max_attempts,
+                      "elastic phase '" << kPhaseNames[phase]
+                                        << "' made no progress after "
+                                        << attempt << " attempts");
+      comm.poll();
+      const auto alive = comm.alive_ranks();
+      const int epoch = comm.failure_epoch();
+      if (epoch != last_epoch) {
+        trace::instant("recovery.replan");
+        last_epoch = epoch;
+      }
+      int my_idx = 0;
+      for (std::size_t i = 0; i < alive.size(); ++i)
+        if (alive[i] == me) my_idx = static_cast<int>(i);
+      auto missing = missing_tasks(phase);
+      // Re-run the work division over the reduced rank set. A missing
+      // task stays with its natural owner (rank == task index) while
+      // that owner is alive — a slow rank is not a failed rank, and
+      // stealing its work would waste compute and inflate the
+      // recompute counter. Only orphaned tasks (owner dead) are
+      // re-divided: the i-th orphan goes to the i-th (mod |alive|)
+      // survivor.
+      std::size_t orphan_idx = 0;
+      for (int t : missing) {
+        const bool owner_alive = comm.is_alive(t);
+        if (owner_alive) {
+          if (t == me) do_task(phase, t);
+        } else {
+          if (static_cast<int>(orphan_idx % alive.size()) == my_idx)
+            do_task(phase, t);
+          ++orphan_idx;
+        }
+      }
+      if (missing_tasks(phase).empty()) break;
+      const int coord = alive.front();
+      if (me == coord) {
+        // Collect done notices so we block-with-deadline instead of
+        // spinning; outcome is advisory (the store is authoritative).
+        for (int r : alive) {
+          if (r == me || !comm.is_alive(r)) continue;
+          (void)comm.recv_value_deadline<int>(
+              r, control_tag(phase, attempt, 0), config.control_deadline_ms);
+        }
+        if (missing_tasks(phase).empty()) break;
+      } else {
+        comm.send_value(coord, control_tag(phase, attempt, 0), me);
+        int token = 0;
+        mpp::RetryPolicy policy;
+        policy.attempts = 2;
+        policy.deadline_ms = config.control_deadline_ms;
+        auto res = comm.recv_bytes_retry(coord,
+                                         control_tag(phase, attempt, 1),
+                                         &token, sizeof(token), policy);
+        if (!res) ++out.control_retries;
+      }
+      ++attempt;
+    }
+    // Fast-path wakeup for workers still blocked on this attempt's
+    // release tag; purely opportunistic (mismatched attempts time out
+    // and find the store complete).
+    const auto alive = comm.alive_ranks();
+    if (!alive.empty() && alive.front() == me)
+      for (int r : alive)
+        if (r != me) comm.send_value(r, control_tag(phase, attempt, 1), 0);
+  };
+
+  // Phase 1: approximate integrals over the fixed T_Q-leaf segments.
+  {
+    OCTGB_SPAN("elastic.integrals");
+    sync_phase(0);
+  }
+  // Ordered combine (ascending task index) — every rank derives the
+  // exact same node/atom sums regardless of who computed what.
+  node_s.assign(n_nodes, 0.0);
+  atom_s.assign(n_atoms, 0.0);
+  for (int t = 0; t < P; ++t) {
+    auto c = store.get_checkpoint(kPhaseNames[0],
+                                  static_cast<std::uint64_t>(t));
+    OCTGB_CHECK_MSG(c && c->data.size() == n_nodes + n_atoms,
+                    "integrals checkpoint " << t << " lost or corrupt");
+    for (std::size_t i = 0; i < n_nodes; ++i) node_s[i] += c->data[i];
+    for (std::size_t i = 0; i < n_atoms; ++i)
+      atom_s[i] += c->data[n_nodes + i];
+  }
+
+  // Phase 2: Born radii over the fixed atom segments.
+  {
+    OCTGB_SPAN("elastic.born");
+    sync_phase(1);
+  }
+  born_tree.assign(n_atoms, 0.0);
+  for (int t = 0; t < P; ++t) {
+    auto c = store.get_checkpoint(kPhaseNames[1],
+                                  static_cast<std::uint64_t>(t));
+    const auto seg = div.atom_segments[t];
+    OCTGB_CHECK_MSG(c && c->data.size() == seg.size(),
+                    "born checkpoint " << t << " lost or corrupt");
+    std::copy(c->data.begin(), c->data.end(),
+              born_tree.begin() + seg.begin);
+  }
+
+  // Phase 3: partial energies over the fixed leaf/atom segments.
+  epol_ctx.emplace(engine.build_epol_context(born_tree));
+  {
+    OCTGB_SPAN("elastic.epol");
+    sync_phase(2);
+  }
+  double epol = 0.0;
+  for (int t = 0; t < P; ++t) {
+    auto c = store.get_checkpoint(kPhaseNames[2],
+                                  static_cast<std::uint64_t>(t));
+    OCTGB_CHECK_MSG(c && c->data.size() == 1,
+                    "epol checkpoint " << t << " lost or corrupt");
+    epol += c->data[0];
+  }
+
+  if (sched) {
+    const auto st = sched->stats();
+    work.spawns += st.spawns;
+    work.steals += st.steals;
+  }
+  out.control_retries += comm.retries();
+  out.epol = epol;
+  out.born_tree = std::move(born_tree);
+  return out;
+}
+
 ElasticResult run_hybrid_elastic(const GBEngine& engine,
                                  const ElasticConfig& config) {
   if (engine.config().trace.enabled) trace::Tracer::instance().set_enabled(true);
   const HybridConfig& hc = config.hybrid;
   OCTGB_CHECK_MSG(hc.ranks >= 1, "need at least one rank");
   OCTGB_CHECK_MSG(hc.threads_per_rank >= 1, "need at least one thread");
-  OCTGB_CHECK_MSG(config.max_attempts <= 32768,
-                  "max_attempts would overflow the control-tag space");
 
   const int P = hc.ranks;
-  const auto n_nodes = engine.num_ta_nodes();
-  const auto n_atoms = engine.num_atoms();
-  const auto& q_leaves = engine.q_leaves();
-  const auto& a_leaves = engine.a_leaves();
-
-  // The FIXED task grid: the original P segments, identical to
-  // run_hybrid's static division. Deaths never change task boundaries —
-  // only who computes which task — which is what makes recovery
-  // bit-identical.
-  std::vector<Segment> q_segments(P), a_leaf_segments(P), atom_segments(P);
-  if (hc.weighted_division) {
-    auto wq = weighted_leaf_segments(engine.qpoints_tree().tree, q_leaves, P);
-    auto wa = weighted_leaf_segments(engine.atoms_tree().tree, a_leaves, P);
-    for (int i = 0; i < P; ++i) {
-      q_segments[i] = wq[i];
-      a_leaf_segments[i] = wa[i];
-    }
-  } else {
-    for (int i = 0; i < P; ++i) {
-      q_segments[i] = even_segment(q_leaves.size(), P, i);
-      a_leaf_segments[i] = even_segment(a_leaves.size(), P, i);
-    }
-  }
-  for (int i = 0; i < P; ++i)
-    atom_segments[i] = even_segment(n_atoms, P, i);
 
   // Simulated stable storage, shared by all ranks and surviving any of
-  // them (it lives on the launching thread).
-  CheckpointStore store;
+  // them (it lives on the launching thread) — unless the caller supplied
+  // real (file-backed) storage.
+  CheckpointStore local_store;
+  CheckpointStore& store =
+      config.store != nullptr ? *config.store : local_store;
 
   ElasticResult result;
   result.work_per_rank.resize(P);
@@ -238,224 +486,17 @@ ElasticResult run_hybrid_elastic(const GBEngine& engine,
 
   result.comm_per_rank = mpp::Runtime::run(opts, [&](mpp::Comm& comm) {
     const int me = comm.rank();
-    perf::WorkCounters& work = result.work_per_rank[me];
-
-    std::unique_ptr<ws::Scheduler> sched;
-    if (hc.threads_per_rank > 1)
-      sched = std::make_unique<ws::Scheduler>(hc.threads_per_rank);
-    auto run_sched = [&](const std::function<void()>& fn) {
-      if (sched)
-        sched->run(fn);
-      else
-        fn();
-    };
-
-    // Phase inputs, rebuilt identically on every rank from the store.
-    std::vector<double> node_s, atom_s, born_tree;
-    std::optional<EpolContext> epol_ctx;
-
-    auto compute_task = [&](int phase, int t) {
-      std::vector<double> data;
-      switch (phase) {
-        case 0: {
-          std::vector<double> ns(n_nodes, 0.0), as(n_atoms, 0.0);
-          run_sched([&] { engine.phase_integrals(q_segments[t], ns, as, work); });
-          data.reserve(n_nodes + n_atoms);
-          data.insert(data.end(), ns.begin(), ns.end());
-          data.insert(data.end(), as.begin(), as.end());
-          break;
-        }
-        case 1: {
-          std::vector<double> bt(n_atoms, 0.0);
-          run_sched([&] {
-            engine.phase_push(atom_segments[t], node_s, atom_s, bt, work);
-          });
-          const auto seg = atom_segments[t];
-          data.assign(bt.begin() + seg.begin,
-                      bt.begin() + seg.begin + seg.size());
-          break;
-        }
-        default: {
-          double part = 0.0;
-          run_sched([&] {
-            part = hc.atom_based_epol
-                       ? engine.phase_epol_atom_based(*epol_ctx, born_tree,
-                                                      atom_segments[t], work)
-                       : engine.phase_epol(*epol_ctx, born_tree,
-                                           a_leaf_segments[t], work);
-          });
-          data.push_back(part);
-          break;
-        }
-      }
-      return data;
-    };
-
-    auto missing_tasks = [&](int phase) {
-      std::vector<int> missing;
-      for (int t = 0; t < P; ++t)
-        if (!store.contains(CheckpointStore::key_of(
-                kPhaseNames[phase], static_cast<std::uint64_t>(t))))
-          missing.push_back(t);
-      return missing;
-    };
-
-    auto do_task = [&](int phase, int t) {
-      // Fault point before the compute: keeps the heartbeat fresh and
-      // gives scheduled stalls/kills a deterministic place to land even
-      // when a phase completes without any control traffic.
-      comm.poll();
-      if (store.contains(CheckpointStore::key_of(
-              kPhaseNames[phase], static_cast<std::uint64_t>(t))))
-        return;
-      SuperstepCheckpoint c;
-      c.phase = kPhaseNames[phase];
-      c.task = static_cast<std::uint64_t>(t);
-      c.data = compute_task(phase, t);
-      store.put_checkpoint(c);
-      tasks_computed.fetch_add(1, std::memory_order_relaxed);
-      // Task t's original owner is rank t; doing someone else's task is
-      // recovery (or duplicated) work.
-      if (t != me) tasks_recomputed.fetch_add(1, std::memory_order_relaxed);
-    };
-
-    // Drive one phase to durability. Correctness rests on the store alone:
-    // the phase is complete exactly when all P task checkpoints exist.
-    // Messages (done → coordinator, release → workers) are only a fast
-    // path; any lost/corrupt/dead-peer control exchange degrades to
-    // re-checking the store and re-dividing the missing tasks over the
-    // ranks still alive.
-    auto sync_phase = [&](int phase) {
-      int attempt = 0;
-      int last_epoch = comm.failure_epoch();
-      for (;;) {
-        OCTGB_CHECK_MSG(attempt < config.max_attempts,
-                        "elastic phase '" << kPhaseNames[phase]
-                                          << "' made no progress after "
-                                          << attempt << " attempts");
-        comm.poll();
-        const auto alive = comm.alive_ranks();
-        const int epoch = comm.failure_epoch();
-        if (epoch != last_epoch) {
-          trace::instant("recovery.replan");
-          last_epoch = epoch;
-        }
-        int my_idx = 0;
-        for (std::size_t i = 0; i < alive.size(); ++i)
-          if (alive[i] == me) my_idx = static_cast<int>(i);
-        auto missing = missing_tasks(phase);
-        // Re-run the work division over the reduced rank set. A missing
-        // task stays with its natural owner (rank == task index) while
-        // that owner is alive — a slow rank is not a failed rank, and
-        // stealing its work would waste compute and inflate the
-        // recompute counter. Only orphaned tasks (owner dead) are
-        // re-divided: the i-th orphan goes to the i-th (mod |alive|)
-        // survivor.
-        std::size_t orphan_idx = 0;
-        for (int t : missing) {
-          const bool owner_alive = comm.is_alive(t);
-          if (owner_alive) {
-            if (t == me) do_task(phase, t);
-          } else {
-            if (static_cast<int>(orphan_idx % alive.size()) == my_idx)
-              do_task(phase, t);
-            ++orphan_idx;
-          }
-        }
-        if (missing_tasks(phase).empty()) break;
-        const int coord = alive.front();
-        if (me == coord) {
-          // Collect done notices so we block-with-deadline instead of
-          // spinning; outcome is advisory (the store is authoritative).
-          for (int r : alive) {
-            if (r == me || !comm.is_alive(r)) continue;
-            (void)comm.recv_value_deadline<int>(
-                r, control_tag(phase, attempt, 0), config.control_deadline_ms);
-          }
-          if (missing_tasks(phase).empty()) break;
-        } else {
-          comm.send_value(coord, control_tag(phase, attempt, 0), me);
-          int token = 0;
-          mpp::RetryPolicy policy;
-          policy.attempts = 2;
-          policy.deadline_ms = config.control_deadline_ms;
-          auto res = comm.recv_bytes_retry(coord,
-                                           control_tag(phase, attempt, 1),
-                                           &token, sizeof(token), policy);
-          if (!res) control_retries.fetch_add(1, std::memory_order_relaxed);
-        }
-        ++attempt;
-      }
-      // Fast-path wakeup for workers still blocked on this attempt's
-      // release tag; purely opportunistic (mismatched attempts time out
-      // and find the store complete).
-      const auto alive = comm.alive_ranks();
-      if (!alive.empty() && alive.front() == me)
-        for (int r : alive)
-          if (r != me) comm.send_value(r, control_tag(phase, attempt, 1), 0);
-    };
-
-    // Phase 1: approximate integrals over the fixed T_Q-leaf segments.
-    {
-      OCTGB_SPAN("elastic.integrals");
-      sync_phase(0);
-    }
-    // Ordered combine (ascending task index) — every rank derives the
-    // exact same node/atom sums regardless of who computed what.
-    node_s.assign(n_nodes, 0.0);
-    atom_s.assign(n_atoms, 0.0);
-    for (int t = 0; t < P; ++t) {
-      auto c = store.get_checkpoint(kPhaseNames[0],
-                                    static_cast<std::uint64_t>(t));
-      OCTGB_CHECK_MSG(c && c->data.size() == n_nodes + n_atoms,
-                      "integrals checkpoint " << t << " lost or corrupt");
-      for (std::size_t i = 0; i < n_nodes; ++i) node_s[i] += c->data[i];
-      for (std::size_t i = 0; i < n_atoms; ++i)
-        atom_s[i] += c->data[n_nodes + i];
-    }
-
-    // Phase 2: Born radii over the fixed atom segments.
-    {
-      OCTGB_SPAN("elastic.born");
-      sync_phase(1);
-    }
-    born_tree.assign(n_atoms, 0.0);
-    for (int t = 0; t < P; ++t) {
-      auto c = store.get_checkpoint(kPhaseNames[1],
-                                    static_cast<std::uint64_t>(t));
-      const auto seg = atom_segments[t];
-      OCTGB_CHECK_MSG(c && c->data.size() == seg.size(),
-                      "born checkpoint " << t << " lost or corrupt");
-      std::copy(c->data.begin(), c->data.end(),
-                born_tree.begin() + seg.begin);
-    }
-
-    // Phase 3: partial energies over the fixed leaf/atom segments.
-    epol_ctx.emplace(engine.build_epol_context(born_tree));
-    {
-      OCTGB_SPAN("elastic.epol");
-      sync_phase(2);
-    }
-    double epol = 0.0;
-    for (int t = 0; t < P; ++t) {
-      auto c = store.get_checkpoint(kPhaseNames[2],
-                                    static_cast<std::uint64_t>(t));
-      OCTGB_CHECK_MSG(c && c->data.size() == 1,
-                      "epol checkpoint " << t << " lost or corrupt");
-      epol += c->data[0];
-    }
-
-    if (sched) {
-      const auto st = sched->stats();
-      work.spawns += st.spawns;
-      work.steals += st.steals;
-    }
-    control_retries.fetch_add(comm.retries(), std::memory_order_relaxed);
-
+    RankOutcome out = run_elastic_rank(engine, config, comm, store);
+    tasks_computed.fetch_add(out.tasks_computed, std::memory_order_relaxed);
+    tasks_recomputed.fetch_add(out.tasks_recomputed,
+                               std::memory_order_relaxed);
+    control_retries.fetch_add(out.control_retries,
+                              std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(result_mu);
+    result.work_per_rank[me] = out.work;
     done_flag[me] = 1;
-    final_epol[me] = epol;
-    final_born[me] = std::move(born_tree);
+    final_epol[me] = out.epol;
+    final_born[me] = std::move(out.born_tree);
   });
 
   result.wall_seconds = timer.seconds();

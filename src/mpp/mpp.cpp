@@ -1,7 +1,10 @@
 #include "octgb/mpp/mpp.hpp"
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <exception>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -9,22 +12,6 @@
 #include "octgb/util/strings.hpp"
 
 namespace octgb::mpp {
-
-const char* comm_status_name(CommStatus status) {
-  switch (status) {
-    case CommStatus::Timeout: return "timeout";
-    case CommStatus::PeerDead: return "peer-dead";
-    case CommStatus::ChecksumMismatch: return "checksum-mismatch";
-  }
-  return "unknown";
-}
-
-std::string CommError::describe() const {
-  return util::format(
-      "mpp recv failed on rank %d: %s waiting for (src=%d, tag=%d, %zu "
-      "bytes)",
-      rank, comm_status_name(status), src, tag, bytes);
-}
 
 namespace detail {
 
@@ -66,9 +53,191 @@ struct SharedState {
   double default_deadline_ms = 0.0;
 };
 
+/// The in-thread transport: one endpoint per rank over shared mailboxes.
+/// Faults come from the seeded injector; the out-of-process analogue of
+/// each (drop ↔ lost frame, corrupt ↔ wire CRC break, kill ↔ SIGKILL)
+/// lives in mpp/proc.hpp.
+class ThreadEndpoint final : public Endpoint {
+ public:
+  ThreadEndpoint(SharedState* state, int rank)
+      : state_(state), rank_(rank) {}
+
+  const Topology& topology() const override { return state_->topology; }
+  double default_deadline_ms() const override {
+    return state_->default_deadline_ms;
+  }
+
+  void send(int dest, int tag, const void* data, std::size_t bytes,
+            std::uint64_t op) override {
+    faults::SendFaults f;
+    if (state_->injector != nullptr)
+      f = state_->injector->on_send(rank_, dest, op);
+    if (f.drop) {
+      // The message left the sender and vanished on the wire: sender-side
+      // accounting stands, the receiver sees nothing (→ timeout).
+      trace::instant("fault.drop");
+      return;
+    }
+    Mailbox& box = *state_->mailboxes[dest];
+    Message msg;
+    msg.src = rank_;
+    msg.tag = tag;
+    msg.payload.resize(bytes);
+    if (bytes) std::memcpy(msg.payload.data(), data, bytes);
+    if (state_->checksum) {
+      msg.crc = faults::crc32(msg.payload.data(), msg.payload.size());
+      msg.has_crc = true;
+    }
+    if (f.corrupt && bytes > 0) {
+      // Bit-flip after the checksum was computed — wire corruption, which
+      // the CRC (when enabled) detects at the receiver.
+      trace::instant("fault.corrupt");
+      msg.payload[static_cast<std::size_t>(op) % bytes] ^= 0xA5;
+    }
+    if (f.delay_ms > 0.0) {
+      trace::instant("fault.delay");
+      msg.visible_at = Clock::now() +
+                       std::chrono::microseconds(
+                           static_cast<long long>(f.delay_ms * 1000.0));
+    }
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      if (f.duplicate) {
+        trace::instant("fault.duplicate");
+        box.messages.push_back(msg);
+      }
+      box.messages.push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+  }
+
+  CommResult recv(int src, int tag, void* data, std::size_t bytes,
+                  double deadline_ms, int abort_epoch) override {
+    const bool finite = deadline_ms > 0.0;
+    const auto deadline =
+        finite ? Clock::now() + std::chrono::microseconds(
+                                    static_cast<long long>(deadline_ms *
+                                                           1000.0))
+               : Clock::time_point::max();
+    Mailbox& box = *state_->mailboxes[rank_];
+    std::unique_lock<std::mutex> lock(box.mu);
+    for (;;) {
+      OCTGB_CHECK_MSG(!state_->aborted.load(std::memory_order_relaxed),
+                      "peer rank failed; aborting recv on rank " << rank_);
+      const auto now = Clock::now();
+      // Matched-but-delayed messages bound how long we sleep.
+      auto next_visible = Clock::time_point::max();
+      for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+        if (it->src != src || it->tag != tag) continue;
+        if (it->visible_at > now) {
+          next_visible = std::min(next_visible, it->visible_at);
+          continue;
+        }
+        OCTGB_CHECK_MSG(it->payload.size() == bytes,
+                        "message size mismatch: got "
+                            << it->payload.size() << ", want " << bytes);
+        if (it->has_crc && faults::crc32(it->payload.data(),
+                                         it->payload.size()) != it->crc) {
+          // Consume the corrupt copy so a retry can match a clean
+          // duplicate.
+          box.messages.erase(it);
+          return CommResult::failure(
+              {CommStatus::ChecksumMismatch, rank_, src, tag, bytes});
+        }
+        if (bytes) std::memcpy(data, it->payload.data(), bytes);
+        box.messages.erase(it);
+        return CommResult::success({});
+      }
+      // No consumable message: fail fast on a dead peer (messages it sent
+      // before dying were already matched above).
+      if (next_visible == Clock::time_point::max() &&
+          state_->ranks[src]->dead.load(std::memory_order_acquire))
+        return CommResult::failure(
+            {CommStatus::PeerDead, rank_, src, tag, bytes});
+      // Fail-fast on churn: a death anywhere in the job (kills notify
+      // every mailbox cv, so this waiter wakes) aborts the wait early so
+      // the caller can re-plan instead of draining its deadline.
+      if (abort_epoch >= 0 &&
+          state_->failure_epoch.load(std::memory_order_acquire) >
+              abort_epoch)
+        return CommResult::failure(
+            {CommStatus::Timeout, rank_, src, tag, bytes});
+      if (finite && now >= deadline)
+        return CommResult::failure(
+            {CommStatus::Timeout, rank_, src, tag, bytes});
+      const auto wake_at = std::min(deadline, next_visible);
+      if (wake_at == Clock::time_point::max())
+        box.cv.wait(lock);
+      else
+        box.cv.wait_until(lock, wake_at);
+    }
+  }
+
+  bool has_message(int src, int tag) override {
+    Mailbox& box = *state_->mailboxes[rank_];
+    std::lock_guard<std::mutex> lock(box.mu);
+    const auto now = Clock::now();
+    for (const auto& msg : box.messages) {
+      if (msg.src == src && msg.tag == tag && msg.visible_at <= now)
+        return true;
+    }
+    return false;
+  }
+
+  bool is_alive(int rank) const override {
+    return !state_->ranks[rank]->dead.load(std::memory_order_acquire);
+  }
+  int failure_epoch() const override {
+    return state_->failure_epoch.load(std::memory_order_acquire);
+  }
+  std::uint64_t heartbeat_of(int rank) const override {
+    return state_->ranks[rank]->heartbeat.load(std::memory_order_relaxed);
+  }
+  void heartbeat() override {
+    state_->ranks[rank_]->heartbeat.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void fault_hook(std::uint64_t op) override {
+    RankState& me = *state_->ranks[rank_];
+    // A dead rank must not keep communicating: re-throw on any further
+    // use (the elastic driver catches RankKilledError and unwinds the
+    // rank).
+    if (me.dead.load(std::memory_order_relaxed))
+      throw RankKilledError(rank_, op);
+    const faults::FaultInjector* inj = state_->injector;
+    if (inj == nullptr) return;
+    const double stall = inj->stall_ms(rank_, op);
+    if (stall > 0.0) {
+      trace::instant("fault.stall");
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<long long>(stall * 1000.0)));
+    }
+    if (inj->should_kill(rank_, op)) {
+      trace::instant("fault.kill");
+      me.dead.store(true, std::memory_order_release);
+      state_->failure_epoch.fetch_add(1, std::memory_order_acq_rel);
+      // Wake every blocked receiver so it can observe the death and fail
+      // fast (lock/unlock pairs with the waiters' condition re-check).
+      for (auto& mb : state_->mailboxes) {
+        { std::lock_guard<std::mutex> lock(mb->mu); }
+        mb->cv.notify_all();
+      }
+      throw RankKilledError(rank_, op);
+    }
+  }
+
+ private:
+  SharedState* state_;
+  int rank_;
+};
+
+Comm make_comm(Endpoint* endpoint, int rank, int size) {
+  return Comm(endpoint, rank, size);
+}
+
 }  // namespace detail
 
-const Topology& Comm::topology() const { return state_->topology; }
+const Topology& Comm::topology() const { return ep_->topology(); }
 
 int Comm::next_coll_tag() {
   // Collectives are called in the same order on every rank, so a local
@@ -77,7 +246,7 @@ int Comm::next_coll_tag() {
 }
 
 void Comm::account_send(int dest, std::size_t bytes) {
-  if (state_->topology.same_node(rank_, dest)) {
+  if (ep_->topology().same_node(rank_, dest)) {
     ++counters_.messages_intranode;
     counters_.bytes_intranode += bytes;
   } else {
@@ -92,33 +261,9 @@ void Comm::account_send(int dest, std::size_t bytes) {
 }
 
 std::uint64_t Comm::fault_point() {
-  detail::RankState& me = *state_->ranks[rank_];
-  me.heartbeat.fetch_add(1, std::memory_order_relaxed);
+  ep_->heartbeat();
   const std::uint64_t op = ops_++;
-  // A dead rank must not keep communicating: re-throw on any further use
-  // (the elastic driver catches RankKilledError and unwinds the rank).
-  if (me.dead.load(std::memory_order_relaxed))
-    throw RankKilledError(rank_, op);
-  const faults::FaultInjector* inj = state_->injector;
-  if (inj == nullptr) return op;
-  const double stall = inj->stall_ms(rank_, op);
-  if (stall > 0.0) {
-    trace::instant("fault.stall");
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(static_cast<long long>(stall * 1000.0)));
-  }
-  if (inj->should_kill(rank_, op)) {
-    trace::instant("fault.kill");
-    me.dead.store(true, std::memory_order_release);
-    state_->failure_epoch.fetch_add(1, std::memory_order_acq_rel);
-    // Wake every blocked receiver so it can observe the death and fail
-    // fast (lock/unlock pairs with the waiters' condition re-check).
-    for (auto& mb : state_->mailboxes) {
-      { std::lock_guard<std::mutex> lock(mb->mu); }
-      mb->cv.notify_all();
-    }
-    throw RankKilledError(rank_, op);
-  }
+  ep_->fault_hook(op);
   return op;
 }
 
@@ -130,108 +275,21 @@ void Comm::send_bytes(int dest, int tag, const void* data,
   OCTGB_CHECK_MSG(dest != rank_, "send to self would deadlock");
   const std::uint64_t op = fault_point();
   account_send(dest, bytes);
-  faults::SendFaults f;
-  if (state_->injector != nullptr)
-    f = state_->injector->on_send(rank_, dest, op);
-  if (f.drop) {
-    // The message left the sender and vanished on the wire: sender-side
-    // accounting stands, the receiver sees nothing (→ timeout).
-    trace::instant("fault.drop");
-    return;
-  }
-  detail::Mailbox& box = *state_->mailboxes[dest];
-  detail::Message msg;
-  msg.src = rank_;
-  msg.tag = tag;
-  msg.payload.resize(bytes);
-  if (bytes) std::memcpy(msg.payload.data(), data, bytes);
-  if (state_->checksum) {
-    msg.crc = faults::crc32(msg.payload.data(), msg.payload.size());
-    msg.has_crc = true;
-  }
-  if (f.corrupt && bytes > 0) {
-    // Bit-flip after the checksum was computed — wire corruption, which
-    // the CRC (when enabled) detects at the receiver.
-    trace::instant("fault.corrupt");
-    msg.payload[static_cast<std::size_t>(op) % bytes] ^= 0xA5;
-  }
-  if (f.delay_ms > 0.0) {
-    trace::instant("fault.delay");
-    msg.visible_at = detail::Clock::now() +
-                     std::chrono::microseconds(
-                         static_cast<long long>(f.delay_ms * 1000.0));
-  }
-  {
-    std::lock_guard<std::mutex> lock(box.mu);
-    if (f.duplicate) {
-      trace::instant("fault.duplicate");
-      box.messages.push_back(msg);
-    }
-    box.messages.push_back(std::move(msg));
-  }
-  box.cv.notify_all();
+  ep_->send(dest, tag, data, bytes, op);
 }
 
 CommResult Comm::recv_impl(int src, int tag, void* data, std::size_t bytes,
-                           double deadline_ms) {
+                           double deadline_ms, int abort_epoch) {
   OCTGB_CHECK_MSG(src >= 0 && src < size_, "recv from invalid rank " << src);
   // The span covers matching + blocking, i.e. the rank's wait time.
   OCTGB_SPAN("mpp.recv");
   fault_point();
-  const bool finite = deadline_ms > 0.0;
-  const auto deadline =
-      finite ? detail::Clock::now() +
-                   std::chrono::microseconds(
-                       static_cast<long long>(deadline_ms * 1000.0))
-             : detail::Clock::time_point::max();
-  detail::Mailbox& box = *state_->mailboxes[rank_];
-  std::unique_lock<std::mutex> lock(box.mu);
-  for (;;) {
-    OCTGB_CHECK_MSG(!state_->aborted.load(std::memory_order_relaxed),
-                    "peer rank failed; aborting recv on rank " << rank_);
-    const auto now = detail::Clock::now();
-    // Matched-but-delayed messages bound how long we sleep.
-    auto next_visible = detail::Clock::time_point::max();
-    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
-      if (it->src != src || it->tag != tag) continue;
-      if (it->visible_at > now) {
-        next_visible = std::min(next_visible, it->visible_at);
-        continue;
-      }
-      OCTGB_CHECK_MSG(it->payload.size() == bytes,
-                      "message size mismatch: got " << it->payload.size()
-                                                    << ", want " << bytes);
-      if (it->has_crc &&
-          faults::crc32(it->payload.data(), it->payload.size()) != it->crc) {
-        // Consume the corrupt copy so a retry can match a clean duplicate.
-        box.messages.erase(it);
-        return CommResult::failure(
-            {CommStatus::ChecksumMismatch, rank_, src, tag, bytes});
-      }
-      if (bytes) std::memcpy(data, it->payload.data(), bytes);
-      box.messages.erase(it);
-      return CommResult::success({});
-    }
-    // No consumable message: fail fast on a dead peer (messages it sent
-    // before dying were already matched above).
-    if (next_visible == detail::Clock::time_point::max() &&
-        state_->ranks[src]->dead.load(std::memory_order_acquire))
-      return CommResult::failure(
-          {CommStatus::PeerDead, rank_, src, tag, bytes});
-    if (finite && now >= deadline)
-      return CommResult::failure(
-          {CommStatus::Timeout, rank_, src, tag, bytes});
-    const auto wake_at = std::min(deadline, next_visible);
-    if (wake_at == detail::Clock::time_point::max())
-      box.cv.wait(lock);
-    else
-      box.cv.wait_until(lock, wake_at);
-  }
+  return ep_->recv(src, tag, data, bytes, deadline_ms, abort_epoch);
 }
 
 void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
-  CommResult r = recv_impl(src, tag, data, bytes,
-                           state_->default_deadline_ms);
+  CommResult r =
+      recv_impl(src, tag, data, bytes, ep_->default_deadline_ms());
   if (!r) throw CommException(r.error());
 }
 
@@ -244,6 +302,12 @@ CommResult Comm::recv_bytes_retry(int src, int tag, void* data,
                                   std::size_t bytes,
                                   const RetryPolicy& policy) {
   OCTGB_CHECK_MSG(policy.attempts >= 1, "retry policy needs >= 1 attempt");
+  // Snapshot the failure epoch so every attempt (and the wait inside it)
+  // can abort as soon as *any* rank dies — without this, a kill of a rank
+  // other than `src` would let the receive sleep out its entire backoff
+  // window before the caller learns it must re-plan.
+  const int epoch0 =
+      policy.abort_on_epoch_advance ? ep_->failure_epoch() : -1;
   double deadline_ms = policy.deadline_ms;
   CommResult last = CommResult::failure(
       {CommStatus::Timeout, rank_, src, tag, bytes});
@@ -253,10 +317,16 @@ CommResult Comm::recv_bytes_retry(int src, int tag, void* data,
       trace::instant("mpp.retry");
       deadline_ms *= policy.backoff;
     }
-    last = recv_impl(src, tag, data, bytes, deadline_ms);
+    last = recv_impl(src, tag, data, bytes, deadline_ms, epoch0);
     if (last) return last;
     // A dead peer will never answer: retrying only burns the deadline.
     if (last.error().status == CommStatus::PeerDead) return last;
+    // Same for a lost connection the transport already failed to restore.
+    if (last.error().status == CommStatus::ConnectionLost) return last;
+    if (epoch0 >= 0 && ep_->failure_epoch() > epoch0) {
+      trace::instant("mpp.retry_abort");
+      return last;
+    }
   }
   return last;
 }
@@ -291,20 +361,12 @@ CommResult Comm::wait_deadline(Request& request, double deadline_ms) {
 
 bool Comm::test(const Request& request) {
   OCTGB_CHECK_MSG(request.valid(), "test on an invalid request");
-  detail::Mailbox& box = *state_->mailboxes[rank_];
-  std::lock_guard<std::mutex> lock(box.mu);
-  const auto now = detail::Clock::now();
-  for (const auto& msg : box.messages) {
-    if (msg.src == request.src_ && msg.tag == request.tag_ &&
-        msg.visible_at <= now)
-      return true;
-  }
-  return false;
+  return ep_->has_message(request.src_, request.tag_);
 }
 
 bool Comm::is_alive(int rank) const {
   OCTGB_CHECK_MSG(rank >= 0 && rank < size_, "invalid rank " << rank);
-  return !state_->ranks[rank]->dead.load(std::memory_order_acquire);
+  return ep_->is_alive(rank);
 }
 
 std::vector<int> Comm::alive_ranks() const {
@@ -315,13 +377,11 @@ std::vector<int> Comm::alive_ranks() const {
   return alive;
 }
 
-int Comm::failure_epoch() const {
-  return state_->failure_epoch.load(std::memory_order_acquire);
-}
+int Comm::failure_epoch() const { return ep_->failure_epoch(); }
 
 std::uint64_t Comm::heartbeat_of(int rank) const {
   OCTGB_CHECK_MSG(rank >= 0 && rank < size_, "invalid rank " << rank);
-  return state_->ranks[rank]->heartbeat.load(std::memory_order_relaxed);
+  return ep_->heartbeat_of(rank);
 }
 
 void Comm::sendrecv_bytes(int dest, int send_tag, const void* send_data,
@@ -427,10 +487,14 @@ std::vector<perf::CommCounters> Runtime::run(
     state.ranks.push_back(std::make_unique<detail::RankState>());
   }
 
+  std::vector<detail::ThreadEndpoint> endpoints;
+  endpoints.reserve(opts.ranks);
   std::vector<Comm> comms;
   comms.reserve(opts.ranks);
-  for (int r = 0; r < opts.ranks; ++r)
-    comms.push_back(Comm(&state, r, opts.ranks));
+  for (int r = 0; r < opts.ranks; ++r) {
+    endpoints.emplace_back(&state, r);
+    comms.push_back(detail::make_comm(&endpoints[r], r, opts.ranks));
+  }
 
   std::exception_ptr first_error;
   std::mutex err_mu;
@@ -444,7 +508,7 @@ std::vector<perf::CommCounters> Runtime::run(
       rank_main(comms[r]);
     } catch (const RankKilledError&) {
       // Simulated process exit: the dead flag and failure epoch were
-      // already published by fault_point(); survivors keep running and
+      // already published by the fault hook; survivors keep running and
       // observe the death as PeerDead. Not a global failure.
     } catch (...) {
       std::lock_guard<std::mutex> lock(err_mu);

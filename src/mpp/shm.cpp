@@ -1,0 +1,245 @@
+#include "octgb/mpp/shm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "octgb/util/check.hpp"
+
+namespace octgb::mpp::shm {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x6f637467622d7368ULL;  // "octgb-sh"
+constexpr std::uint32_t kVersion = 1;
+
+std::size_t align_up(std::size_t n, std::size_t a) {
+  return (n + a - 1) / a * a;
+}
+
+/// Deterministic index of the src→dst ring among all ordered same-node
+/// pairs (create and attach must agree byte for byte); -1 when the pair
+/// has no ring.
+int ring_index(const Topology& topo, int ranks, int src, int dst) {
+  int idx = 0;
+  for (int s = 0; s < ranks; ++s) {
+    for (int d = 0; d < ranks; ++d) {
+      if (s == d || !topo.same_node(s, d)) continue;
+      if (s == src && d == dst) return idx;
+      ++idx;
+    }
+  }
+  return -1;
+}
+
+int ring_count(const Topology& topo, int ranks) {
+  int n = 0;
+  for (int s = 0; s < ranks; ++s)
+    for (int d = 0; d < ranks; ++d)
+      if (s != d && topo.same_node(s, d)) ++n;
+  return n;
+}
+
+std::size_t slots_offset() { return align_up(sizeof(ControlHeader), 64); }
+
+std::size_t rings_offset(int ranks) {
+  return align_up(slots_offset() + sizeof(RankSlot) *
+                                       static_cast<std::size_t>(ranks),
+                  64);
+}
+
+std::size_t segment_size(const Topology& topo, int ranks,
+                         std::uint64_t ring_bytes) {
+  const std::size_t per_ring = align_up(Ring::footprint(ring_bytes), 64);
+  return rings_offset(ranks) +
+         per_ring * static_cast<std::size_t>(ring_count(topo, ranks));
+}
+
+}  // namespace
+
+std::size_t Ring::readable() const {
+  const std::uint64_t head = h_->head.load(std::memory_order_acquire);
+  const std::uint64_t tail = h_->tail.load(std::memory_order_acquire);
+  return static_cast<std::size_t>(tail - head);
+}
+
+std::size_t Ring::writable() const { return capacity_ - readable(); }
+
+std::size_t Ring::try_push(const void* data, std::size_t bytes) {
+  const std::uint64_t head = h_->head.load(std::memory_order_acquire);
+  const std::uint64_t tail = h_->tail.load(std::memory_order_relaxed);
+  const std::uint64_t free = capacity_ - (tail - head);
+  const std::size_t n = std::min<std::uint64_t>(bytes, free);
+  if (n == 0) return 0;
+  const std::size_t pos = static_cast<std::size_t>(tail % capacity_);
+  const std::size_t first = std::min(n, static_cast<std::size_t>(capacity_) - pos);
+  std::memcpy(buf_ + pos, data, first);
+  if (n > first)
+    std::memcpy(buf_, static_cast<const std::uint8_t*>(data) + first,
+                n - first);
+  // Publish after the copy: a SIGKILL between the memcpy and this store
+  // loses the bytes but never exposes a torn prefix.
+  h_->tail.store(tail + n, std::memory_order_release);
+  return n;
+}
+
+std::size_t Ring::try_pop(void* out, std::size_t max_bytes) {
+  const std::uint64_t tail = h_->tail.load(std::memory_order_acquire);
+  const std::uint64_t head = h_->head.load(std::memory_order_relaxed);
+  const std::uint64_t avail = tail - head;
+  const std::size_t n = std::min<std::uint64_t>(max_bytes, avail);
+  if (n == 0) return 0;
+  const std::size_t pos = static_cast<std::size_t>(head % capacity_);
+  const std::size_t first = std::min(n, static_cast<std::size_t>(capacity_) - pos);
+  std::memcpy(out, buf_ + pos, first);
+  if (n > first)
+    std::memcpy(static_cast<std::uint8_t*>(out) + first, buf_, n - first);
+  h_->head.store(head + n, std::memory_order_release);
+  return n;
+}
+
+Segment::Segment(Segment&& other) noexcept
+    : base_(other.base_), size_(other.size_) {
+  other.base_ = nullptr;
+  other.size_ = 0;
+}
+
+Segment& Segment::operator=(Segment&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) ::munmap(base_, size_);
+    base_ = other.base_;
+    size_ = other.size_;
+    other.base_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+Segment::~Segment() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+}
+
+Segment Segment::create(const std::string& path, const Options& options) {
+  OCTGB_CHECK_MSG(options.ranks >= 1, "segment needs >= 1 rank");
+  OCTGB_CHECK_MSG(options.ring_bytes >= 4096,
+                  "ring capacity must be >= 4 KiB");
+  const std::size_t total =
+      segment_size(options.topology, options.ranks, options.ring_bytes);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  OCTGB_CHECK_MSG(fd >= 0, "cannot create shm segment " << path);
+  OCTGB_CHECK_MSG(::ftruncate(fd, static_cast<off_t>(total)) == 0,
+                  "cannot size shm segment " << path);
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED,
+                      fd, 0);
+  ::close(fd);
+  OCTGB_CHECK_MSG(base != MAP_FAILED, "cannot map shm segment " << path);
+
+  Segment seg;
+  seg.base_ = base;
+  seg.size_ = total;
+  // ftruncate zero-fills, which is a valid initial state for every atomic
+  // cursor/flag; only the header fields need explicit values.
+  ControlHeader* h = seg.header();
+  h->version = kVersion;
+  h->ranks = options.ranks;
+  h->ranks_per_node = options.topology.ranks_per_node;
+  h->ring_bytes = options.ring_bytes;
+  h->default_deadline_ms = options.default_deadline_ms;
+  // Magic last: an attacher that wins a race against create() sees a
+  // missing magic, not a half-initialized header.
+  std::atomic_thread_fence(std::memory_order_release);
+  h->magic = kMagic;
+  return seg;
+}
+
+Segment Segment::attach(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  OCTGB_CHECK_MSG(fd >= 0, "cannot open shm segment " << path);
+  struct stat st{};
+  OCTGB_CHECK_MSG(::fstat(fd, &st) == 0, "cannot stat shm segment " << path);
+  const std::size_t total = static_cast<std::size_t>(st.st_size);
+  OCTGB_CHECK_MSG(total >= sizeof(ControlHeader),
+                  "shm segment too small: " << path);
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED,
+                      fd, 0);
+  ::close(fd);
+  OCTGB_CHECK_MSG(base != MAP_FAILED, "cannot map shm segment " << path);
+
+  Segment seg;
+  seg.base_ = base;
+  seg.size_ = total;
+  ControlHeader* h = seg.header();
+  OCTGB_CHECK_MSG(h->magic == kMagic && h->version == kVersion,
+                  "not an octgb shm segment: " << path);
+  Topology topo{h->ranks_per_node};
+  OCTGB_CHECK_MSG(total == segment_size(topo, h->ranks, h->ring_bytes),
+                  "shm segment size disagrees with its header: " << path);
+  h->attached.fetch_add(1, std::memory_order_acq_rel);
+  return seg;
+}
+
+ControlHeader* Segment::header() const {
+  return static_cast<ControlHeader*>(base_);
+}
+
+RankSlot* Segment::slots() const {
+  return reinterpret_cast<RankSlot*>(static_cast<std::uint8_t*>(base_) +
+                                     slots_offset());
+}
+
+int Segment::ranks() const { return header()->ranks; }
+
+Topology Segment::topology() const {
+  return Topology{header()->ranks_per_node};
+}
+
+double Segment::default_deadline_ms() const {
+  return header()->default_deadline_ms;
+}
+
+bool Segment::is_alive(int rank) const {
+  return slots()[rank].dead.load(std::memory_order_acquire) == 0;
+}
+
+int Segment::failure_epoch() const {
+  return header()->failure_epoch.load(std::memory_order_acquire);
+}
+
+std::uint64_t Segment::heartbeat_of(int rank) const {
+  return slots()[rank].heartbeat.load(std::memory_order_relaxed);
+}
+
+void Segment::beat(int rank) {
+  slots()[rank].heartbeat.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Segment::mark_dead(int rank) {
+  std::int32_t expected = 0;
+  if (slots()[rank].dead.compare_exchange_strong(
+          expected, 1, std::memory_order_acq_rel))
+    header()->failure_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+int Segment::attached() const {
+  return header()->attached.load(std::memory_order_acquire);
+}
+
+Ring Segment::ring(int src, int dst) const {
+  const ControlHeader* h = header();
+  const Topology topo{h->ranks_per_node};
+  const int idx = ring_index(topo, h->ranks, src, dst);
+  if (idx < 0) return Ring{};
+  const std::size_t per_ring =
+      align_up(Ring::footprint(h->ring_bytes), 64);
+  std::uint8_t* ring_base = static_cast<std::uint8_t*>(base_) +
+                            rings_offset(h->ranks) +
+                            per_ring * static_cast<std::size_t>(idx);
+  return Ring(reinterpret_cast<Ring::Header*>(ring_base),
+              ring_base + sizeof(Ring::Header), h->ring_bytes);
+}
+
+}  // namespace octgb::mpp::shm

@@ -1,0 +1,107 @@
+#include "octgb/mpp/transport.hpp"
+
+#include <cstring>
+
+#include "octgb/mpp/faults.hpp"
+#include "octgb/util/io.hpp"
+#include "octgb/util/strings.hpp"
+
+namespace octgb::mpp {
+
+const char* comm_status_name(CommStatus status) {
+  switch (status) {
+    case CommStatus::Timeout: return "timeout";
+    case CommStatus::PeerDead: return "peer-dead";
+    case CommStatus::ChecksumMismatch: return "checksum-mismatch";
+    case CommStatus::ConnectionLost: return "connection-lost";
+  }
+  return "unknown";
+}
+
+std::optional<CommStatus> comm_status_from_name(std::string_view name) {
+  if (name == "timeout") return CommStatus::Timeout;
+  if (name == "peer-dead") return CommStatus::PeerDead;
+  if (name == "checksum-mismatch") return CommStatus::ChecksumMismatch;
+  if (name == "connection-lost") return CommStatus::ConnectionLost;
+  return std::nullopt;
+}
+
+std::string CommError::describe() const {
+  return util::format(
+      "mpp recv failed on rank %d: %s waiting for (src=%d, tag=%d, %zu "
+      "bytes)",
+      rank, comm_status_name(status), src, tag, bytes);
+}
+
+namespace wire {
+
+void encode_frame(int src, int tag, const void* data, std::size_t bytes,
+                  std::vector<std::uint8_t>& out) {
+  FrameHeader h;
+  h.payload_bytes = static_cast<std::uint32_t>(bytes);
+  h.src = src;
+  h.tag = tag;
+  h.crc = faults::crc32(data, bytes);
+  const std::size_t base = out.size();
+  out.resize(base + sizeof(FrameHeader) + bytes);
+  std::memcpy(out.data() + base, &h, sizeof(FrameHeader));
+  if (bytes) std::memcpy(out.data() + base + sizeof(FrameHeader), data, bytes);
+}
+
+util::Expected<Frame, CommStatus> decode_frame(const std::uint8_t* data,
+                                               std::size_t bytes) {
+  using R = util::Expected<Frame, CommStatus>;
+  if (bytes < sizeof(FrameHeader))
+    return R::failure(CommStatus::ConnectionLost);
+  FrameHeader h;
+  std::memcpy(&h, data, sizeof(FrameHeader));
+  if (h.payload_bytes > kMaxFramePayload)
+    return R::failure(CommStatus::ConnectionLost);
+  if (bytes < sizeof(FrameHeader) + h.payload_bytes)
+    return R::failure(CommStatus::ConnectionLost);
+  Frame f;
+  f.src = h.src;
+  f.tag = h.tag;
+  f.payload.assign(data + sizeof(FrameHeader),
+                   data + sizeof(FrameHeader) + h.payload_bytes);
+  if (faults::crc32(f.payload.data(), f.payload.size()) != h.crc)
+    return R::failure(CommStatus::ChecksumMismatch);
+  return R::success(std::move(f));
+}
+
+util::Expected<Frame, CommStatus> read_frame_fd(int fd) {
+  using R = util::Expected<Frame, CommStatus>;
+  FrameHeader h;
+  // Any short read — a clean peer close between frames, or a cut landing
+  // mid-header or mid-payload — is the same observable event to the
+  // receiver: the connection is gone.
+  if (!util::io::read_exact(fd, &h, sizeof(FrameHeader)))
+    return R::failure(CommStatus::ConnectionLost);
+  if (h.payload_bytes > kMaxFramePayload)
+    return R::failure(CommStatus::ConnectionLost);
+  Frame f;
+  f.src = h.src;
+  f.tag = h.tag;
+  f.payload.resize(h.payload_bytes);
+  if (h.payload_bytes &&
+      !util::io::read_exact(fd, f.payload.data(), f.payload.size()))
+    return R::failure(CommStatus::ConnectionLost);
+  if (faults::crc32(f.payload.data(), f.payload.size()) != h.crc)
+    return R::failure(CommStatus::ChecksumMismatch);
+  return R::success(std::move(f));
+}
+
+bool write_frame_fd(int fd, int src, int tag, const void* data,
+                    std::size_t bytes) {
+  // One buffered write per frame: header and payload must hit the stream
+  // back to back or a concurrent writer could interleave mid-frame.
+  std::vector<std::uint8_t> buf;
+  buf.reserve(sizeof(FrameHeader) + bytes);
+  encode_frame(src, tag, data, bytes, buf);
+  return static_cast<bool>(
+      util::io::write_exact(fd, buf.data(), buf.size()));
+}
+
+}  // namespace wire
+
+}  // namespace octgb::mpp

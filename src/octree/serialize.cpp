@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "octgb/util/check.hpp"
+#include "octgb/util/io.hpp"
 
 namespace octgb::octree {
 
@@ -41,31 +42,18 @@ void write_vec(std::ostream& out, const std::vector<T>& v) {
 
 template <class T>
 void read_pod(std::istream& in, T& v) {
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  OCTGB_CHECK_MSG(static_cast<bool>(in), "truncated octree stream");
+  OCTGB_CHECK_MSG(util::io::read_exact(in, &v, sizeof(T)),
+                  "truncated octree stream");
 }
 
 template <class T>
 void read_vec(std::istream& in, std::vector<T>& v, std::size_t n) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  // Chunked read: a corrupt header can claim up to 2^32 elements, and a
-  // single resize-then-read would allocate all of it before discovering
-  // the stream is short. Growing chunk by chunk bounds the damage of a
-  // lying count to one chunk past the actual data.
-  constexpr std::size_t kChunkElems =
-      std::max<std::size_t>(1, (1u << 20) / sizeof(T));
-  v.clear();
-  std::size_t done = 0;
-  while (done < n) {
-    const std::size_t batch = std::min(kChunkElems, n - done);
-    v.resize(done + batch);
-    in.read(reinterpret_cast<char*>(v.data() + done),
-            static_cast<std::streamsize>(batch * sizeof(T)));
-    OCTGB_CHECK_MSG(static_cast<bool>(in),
-                    "truncated octree stream: wanted " << n * sizeof(T)
-                        << " bytes, got about " << done * sizeof(T));
-    done += batch;
-  }
+  // util::io::read_vector grows chunk by chunk, so a corrupt header
+  // claiming up to 2^32 elements cannot force a huge allocation before
+  // the stream runs dry (the shared hardening contract of util/io.hpp).
+  OCTGB_CHECK_MSG(util::io::read_vector(in, v, n),
+                  "truncated octree stream: wanted " << n * sizeof(T)
+                      << " bytes");
 }
 
 }  // namespace

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <span>
 #include <sstream>
 #include <thread>
 
@@ -175,6 +177,110 @@ TEST(Faults, KilledRankIsObservedAsPeerDead) {
       c.send_value(0, 9, 1);  // fault point: dies here
       FAIL() << "rank 1 should have been killed";
     }
+  });
+}
+
+TEST(Faults, RetryAbortsRemainingBackoffWhenFailureEpochAdvances) {
+  // Regression for the fail-fast contract: a death *anywhere* in the job
+  // (not just at the awaited source) must abort a retry-with-backoff wait
+  // immediately. Rank 0 waits on rank 1 — who never sends — under a
+  // schedule worth ~10 s; rank 2 dies at its first comm op. The epoch
+  // advance must surface as Timeout long before the schedule drains.
+  auto o = base_opts(3);
+  o.fault_plan = rank_kill_plan(/*seed=*/23, /*victim=*/2, /*after_op=*/0);
+  Runtime::run(o, [](Comm& c) {
+    if (c.rank() == 0) {
+      int v = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto r = c.recv_bytes_retry(1, 6, &v, sizeof(v),
+                                  {.attempts = 50, .deadline_ms = 200.0,
+                                   .backoff = 1.0});
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      ASSERT_FALSE(r.has_value());
+      // Rank 1 is alive, so the abort reports Timeout (not PeerDead).
+      EXPECT_EQ(r.error().status, mpp::CommStatus::Timeout);
+      EXPECT_EQ(c.failure_epoch(), 1);
+      EXPECT_LT(elapsed_ms, 5000.0) << "epoch advance did not abort the "
+                                       "remaining backoff schedule";
+    } else if (c.rank() == 2) {
+      c.send_value(0, 99, 1);  // fault point: dies here
+      FAIL() << "rank 2 should have been killed";
+    }
+    // Rank 1 stays silent and exits cleanly.
+  });
+}
+
+TEST(Faults, RetryWithoutEpochAbortDrainsTheFullSchedule) {
+  // The opt-out: with abort_on_epoch_advance = false the same unrelated
+  // death leaves the wait running to the end of its (small) schedule.
+  auto o = base_opts(3);
+  o.fault_plan = rank_kill_plan(/*seed=*/29, /*victim=*/2, /*after_op=*/0);
+  Runtime::run(o, [](Comm& c) {
+    if (c.rank() == 0) {
+      int v = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto r = c.recv_bytes_retry(1, 6, &v, sizeof(v),
+                                  {.attempts = 4, .deadline_ms = 30.0,
+                                   .backoff = 1.0,
+                                   .abort_on_epoch_advance = false});
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      ASSERT_FALSE(r.has_value());
+      EXPECT_EQ(r.error().status, mpp::CommStatus::Timeout);
+      EXPECT_GE(elapsed_ms, 100.0) << "wait ended before the schedule "
+                                      "despite abort_on_epoch_advance=false";
+    } else if (c.rank() == 2) {
+      c.send_value(0, 99, 1);  // fault point: dies here
+      FAIL() << "rank 2 should have been killed";
+    }
+  });
+}
+
+TEST(Faults, CollectivePayloadCorruptionIsDetectedByChecksum) {
+  // Satellite: the per-message CRC covers collective *internals* — every
+  // hop of bcast / reduce_sum / gatherv is a checksummed message, so a
+  // corrupted hop surfaces as ChecksumMismatch at the receiving rank
+  // instead of silently poisoning the reduction.
+  const auto expect_mismatch = [](int corrupt_rank, auto&& body) {
+    auto o = base_opts(2);
+    o.checksum = true;
+    FaultPlan plan;
+    plan.seed = 31;
+    plan.rules.push_back({.kind = FaultKind::Corrupt,
+                          .rank = corrupt_rank,
+                          .probability = 1.0});
+    o.fault_plan = plan;
+    Runtime::run(o, [&](Comm& c) {
+      const bool receiving_end = c.rank() != corrupt_rank;
+      try {
+        body(c);
+        EXPECT_FALSE(receiving_end)
+            << "corrupt collective hop went undetected";
+      } catch (const mpp::CommException& e) {
+        EXPECT_TRUE(receiving_end);
+        EXPECT_EQ(e.error().status, mpp::CommStatus::ChecksumMismatch);
+      }
+    });
+  };
+  // Bcast: root 0's hop to rank 1 is corrupted.
+  expect_mismatch(0, [](Comm& c) {
+    std::vector<double> data = {1.0, 2.0, 3.0};
+    c.bcast(std::span<double>(data), /*root=*/0);
+  });
+  // Reduce: rank 1's contribution to root 0 is corrupted.
+  expect_mismatch(1, [](Comm& c) {
+    std::vector<double> data = {4.0, 5.0};
+    c.reduce_sum(std::span<double>(data), /*root=*/0);
+  });
+  // Gatherv: rank 1's segment to root 0 is corrupted.
+  expect_mismatch(1, [](Comm& c) {
+    const std::vector<double> mine(3, 1.0 + c.rank());
+    (void)c.gatherv(std::span<const double>(mine), /*root=*/0);
   });
 }
 

@@ -35,6 +35,51 @@ TEST(Topology, NodeMapping) {
   EXPECT_FALSE(t.same_node(11, 12));
 }
 
+TEST(Topology, RanksNotDivisibleByNodeSize) {
+  // 7 ranks on 5-per-node: the last node is only partially filled — the
+  // mapping must not round, truncate to zero nodes, or mis-pair the tail.
+  Topology t{5};
+  EXPECT_EQ(t.node_of(4), 0);
+  EXPECT_EQ(t.node_of(5), 1);
+  EXPECT_EQ(t.node_of(6), 1);
+  EXPECT_TRUE(t.same_node(5, 6));
+  EXPECT_FALSE(t.same_node(4, 5));
+}
+
+TEST(Topology, SingleRankNodesAreAllCrossNode) {
+  // ranks_per_node = 1: every rank is its own node (pure TCP for the
+  // out-of-process transport), and no distinct pair shares a node.
+  Topology t{1};
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(t.node_of(r), r);
+  EXPECT_FALSE(t.same_node(0, 1));
+  EXPECT_TRUE(t.same_node(2, 2));  // a rank shares a node with itself
+}
+
+TEST(Topology, NodeLargerThanJobHoldsAllRanks) {
+  // ranks_per_node exceeding the job size: one node, all pairs intra-node.
+  Topology t{64};
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(7), 0);
+  EXPECT_TRUE(t.same_node(0, 7));
+}
+
+TEST(Mpp, CommStatusNamesRoundTrip) {
+  using octgb::mpp::CommStatus;
+  using octgb::mpp::comm_status_from_name;
+  using octgb::mpp::comm_status_name;
+  for (const CommStatus s :
+       {CommStatus::Timeout, CommStatus::PeerDead, CommStatus::ChecksumMismatch,
+        CommStatus::ConnectionLost}) {
+    const auto back = comm_status_from_name(comm_status_name(s));
+    ASSERT_TRUE(back.has_value()) << comm_status_name(s);
+    EXPECT_EQ(*back, s);
+  }
+  EXPECT_STREQ(comm_status_name(CommStatus::ConnectionLost),
+               "connection-lost");
+  EXPECT_FALSE(comm_status_from_name("segfault").has_value());
+  EXPECT_FALSE(comm_status_from_name("").has_value());
+}
+
 TEST(Mpp, SingleRankRunsTrivially) {
   int visits = 0;
   Runtime::run(opts(1), [&](Comm& c) {
@@ -476,7 +521,11 @@ TEST(MppFailure, RetryRecoversFromLateMessage) {
   Runtime::run(opts(2), [](Comm& c) {
     if (c.rank() == 0) {
       // First attempt's deadline expires; a later attempt succeeds once
-      // rank 1 gets around to sending.
+      // rank 1 gets around to sending. The handshake pins the ordering:
+      // rank 1 only starts its delay once rank 0 is provably about to
+      // enter the retry loop, so the 2 ms first deadline expires before
+      // the 30 ms-late message even under a loaded scheduler.
+      c.send_value(1, 2, 1);
       double v = 0.0;
       octgb::mpp::RetryPolicy policy;
       policy.attempts = 50;
@@ -487,7 +536,8 @@ TEST(MppFailure, RetryRecoversFromLateMessage) {
       EXPECT_DOUBLE_EQ(v, 9.75);
       EXPECT_GE(c.retries(), 1u);
     } else {
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      (void)c.recv_value<int>(0, 2);
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
       c.send_value(0, 3, 9.75);
     }
   });
