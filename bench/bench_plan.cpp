@@ -24,13 +24,16 @@
 // (kernel.simd.*) and the full perf::PlanCounters block per the
 // OBSERVABILITY.md schema.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "octgb/perf/topology.hpp"
 #include "octgb/simd/dispatch.hpp"
+#include "octgb/ws/scheduler.hpp"
 
 using namespace octgb;
 
@@ -67,6 +70,17 @@ std::vector<double> run_screen(core::GBEngine& engine,
   return epol;
 }
 
+/// Power-of-two bucket histogram: bucket k counts values in
+/// [2^k, 2^(k+1)); exported as `<prefix>.p2_<k>` metrics.
+void histogram_p2(trace::MetricsRegistry& m, const std::string& prefix,
+                  const std::vector<std::uint64_t>& values) {
+  for (std::uint64_t v : values) {
+    int k = 0;
+    while ((std::uint64_t{2} << k) <= v) ++k;
+    m.add(prefix + ".p2_" + std::to_string(k), std::uint64_t{1});
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,11 +88,15 @@ int main(int argc, char** argv) {
   int poses = 6;
   int dials = 8;
   bool smoke = false;
+  bool locality = false;
   util::Args args;
   args.add("molecule", &molecule_name, "ZDock receptor entry");
   args.add("poses", &poses, "rigid perturbations (refit → plan replay)");
   args.add("dials", &dials, "eps_epol dials per pose (Born-result reuse)");
   args.flag("smoke", &smoke, "CI-size workload and the 1.5x gate");
+  args.flag("locality", &locality,
+            "run the locality section: coalesced carving vs the "
+            "cost-sorted baseline, plus steal-tier fractions");
   bench::TraceSession ts;
   ts.register_args(args);
   args.parse(argc, argv);
@@ -256,6 +274,140 @@ int main(int argc, char** argv) {
                     "vector replay fell below the SIMD speedup gate");
   } else {
     std::printf(" (no vector unit — informational)\n");
+  }
+
+  // --- locality: run-coalesced carving vs the PR-9 cost-sorted carving -----
+  // Gates (only with --locality):
+  //   - the coalesced carving cuts the chunk count at least 2x vs the
+  //     cost-sorted baseline on the same capture;
+  //   - the warm replay with locality on is never slower than with it
+  //     off (5% noise allowance, 10% under --smoke; interleaved
+  //     best-of-4 groups);
+  //   - a warm serial replay is bit-identical between the two carvings
+  //     (Epol included — serial execution fixes the completion-order
+  //     fold in the energy phase);
+  //   - on hosts with >1 L3 domain, >= 60% of successful steals stay
+  //     inside the thief's L3 tier (skipped with a log line elsewhere).
+  if (locality) {
+    core::EngineConfig lon_cfg, loff_cfg;
+    lon_cfg.approx.locality = true;
+    loff_cfg.approx.locality = false;
+    core::GBEngine lon(molecule, surf, lon_cfg);
+    core::GBEngine loff(molecule, surf, loff_cfg);
+    core::EvalScratch lon_s, loff_s;
+    (void)lon.compute(lon_s);  // capture both plans (serial)
+    (void)loff.compute(loff_s);
+    const perf::LocalityCounters lc = lon_s.plan_cache.locality;
+
+    std::printf("\nlocality carving: %llu runs over %llu owner groups "
+                "(mean run %.1f), %llu chunks vs %llu cost-sorted\n",
+                static_cast<unsigned long long>(lc.runs),
+                static_cast<unsigned long long>(lc.run_owners),
+                lc.mean_run_length(),
+                static_cast<unsigned long long>(lc.chunks),
+                static_cast<unsigned long long>(lc.baseline_chunks));
+    OCTGB_CHECK_MSG(lc.baseline_chunks >= 2 * lc.chunks,
+                    "coalesced carving fell below the 2x chunk reduction");
+
+    // Interleaved best-of-N: alternating on/off groups so slow drift in
+    // the host's background load hits both carvings alike.
+    const auto time_group = [&](core::GBEngine& eng, core::EvalScratch& scr) {
+      perf::Timer t;
+      for (const auto& pose : pose_list) {
+        eng.refit_atoms(pose);
+        (void)eng.compute(scr);
+      }
+      return t.seconds() / pose_list.size();
+    };
+    double warm_on = 1e300, warm_off = 1e300;
+    for (int group = 0; group < 4; ++group) {
+      warm_off = std::min(warm_off, time_group(loff, loff_s));
+      warm_on = std::min(warm_on, time_group(lon, lon_s));
+    }
+
+    // Bitwise witness at the first pose, serial on both sides.
+    lon.refit_atoms(pose_list[0]);
+    loff.refit_atoms(pose_list[0]);
+    const auto r_on = lon.compute(lon_s);
+    const auto r_off = loff.compute(loff_s);
+    OCTGB_CHECK_MSG(r_on.epol == r_off.epol,
+                    "coalesced replay deviated from the baseline carving");
+    for (std::size_t i = 0; i < r_on.born.size(); ++i)
+      OCTGB_CHECK_MSG(r_on.born[i] == r_off.born[i],
+                      "coalesced replay changed a Born radius");
+
+    // Steal-tier fractions on the host topology: a warm multi-worker
+    // screen, stats sampled over every replay.
+    const perf::CpuTopology& topo = perf::topology();
+    const int workers =
+        std::max(2, std::min(4, static_cast<int>(topo.cpus.size())));
+    ws::Scheduler sched(workers);
+    std::uint64_t steals = 0, local = 0;
+    for (const auto& pose : pose_list) {
+      lon.refit_atoms(pose);
+      (void)lon.compute(lon_s, &sched);
+      const auto ss = sched.stats();  // engine resets stats per compute
+      steals += ss.steals;
+      local += ss.local_steals;
+    }
+    const double local_frac =
+        steals == 0 ? 1.0 : static_cast<double>(local) / steals;
+
+    util::Table lt("warm replay: coalesced carving vs cost-sorted baseline");
+    lt.header({"carving", "per pose", "chunks", "speedup"});
+    lt.row({"cost-sorted (locality off)", bench::fmt_time(warm_off),
+            std::to_string(lc.baseline_chunks), "1.0x"});
+    lt.row({"coalesced (locality on)", bench::fmt_time(warm_on),
+            std::to_string(lc.chunks),
+            util::format("%.2fx", warm_off / warm_on)});
+    lt.print();
+    bench::save_csv(lt, "bench_plan_locality");
+
+    std::printf("steal locality: %llu/%llu local (%.2f) over %d workers, "
+                "%d L3 domain(s)\n",
+                static_cast<unsigned long long>(local),
+                static_cast<unsigned long long>(steals), local_frac, workers,
+                topo.l3_domains);
+    // Smoke workloads are too small for a tight ratio on a noisy host;
+    // the full run keeps the 5% allowance.
+    const double warm_allowance = smoke ? 1.10 : 1.05;
+    OCTGB_CHECK_MSG(warm_on <= warm_off * warm_allowance,
+                    "locality-on warm replay regressed past the gate");
+    if (topo.l3_domains > 1) {
+      OCTGB_CHECK_MSG(local_frac >= 0.6,
+                      "local-steal fraction fell below 0.6 on a multi-L3 "
+                      "host");
+    } else {
+      std::printf("local-steal gate skipped: single L3 domain — every "
+                  "steal is local by construction\n");
+    }
+
+    if (ts.active()) {
+      auto& m = ts.metrics();
+      m.add_locality("", lc);
+      const auto ss = sched.stats();
+      m.add_steal_tiers("", ss.local_steals, ss.socket_steals,
+                        ss.remote_steals, ss.offblock_steals);
+      m.set("plan.locality.warm_on_seconds", warm_on);
+      m.set("plan.locality.warm_off_seconds", warm_off);
+      m.set("plan.locality.local_steal_fraction", local_frac);
+      // Chunk-cost and run-length histograms (power-of-two buckets).
+      const core::InteractionPlan& plan = lon_s.plan_cache.plan;
+      const auto order = plan.owner_order();
+      const auto chunks = plan.chunk_offsets();
+      const auto runs = plan.run_offsets();
+      std::vector<std::uint64_t> chunk_costs, run_lengths;
+      for (std::size_t c = 0; c + 1 < chunks.size(); ++c) {
+        std::uint64_t cost = 0;
+        for (std::uint32_t i = chunks[c]; i < chunks[c + 1]; ++i)
+          cost += plan.group_cost(order[i]);
+        chunk_costs.push_back(cost);
+      }
+      for (std::size_t r = 0; r + 1 < runs.size(); ++r)
+        run_lengths.push_back(runs[r + 1] - runs[r]);
+      histogram_p2(m, "plan.locality.chunk_cost", chunk_costs);
+      histogram_p2(m, "plan.locality.run_length", run_lengths);
+    }
   }
 
   if (ts.active()) {

@@ -65,6 +65,11 @@ struct PlanKey {
   bool strict_criterion = false;
   KernelKind kernel = KernelKind::Batched;
   PlanFlavor flavor = PlanFlavor::Single;
+  /// Locality-aware chunk carving (ApproxParams::locality). In the key
+  /// because flipping it changes owner ordering and chunk bounds — the
+  /// *partition* of work — even though per-slot accumulation order (and
+  /// hence every bit of the result) is unchanged.
+  bool locality = true;
 
   friend bool operator==(const PlanKey&, const PlanKey&) = default;
 };
@@ -131,6 +136,33 @@ class InteractionPlan {
     return chunk_begin_.empty() ? 0 : chunk_begin_.size() - 1;
   }
   std::size_t footprint_bytes() const;
+
+  // --- locality introspection (DESIGN.md §2.11) --------------------------
+
+  /// Locality counters of the *last* finalize: runs / run_owners / chunks /
+  /// baseline_chunks are set; prefetch_batches and numa_touch_passes stay
+  /// zero (they are per-replay events the engine accumulates itself).
+  const perf::LocalityCounters& locality_stats() const { return locality_; }
+  /// Prefetch issues one replay performs (0 when the plan was carved with
+  /// locality off).
+  std::uint64_t prefetches_per_replay() const { return prefetches_per_replay_; }
+  /// Chunk bounds as indices into owner_order(); size chunks()+1.
+  std::span<const std::uint32_t> chunk_offsets() const { return chunk_begin_; }
+  /// Maximal streaming-run bounds as indices into owner_order(); size
+  /// runs+1 under locality carving, empty otherwise.
+  std::span<const std::uint32_t> run_offsets() const { return run_begin_; }
+  /// Owner-group execution order (stream order under locality carving,
+  /// cost-descending otherwise).
+  std::span<const std::uint32_t> owner_order() const { return owner_order_; }
+  /// Modeled cost of owner group `g` (point-pair equivalents).
+  std::uint64_t group_cost(std::uint32_t g) const { return cost_[g]; }
+  /// Monotone atom_s partition aligned to chunk bounds (size chunks()+1,
+  /// locality carving only): chunk c's near-field writes land mostly in
+  /// [begin[c], begin[c+1]). Feed to perf::touch_zero_by_domain together
+  /// with a chunk→socket map to first-touch the accumulators NUMA-locally.
+  std::span<const std::size_t> chunk_atom_begin() const {
+    return chunk_atom_begin_;
+  }
 
   // --- replay path ------------------------------------------------------
 
@@ -201,8 +233,12 @@ class InteractionPlan {
   std::vector<std::uint32_t> near_begin_;  ///< groups+1, into near_q_sorted_
   std::vector<std::uint32_t> far_begin_;   ///< groups+1, into far_q_sorted_
   std::vector<std::uint32_t> near_q_sorted_, far_q_sorted_;
-  std::vector<std::uint32_t> owner_order_;  ///< group indices, cost-desc
+  std::vector<std::uint32_t> owner_order_;  ///< group execution order
   std::vector<std::uint32_t> chunk_begin_;  ///< owner_order_ chunk bounds
+  std::vector<std::uint32_t> run_begin_;    ///< owner_order_ run bounds
+  std::vector<std::size_t> chunk_atom_begin_;  ///< atom_s split per chunk
+  perf::LocalityCounters locality_{};
+  std::uint64_t prefetches_per_replay_ = 0;
 
   // finalize() scratch (reused capacity).
   std::vector<std::uint32_t> group_of_node_, cursor_;
@@ -227,6 +263,9 @@ class InteractionPlan {
 struct PlanCache {
   InteractionPlan plan;
   perf::PlanCounters stats;
+  /// Accumulated locality counters (exported as plan.locality.*): carve
+  /// stats folded in per finalize, prefetch/touch events per replay.
+  perf::LocalityCounters locality;
 
   std::size_t footprint_bytes() const { return plan.footprint_bytes(); }
 };

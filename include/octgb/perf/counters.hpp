@@ -135,6 +135,45 @@ static_assert(sizeof(PlanCounters) ==
               "PlanCounters field added: update kFieldCount, operator+=, "
               "and trace::MetricsRegistry::add_plan");
 
+/// Locality-aware plan-execution statistics (core/plan.hpp run coalescing
+/// + the NUMA first-touch pass, DESIGN.md §2.11). Counts what the
+/// locality-aware finalize carved and what the replay loops did with it;
+/// exported under the `plan.locality.*` metric names by
+/// trace::MetricsRegistry::add_locality (schema in OBSERVABILITY.md).
+struct LocalityCounters {
+  std::uint64_t runs = 0;          ///< streaming runs formed by finalize
+  std::uint64_t run_owners = 0;    ///< owner groups covered by those runs
+  std::uint64_t chunks = 0;        ///< chunks carved along run boundaries
+  std::uint64_t baseline_chunks = 0;  ///< chunks the cost-only carving yields
+  std::uint64_t prefetch_batches = 0; ///< next-run prefetch batches issued
+  std::uint64_t numa_touch_passes = 0;  ///< domain-partitioned touch passes
+
+  /// Field count guard, mirroring WorkCounters.
+  static constexpr std::size_t kFieldCount = 6;
+
+  /// Field-wise accumulation (per-plan counters into run totals).
+  LocalityCounters& operator+=(const LocalityCounters& o) {
+    runs += o.runs;
+    run_owners += o.run_owners;
+    chunks += o.chunks;
+    baseline_chunks += o.baseline_chunks;
+    prefetch_batches += o.prefetch_batches;
+    numa_touch_passes += o.numa_touch_passes;
+    return *this;
+  }
+
+  /// Mean owners per run of the carvings counted so far (0 when none).
+  double mean_run_length() const {
+    return runs ? static_cast<double>(run_owners) / static_cast<double>(runs)
+                : 0.0;
+  }
+};
+
+static_assert(sizeof(LocalityCounters) ==
+                  LocalityCounters::kFieldCount * sizeof(std::uint64_t),
+              "LocalityCounters field added: update kFieldCount, operator+=, "
+              "and trace::MetricsRegistry::add_locality");
+
 /// Multi-tenant scoring-service statistics (octgb/svc/service.hpp). Counts
 /// the admission, cache, and execution outcomes of a service's lifetime;
 /// exported under the `svc.*` metric names by

@@ -42,6 +42,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "octgb/core/session.hpp"
@@ -128,6 +129,12 @@ struct ServiceConfig {
   std::size_t atoms_per_core = 2000;  ///< width sizing: 1 core per this many
   std::size_t cache_budget_bytes = std::size_t{512} << 20;  ///< artifact LRU
   AdmissionConfig admission;  ///< queue bounds and size ceiling
+  /// Pin each job's scheduler workers onto its leased core block (best
+  /// effort — a refused affinity call leaves the worker unpinned). With
+  /// pinning, a width-W job occupies exactly cores [lease.first,
+  /// lease.first + W) and all its steals stay inside that block (the
+  /// ws.steal.offblock invariant; see DESIGN.md §2.11).
+  bool pin_cores = true;
 };
 
 /// The multi-tenant scoring service. Construct, submit, wait on tickets;
@@ -186,6 +193,20 @@ class ScoringService {
   /// DESIGN.md §2.8).
   int width_for(std::size_t atoms) const;
 
+  /// Steal-tier classification sampled per job (each job's final
+  /// evaluation — the engine resets scheduler stats per compute) and
+  /// accumulated for the service lifetime. `offblock` must stay 0 when
+  /// pin_cores is on: it counts steals whose victim sits outside the
+  /// thief's leased core block.
+  struct StealTierTotals {
+    std::uint64_t local = 0;
+    std::uint64_t socket = 0;
+    std::uint64_t remote = 0;
+    std::uint64_t offblock = 0;
+    std::uint64_t pinned_workers = 0;  ///< max pinned workers of any job
+  };
+  StealTierTotals steal_tiers() const;
+
  private:
   struct Job {
     std::uint64_t id = 0;
@@ -195,8 +216,14 @@ class ScoringService {
     std::chrono::steady_clock::time_point submitted;
   };
 
+  /// Executor-local scheduler pool key: (width, first leased core) when
+  /// pinning — affinity is construction-only, so a lease landing on a
+  /// different block needs a different scheduler — or (width, -1) without.
+  using SchedPool = std::map<std::pair<int, int>,
+                             std::unique_ptr<ws::Scheduler>>;
+
   void executor_loop(int executor_id);
-  void run_job(Job job, std::map<int, std::unique_ptr<ws::Scheduler>>& pool);
+  void run_job(Job job, SchedPool& pool);
   void finish(Job& job, JobResult result);
 
   ServiceConfig config_;
@@ -212,6 +239,7 @@ class ScoringService {
   int active_jobs_ = 0;
   bool stopping_ = false;
   perf::ServiceCounters counters_;
+  StealTierTotals steal_tiers_;  ///< guarded by mu_
   std::map<std::string, std::uint64_t> completed_by_tenant_;
   std::vector<double> latencies_ms_;  ///< completed-job total latencies
 

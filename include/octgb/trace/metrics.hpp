@@ -78,6 +78,17 @@ class MetricsRegistry {
   void add_scheduler(const std::string& prefix, std::uint64_t spawns,
                      std::uint64_t steals, std::uint64_t steal_attempts,
                      std::uint64_t executed);
+  /// Accumulate the tiered steal classification under `prefix`
+  /// ("ws.steal.local" … per the OBSERVABILITY.md `ws.steal.*` schema).
+  /// Raw integers for the same trace/ws layering reason as add_scheduler.
+  void add_steal_tiers(const std::string& prefix, std::uint64_t local,
+                       std::uint64_t socket, std::uint64_t remote,
+                       std::uint64_t offblock);
+  /// Accumulate locality-aware plan-execution counters under `prefix`
+  /// ("plan.locality.runs" … per the OBSERVABILITY.md `plan.locality.*`
+  /// schema), plus the derived real metric "plan.locality.mean_run_length".
+  void add_locality(const std::string& prefix,
+                    const perf::LocalityCounters& l);
 
   /// Accumulate every metric of `other` into this registry.
   void merge(const MetricsRegistry& other);

@@ -5,8 +5,17 @@
 /// This is the shared-memory half of the paper's hybrid algorithm: inside
 /// each mpp rank, recursive tree traversals fork child subtrees which idle
 /// workers steal. The discipline matches cilk++: owners work newest-first
-/// off their own deque; thieves pick a uniformly random victim and steal
-/// oldest-first ("implicit dynamic load balancing", §IV-A of the paper).
+/// off their own deque; thieves steal oldest-first from a victim ("implicit
+/// dynamic load balancing", §IV-A of the paper).
+///
+/// Victim selection is locality-aware: each worker is mapped onto a cpu and
+/// thieves probe victims in cache-distance order — same-L3 first, then
+/// same-socket, then remote — with a pause/yield backoff ladder between
+/// probe rounds. Within a tier the victim is still uniformly random, so the
+/// Cilk load-balancing argument survives; the hierarchy only biases *which*
+/// random victim gets probed first. Stealing order never affects results:
+/// task execution is unordered by construction (fork-join with commutative
+/// joins), so any victim policy yields bitwise-identical output.
 ///
 /// Code written against this API also runs with no scheduler at all:
 /// fork-join and parallel_for degrade to serial execution when called from
@@ -21,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "octgb/perf/topology.hpp"
 #include "octgb/util/rng.hpp"
 #include "octgb/ws/deque.hpp"
 
@@ -42,6 +52,32 @@ struct SchedulerStats {
   std::uint64_t steals = 0;        ///< successful steals
   std::uint64_t steal_attempts = 0;
   std::uint64_t executed = 0;      ///< tasks executed (stolen or local)
+  // Successful steals classified by cache distance between thief and
+  // victim cpus. local + socket + remote == steals.
+  std::uint64_t local_steals = 0;   ///< victim shares the thief's L3
+  std::uint64_t socket_steals = 0;  ///< same socket, different L3
+  std::uint64_t remote_steals = 0;  ///< across a socket boundary
+  /// Steals whose victim sits outside the thief's pinned core block.
+  /// Structurally zero for a pinned scheduler (victims are the scheduler's
+  /// own workers, all inside the block); a nonzero value would mean the
+  /// core-lease isolation contract broke.
+  std::uint64_t offblock_steals = 0;
+  std::uint64_t pinned_workers = 0;  ///< workers whose affinity call stuck
+};
+
+/// Placement options for a Scheduler.
+struct SchedulerOptions {
+  /// Topology used for victim tiers and core mapping; nullptr means the
+  /// host topology (perf::topology()).
+  const perf::CpuTopology* topology = nullptr;
+  /// Pin each worker's thread to its assigned cpu (best effort: a failing
+  /// affinity call leaves the worker unpinned and counted accordingly).
+  bool pin = false;
+  /// First core of the worker block. Worker i maps to core pin_first + i
+  /// (modulo the topology size). With svc::CoreAllocator this is the
+  /// lease's first core, so a width-W scheduler occupies exactly the
+  /// leased contiguous block.
+  int pin_first = 0;
 };
 
 /// Work-stealing scheduler. Construct with the desired worker count; the
@@ -50,6 +86,7 @@ struct SchedulerStats {
 class Scheduler {
  public:
   explicit Scheduler(int workers);
+  Scheduler(int workers, const SchedulerOptions& opts);
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
@@ -64,6 +101,13 @@ class Scheduler {
   /// Statistics accumulated since construction (or reset_stats()).
   SchedulerStats stats() const;
   void reset_stats();
+
+  /// The cpu id worker `i` is mapped to (pinned or not). Consumers use
+  /// this to first-touch data from the socket that will read it.
+  int worker_cpu(int i) const;
+
+  /// The topology victim tiers were built against.
+  const perf::CpuTopology& topo() const { return *topo_; }
 
   /// The scheduler the current thread is executing under, or nullptr.
   static Scheduler* current();
@@ -108,7 +152,18 @@ class Scheduler {
     std::atomic<std::uint64_t> steals{0};
     std::atomic<std::uint64_t> steal_attempts{0};
     std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> local_steals{0};
+    std::atomic<std::uint64_t> socket_steals{0};
+    std::atomic<std::uint64_t> remote_steals{0};
+    std::atomic<std::uint64_t> offblock_steals{0};
     int id = 0;
+    int cpu = 0;        ///< topology cpu this worker maps to
+    int block_core = 0; ///< pin_first + id (no modulo): lease-block slot
+    std::atomic<bool> pinned{false};
+    // Victim worker ids by cache distance from this worker's cpu:
+    // [0] same L3, [1] same socket / different L3, [2] remote socket.
+    // Built once in the constructor, read-only afterwards.
+    std::vector<std::uint32_t> tier[3];
     Scheduler* sched = nullptr;
   };
 
@@ -121,6 +176,8 @@ class Scheduler {
 
   std::vector<std::unique_ptr<Worker>> all_workers_;  // [0] = caller's
   std::vector<std::thread> workers_;                  // background threads
+  const perf::CpuTopology* topo_ = nullptr;
+  SchedulerOptions opts_;
   // Trace track group (mpp rank) of the constructing thread, inherited by
   // the background workers so their spans land under the right rank.
   std::int32_t trace_pid_ = 0;

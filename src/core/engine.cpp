@@ -184,7 +184,8 @@ EvalResult GBEngine::compute_eval(EvalScratch& scratch, ws::Scheduler* sched,
                     approx.eps_born,
                     approx.strict_born_criterion,
                     approx.kernel,
-                    flavor};
+                    flavor,
+                    approx.locality};
   enum class Action { Traverse, Capture, Replay, BornReuse };
   Action act = Action::Traverse;
   PlanCache& pc = scratch.plan_cache;
@@ -217,8 +218,35 @@ EvalResult GBEngine::compute_eval(EvalScratch& scratch, ws::Scheduler* sched,
       }
     }
     if (act == Action::Capture) ++pc.stats.builds;
-    if (act == Action::Replay) ++pc.stats.replays;
+    if (act == Action::Replay) {
+      ++pc.stats.replays;
+      pc.locality.prefetch_batches += pc.plan.prefetches_per_replay();
+    }
     if (act == Action::BornReuse) ++pc.stats.born_reuses;
+  }
+
+  // NUMA-conscious placement: re-zero the near-field accumulator socket by
+  // socket from the cores that will write it, mapping chunk → worker the
+  // same way parallel_for's recursive halving does on average (chunk c →
+  // worker ⌊c·W/C⌋). The pass only places pages the kernel has not backed
+  // yet (freshly grown scratch); for warm buffers it is a cheap redundant
+  // zero of memory prepare() already zeroed. Skipped structurally on
+  // single-socket hosts (touch_zero_by_domain returns false).
+  if (act == Action::Replay && approx.locality && sched != nullptr &&
+      !pc.plan.chunk_atom_begin().empty()) {
+    const auto boundary = pc.plan.chunk_atom_begin();
+    const std::size_t n_chunks = boundary.size() - 1;
+    const auto& topo = sched->topo();
+    if (topo.sockets > 1 && n_chunks > 0) {
+      std::vector<int> domain(n_chunks);
+      const std::size_t w = static_cast<std::size_t>(sched->num_workers());
+      for (std::size_t c = 0; c < n_chunks; ++c) {
+        const int worker = static_cast<int>(c * w / n_chunks);
+        domain[c] = topo.cpu(sched->worker_cpu(worker)).socket;
+      }
+      if (perf::touch_zero_by_domain(scratch.atom_s, boundary, domain, topo))
+        ++pc.locality.numa_touch_passes;
+    }
   }
 
   auto body = [&] {
@@ -251,6 +279,7 @@ EvalResult GBEngine::compute_eval(EvalScratch& scratch, ws::Scheduler* sched,
         }
         if (pc.plan.finalize(ta_, tq_, geometry_epoch_, captured))
           ++scratch.allocation_events;
+        pc.locality += pc.plan.locality_stats();
         result.work += captured;
         break;
       }

@@ -27,6 +27,34 @@ constexpr std::uint64_t kFarCost = 8;
 /// few enough that per-chunk task overhead stays negligible.
 constexpr std::uint64_t kTargetChunks = 96;
 
+/// Locality carving targets fewer, larger chunks: a streaming run re-uses
+/// the SoA planes it just pulled into cache, so the per-chunk overhead
+/// argument flips — coarser chunks amortize better and the hierarchical
+/// stealer keeps them balanced. Half the chunk count doubles the target
+/// cost per chunk.
+constexpr std::uint64_t kTargetChunksLocality = kTargetChunks / 2;
+
+/// A chunk may overshoot its cost target while inside a streaming run (to
+/// close on the run boundary), but never past this multiple — one giant
+/// run must still split into stealable pieces.
+constexpr std::uint64_t kMaxOvershoot = 4;
+
+inline void prefetch_ro(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 3);
+#else
+  (void)p;
+#endif
+}
+
+inline void prefetch_rw(void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 1, 3);
+#else
+  (void)p;
+#endif
+}
+
 }  // namespace
 
 PlanRecorder InteractionPlan::begin_capture(const PlanKey& key) {
@@ -107,25 +135,134 @@ bool InteractionPlan::finalize(const AtomsTree& ta, const QPointsTree& tq,
   }
   owner_order_.resize(groups);
   std::iota(owner_order_.begin(), owner_order_.end(), 0u);
-  std::stable_sort(owner_order_.begin(), owner_order_.end(),
-                   [&](std::uint32_t x, std::uint32_t y) {
-                     return cost_[x] > cost_[y];
-                   });
-
   const std::uint64_t total =
       std::accumulate(cost_.begin(), cost_.end(), std::uint64_t{0});
-  const std::uint64_t target = std::max<std::uint64_t>(1, total / kTargetChunks);
-  chunk_begin_.clear();
-  chunk_begin_.push_back(0);
-  std::uint64_t acc = 0;
-  for (std::size_t i = 0; i < groups; ++i) {
-    acc += cost_[owner_order_[i]];
-    if (acc >= target && i + 1 < groups) {
-      chunk_begin_.push_back(static_cast<std::uint32_t>(i + 1));
-      acc = 0;
+
+  // Both carvings are counted; the baseline count is what the cost-sorted
+  // carve below (the locality-off path) would produce, so the ≥2× chunk
+  // reduction gate can be checked against a single plan.
+  const auto carve_cost_sorted = [&](bool emit) -> std::uint64_t {
+    const std::uint64_t target =
+        std::max<std::uint64_t>(1, total / kTargetChunks);
+    std::uint64_t count = groups == 0 ? 0 : 1, acc = 0;
+    if (emit) {
+      chunk_begin_.clear();
+      chunk_begin_.push_back(0);
     }
+    for (std::size_t i = 0; i < groups; ++i) {
+      acc += cost_[owner_order_[i]];
+      if (acc >= target && i + 1 < groups) {
+        if (emit) chunk_begin_.push_back(static_cast<std::uint32_t>(i + 1));
+        ++count;
+        acc = 0;
+      }
+    }
+    if (emit) chunk_begin_.push_back(static_cast<std::uint32_t>(groups));
+    return count;
+  };
+
+  run_begin_.clear();
+  chunk_atom_begin_.clear();
+  locality_ = perf::LocalityCounters{};
+  prefetches_per_replay_ = 0;
+  if (!key_.locality) {
+    // PR-9 behaviour, byte for byte: owners most-expensive-first, greedy
+    // cost-balanced chunks.
+    std::stable_sort(owner_order_.begin(), owner_order_.end(),
+                     [&](std::uint32_t x, std::uint32_t y) {
+                       return cost_[x] > cost_[y];
+                     });
+    carve_cost_sorted(/*emit=*/true);
+    locality_.chunks = chunks();
+    locality_.baseline_chunks = chunks();
+  } else {
+    // Stream order: owners sorted by their A-node's atom range start. The
+    // Morton octree stores leaves' [begin, end) contiguously in tree
+    // order, so consecutive owners whose ranges abut form a *run* that
+    // replay walks as one forward stream over the SoA planes and atom_s.
+    // Per-owner pair lists (and therefore per-slot accumulation order)
+    // are untouched — only the order owners are *visited* in changes,
+    // and no two owners share a slot, so replay stays bit-identical.
+    std::stable_sort(owner_order_.begin(), owner_order_.end(),
+                     [&](std::uint32_t x, std::uint32_t y) {
+                       const auto& nx = ta.tree.node(owner_[x]);
+                       const auto& ny = ta.tree.node(owner_[y]);
+                       if (nx.begin != ny.begin) return nx.begin < ny.begin;
+                       return owner_[x] < owner_[y];
+                     });
+    // Baseline count: simulate the cost-sorted carve on a scratch order.
+    // (Counting only needs the multiset of costs, and greedy packing is
+    // order-dependent, so run it over the actual sorted costs.)
+    {
+      std::vector<std::uint64_t> sorted_costs(cost_.begin(), cost_.end());
+      std::sort(sorted_costs.begin(), sorted_costs.end(),
+                std::greater<std::uint64_t>());
+      const std::uint64_t target =
+          std::max<std::uint64_t>(1, total / kTargetChunks);
+      std::uint64_t count = groups == 0 ? 0 : 1, acc = 0;
+      for (std::size_t i = 0; i < groups; ++i) {
+        acc += sorted_costs[i];
+        if (acc >= target && i + 1 < groups) {
+          ++count;
+          acc = 0;
+        }
+      }
+      locality_.baseline_chunks = count;
+    }
+    // Run detection: a run extends while the next owner's range starts
+    // where the current one ends.
+    run_begin_.push_back(0);
+    for (std::size_t i = 1; i < groups; ++i) {
+      const auto& prev = ta.tree.node(owner_[owner_order_[i - 1]]);
+      const auto& cur = ta.tree.node(owner_[owner_order_[i]]);
+      if (cur.begin != prev.end)
+        run_begin_.push_back(static_cast<std::uint32_t>(i));
+    }
+    run_begin_.push_back(static_cast<std::uint32_t>(groups));
+    locality_.runs = groups == 0 ? 0 : run_begin_.size() - 1;
+    locality_.run_owners = groups;
+    // Carve along run boundaries: close a chunk at a run boundary once the
+    // target is met, or mid-run (still on an owner boundary) only past the
+    // overshoot cap.
+    const std::uint64_t target =
+        std::max<std::uint64_t>(1, total / kTargetChunksLocality);
+    chunk_begin_.clear();
+    chunk_begin_.push_back(0);
+    std::uint64_t acc = 0;
+    std::size_t next_run = 1;  // run_begin_ index of the next boundary
+    for (std::size_t i = 0; i < groups; ++i) {
+      acc += cost_[owner_order_[i]];
+      const bool at_run_boundary =
+          next_run < run_begin_.size() && run_begin_[next_run] == i + 1;
+      if (at_run_boundary) ++next_run;
+      if (i + 1 < groups &&
+          ((acc >= target && at_run_boundary) ||
+           acc >= kMaxOvershoot * target)) {
+        chunk_begin_.push_back(static_cast<std::uint32_t>(i + 1));
+        acc = 0;
+      }
+    }
+    chunk_begin_.push_back(static_cast<std::uint32_t>(groups));
+    locality_.chunks = chunks();
+    // One prefetch batch per owner that has a successor in its chunk.
+    prefetches_per_replay_ =
+        static_cast<std::uint64_t>(groups) -
+        std::min<std::uint64_t>(groups, chunks());
+    // Monotone atom_s partition aligned to chunks: stream order makes the
+    // first owner's range start per chunk non-decreasing, so the clamped
+    // starts form a valid boundary array for domain-aware first touch.
+    const std::size_t n_atoms = ta.tree.points().size();
+    chunk_atom_begin_.assign(chunks() + 1, 0);
+    for (std::size_t c = 1; c < chunks(); ++c) {
+      const auto& first = ta.tree.node(owner_[owner_order_[chunk_begin_[c]]]);
+      chunk_atom_begin_[c] =
+          std::max<std::size_t>(chunk_atom_begin_[c - 1], first.begin);
+    }
+    chunk_atom_begin_.back() = n_atoms;
+    for (std::size_t c = chunks(); c-- > 1;)
+      chunk_atom_begin_[c] =
+          std::min(chunk_atom_begin_[c], chunk_atom_begin_[c + 1]);
   }
-  chunk_begin_.push_back(static_cast<std::uint32_t>(groups));
 
   base_work_ = captured_work;
   geometry_epoch_ = geometry_epoch;
@@ -138,9 +275,10 @@ std::size_t InteractionPlan::footprint_bytes() const {
           far_q_.capacity() + owner_.capacity() + near_begin_.capacity() +
           far_begin_.capacity() + near_q_sorted_.capacity() +
           far_q_sorted_.capacity() + owner_order_.capacity() +
-          chunk_begin_.capacity() + group_of_node_.capacity() +
-          cursor_.capacity()) *
+          chunk_begin_.capacity() + run_begin_.capacity() +
+          group_of_node_.capacity() + cursor_.capacity()) *
              sizeof(std::uint32_t) +
+         chunk_atom_begin_.capacity() * sizeof(std::size_t) +
          cost_.capacity() * sizeof(std::uint64_t) +
          born_tree_.capacity() * sizeof(double);
 }
@@ -254,6 +392,13 @@ void InteractionPlan::replay(const AtomsTree& ta, const QPointsTree& tq,
   const bool mixed = vec != nullptr && !approx_math &&
                      rvec.precision == simd::Precision::Mixed;
   const std::int64_t nchunks = static_cast<std::int64_t>(chunks());
+  // Stream-plane base pointers, hoisted for the next-run prefetch below
+  // (cheap cached spans; the near-loop kernels re-derive their own).
+  const double* const px = ta.soa_x().data();
+  const double* const py = ta.soa_y().data();
+  const double* const pz = ta.soa_z().data();
+  double* const ps = atom_s.data();
+  const bool want_prefetch = key_.locality;
   // Chunks are cost-balanced already; grain 1 keeps every chunk stealable.
   ws::Scheduler::parallel_for(
       0, nchunks, 1, [&](std::int64_t lo, std::int64_t hi) {
@@ -263,6 +408,17 @@ void InteractionPlan::replay(const AtomsTree& ta, const QPointsTree& tq,
             const std::uint32_t g = owner_order_[oi];
             const std::uint32_t a_id = owner_[g];
             const Octree::Node& a = ta.tree.node(a_id);
+            // Streaming carve visits owners in atom-range order, so the
+            // next owner's planes are the upcoming stream: pull their
+            // first lines in while this owner's arithmetic retires.
+            if (want_prefetch && oi + 1 < chunk_begin_[c + 1]) {
+              const Octree::Node& nx =
+                  ta.tree.node(owner_[owner_order_[oi + 1]]);
+              prefetch_ro(px + nx.begin);
+              prefetch_ro(py + nx.begin);
+              prefetch_ro(pz + nx.begin);
+              prefetch_rw(ps + nx.begin);
+            }
             // Far terms: node_s[a_id] belongs to this task alone; capture
             // order is preserved, so the sum matches the serial traversal
             // bit for bit (the arithmetic is the same out-of-line

@@ -148,9 +148,10 @@ JobTicket ScoringService::submit(JobRequest req) {
 
 void ScoringService::executor_loop(int executor_id) {
   (void)executor_id;
-  // Executor-local scheduler pool: one ws::Scheduler per width this
-  // executor has run, so repeat widths reuse the spawned worker threads.
-  std::map<int, std::unique_ptr<ws::Scheduler>> pool;
+  // Executor-local scheduler pool: one ws::Scheduler per (width, core
+  // block) this executor has run, so repeat placements reuse the spawned
+  // (and pinned) worker threads.
+  SchedPool pool;
   for (;;) {
     Job job;
     {
@@ -174,8 +175,7 @@ void ScoringService::executor_loop(int executor_id) {
   }
 }
 
-void ScoringService::run_job(
-    Job job, std::map<int, std::unique_ptr<ws::Scheduler>>& pool) {
+void ScoringService::run_job(Job job, SchedPool& pool) {
   OCTGB_SPAN("svc.job");
   const auto picked_up = std::chrono::steady_clock::now();
   JobResult result;
@@ -208,8 +208,18 @@ void ScoringService::run_job(
     std::lock_guard artifact_lk(artifact->exec_mu);
     const CoreLease lease = alloc_.alloc(width);
 
-    auto& sched = pool[width];
-    if (!sched) sched = std::make_unique<ws::Scheduler>(width);
+    // Pinned schedulers are placement-specific: worker→core affinity is
+    // fixed at construction, so the pool key carries the lease's first
+    // core. Unpinned schedulers are placement-free and share one entry
+    // per width.
+    const int block = config_.pin_cores ? lease.first : -1;
+    auto& sched = pool[{width, block}];
+    if (!sched) {
+      ws::SchedulerOptions opts;
+      opts.pin = config_.pin_cores;
+      opts.pin_first = lease.first;
+      sched = std::make_unique<ws::Scheduler>(width, opts);
+    }
 
     core::ScoringSession& session = *artifact->session;
     session.engine().gb() = req.config.gb;
@@ -223,6 +233,19 @@ void ScoringService::run_job(
             req.poses, req.ligand_begin, req.pose_mode, sched.get());
         if (req.pose_mode == core::PoseMode::Full) session.reset_to_base();
       }
+    }
+    // Sample the steal-tier classification of the job's final evaluation
+    // (the engine resets scheduler stats per compute) before handing the
+    // cores back; offblock must stay zero under pinning.
+    {
+      const ws::SchedulerStats st = sched->stats();
+      std::lock_guard lk(mu_);
+      steal_tiers_.local += st.local_steals;
+      steal_tiers_.socket += st.socket_steals;
+      steal_tiers_.remote += st.remote_steals;
+      steal_tiers_.offblock += st.offblock_steals;
+      steal_tiers_.pinned_workers =
+          std::max(steal_tiers_.pinned_workers, st.pinned_workers);
     }
     alloc_.release(lease);
   } catch (...) {
@@ -326,6 +349,11 @@ LatencySummary ScoringService::latency() const {
   return s;
 }
 
+ScoringService::StealTierTotals ScoringService::steal_tiers() const {
+  std::lock_guard lk(mu_);
+  return steal_tiers_;
+}
+
 std::uint64_t ScoringService::completed_for(const std::string& tenant) const {
   std::lock_guard lk(mu_);
   auto it = completed_by_tenant_.find(tenant);
@@ -350,6 +378,9 @@ void ScoringService::export_metrics(trace::MetricsRegistry& m,
   m.set(scoped("svc.latency.max_ms"), ls.max_ms);
   m.set(scoped("svc.cores.grants"), alloc_.grants());
   m.set(scoped("svc.cores.waits"), alloc_.waits());
+  const StealTierTotals st = steal_tiers();
+  m.add_steal_tiers(prefix, st.local, st.socket, st.remote, st.offblock);
+  m.set(scoped("ws.pinned_workers"), st.pinned_workers);
 }
 
 }  // namespace octgb::svc

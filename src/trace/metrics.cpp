@@ -151,6 +151,29 @@ void MetricsRegistry::add_scheduler(const std::string& prefix,
   add(scoped("sched.executed", prefix), executed);
 }
 
+void MetricsRegistry::add_steal_tiers(const std::string& prefix,
+                                      std::uint64_t local,
+                                      std::uint64_t socket,
+                                      std::uint64_t remote,
+                                      std::uint64_t offblock) {
+  add(scoped("ws.steal.local", prefix), local);
+  add(scoped("ws.steal.socket", prefix), socket);
+  add(scoped("ws.steal.remote", prefix), remote);
+  add(scoped("ws.steal.offblock", prefix), offblock);
+}
+
+void MetricsRegistry::add_locality(const std::string& prefix,
+                                   const perf::LocalityCounters& l) {
+  add(scoped("plan.locality.runs", prefix), l.runs);
+  add(scoped("plan.locality.run_owners", prefix), l.run_owners);
+  add(scoped("plan.locality.chunks", prefix), l.chunks);
+  add(scoped("plan.locality.baseline_chunks", prefix), l.baseline_chunks);
+  add(scoped("plan.locality.prefetch_batches", prefix), l.prefetch_batches);
+  add(scoped("plan.locality.numa_touch_passes", prefix),
+      l.numa_touch_passes);
+  set(scoped("plan.locality.mean_run_length", prefix), l.mean_run_length());
+}
+
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, v] : other.metrics_) {
     if (v.is_integer) {

@@ -1,7 +1,12 @@
 #include "octgb/ws/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "octgb/trace/trace.hpp"
 #include "octgb/util/check.hpp"
@@ -11,17 +16,77 @@ namespace octgb::ws {
 namespace {
 thread_local Scheduler* tls_scheduler = nullptr;
 thread_local void* tls_worker = nullptr;  // Scheduler::Worker*
+
+/// One spin-wait hint: cheap on the issuing core, frees pipeline resources
+/// for the SMT sibling. Falls back to a thread yield where no hint exists.
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Escalating backoff: pause bursts that double per failed round (1..32
+/// pauses), then a thread yield so oversubscribed hosts still make
+/// progress. Callers reset their round counter on success.
+inline void backoff(int round) {
+  constexpr int kYieldAfter = 6;
+  if (round < kYieldAfter) {
+    const int spins = 1 << std::min(round, 5);
+    for (int i = 0; i < spins; ++i) cpu_pause();
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+/// Best-effort affinity pin of the calling thread; false when the call is
+/// rejected (restricted cpuset, offline cpu, non-linux host).
+bool pin_self(int cpu) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
 }  // namespace
 
-Scheduler::Scheduler(int workers) {
+Scheduler::Scheduler(int workers) : Scheduler(workers, SchedulerOptions{}) {}
+
+Scheduler::Scheduler(int workers, const SchedulerOptions& opts)
+    : topo_(opts.topology ? opts.topology : &perf::topology()), opts_(opts) {
   OCTGB_CHECK_MSG(workers >= 1, "need at least one worker");
   trace_pid_ = trace::current_pid();
+  const int ncpu = std::max(1, topo_->num_cpus());
   for (int i = 0; i < workers; ++i) {
     auto w = std::make_unique<Worker>();
     w->id = i;
     w->sched = this;
     w->rng = util::Xoshiro256(0x5eedULL + static_cast<std::uint64_t>(i));
+    w->block_core = opts_.pin_first + i;
+    w->cpu = topo_->cpu((opts_.pin_first + i) % ncpu).id;
     all_workers_.push_back(std::move(w));
+  }
+  // Victim tiers, built once before any thread launches (read-only after):
+  // probe order follows cache distance, victim choice within a tier stays
+  // uniformly random.
+  for (int i = 0; i < workers; ++i) {
+    Worker& wi = *all_workers_[static_cast<std::size_t>(i)];
+    for (int j = 0; j < workers; ++j) {
+      if (j == i) continue;
+      const int cj = all_workers_[static_cast<std::size_t>(j)]->cpu;
+      const int tier = topo_->same_l3(wi.cpu, cj)       ? 0
+                       : topo_->same_socket(wi.cpu, cj) ? 1
+                                                        : 2;
+      wi.tier[tier].push_back(static_cast<std::uint32_t>(j));
+    }
   }
   for (int i = 1; i < workers; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -36,9 +101,26 @@ Scheduler::~Scheduler() {
 
 Scheduler* Scheduler::current() { return tls_scheduler; }
 
+int Scheduler::worker_cpu(int i) const {
+  const int n = static_cast<int>(all_workers_.size());
+  OCTGB_CHECK_MSG(i >= 0 && i < n, "worker index out of range");
+  return all_workers_[static_cast<std::size_t>(i)]->cpu;
+}
+
 void Scheduler::run(const std::function<void()>& root) {
   OCTGB_CHECK_MSG(tls_scheduler == nullptr, "Scheduler::run is not reentrant");
   Worker& w0 = *all_workers_[0];
+  // Worker 0 is the caller's thread: pin for the duration of run() only,
+  // restoring the caller's mask afterwards so a service executor thread
+  // that runs jobs with different leases is never left stuck on one core.
+#ifdef __linux__
+  cpu_set_t prev_mask;
+  bool have_prev = false;
+  if (opts_.pin) {
+    have_prev = sched_getaffinity(0, sizeof(prev_mask), &prev_mask) == 0;
+    w0.pinned.store(pin_self(w0.cpu), std::memory_order_relaxed);
+  }
+#endif
   tls_scheduler = this;
   tls_worker = &w0;
   active_.store(true);
@@ -51,29 +133,38 @@ void Scheduler::run(const std::function<void()>& root) {
   active_.store(false);
   tls_scheduler = nullptr;
   tls_worker = nullptr;
+#ifdef __linux__
+  if (have_prev) (void)sched_setaffinity(0, sizeof(prev_mask), &prev_mask);
+#endif
 }
 
 void Scheduler::worker_loop(int id) {
-  Worker& w = *all_workers_[id];
+  Worker& w = *all_workers_[static_cast<std::size_t>(id)];
   tls_scheduler = this;
   tls_worker = &w;
+  if (opts_.pin)
+    w.pinned.store(pin_self(w.cpu), std::memory_order_relaxed);
   // Label this worker's trace track under the creating rank's group (a
   // no-op unless tracing was enabled before the scheduler was built).
   if (trace::enabled())
     trace::set_thread_identity(trace_pid_, "worker" + std::to_string(id));
+  int idle = 0;
   while (!shutdown_.load(std::memory_order_relaxed)) {
     if (!active_.load(std::memory_order_acquire)) {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait_for(lock, std::chrono::milliseconds(10), [&] {
         return shutdown_.load() || active_.load();
       });
+      idle = 0;
       continue;
     }
     detail::Task* t = try_acquire(w);
     if (t) {
       execute(w, t);
+      idle = 0;
     } else {
-      std::this_thread::yield();
+      backoff(idle);
+      if (idle < 16) ++idle;
     }
   }
   tls_scheduler = nullptr;
@@ -89,17 +180,41 @@ void Scheduler::spawn_task(Worker& w, std::function<void()> fn,
 
 detail::Task* Scheduler::try_acquire(Worker& w) {
   if (detail::Task* t = w.deque.pop()) return t;
-  // Randomized stealing: pick a uniformly random victim != self.
-  const std::size_t n = all_workers_.size();
-  if (n <= 1) return nullptr;
-  for (int attempt = 0; attempt < 4; ++attempt) {
-    std::size_t victim = w.rng.below(n);
-    if (victim == static_cast<std::size_t>(w.id)) continue;
-    w.steal_attempts.fetch_add(1, std::memory_order_relaxed);
-    if (detail::Task* t = all_workers_[victim]->deque.steal()) {
-      w.steals.fetch_add(1, std::memory_order_relaxed);
-      trace::instant("ws.steal");
-      return t;
+  if (all_workers_.size() <= 1) return nullptr;
+  // Hierarchical stealing: walk the tiers nearest-first, up to two random
+  // probes per tier, for two rounds with a pause between them. A thief
+  // therefore tries its L3 neighbours before paying a cross-socket cache
+  // miss, but an imbalanced remote socket is still reachable every call.
+  constexpr int kRounds = 2;
+  constexpr std::size_t kProbesPerTier = 2;
+  for (int round = 0; round < kRounds; ++round) {
+    if (round > 0) backoff(round - 1);
+    for (int tier = 0; tier < 3; ++tier) {
+      const auto& victims = w.tier[tier];
+      if (victims.empty()) continue;
+      const std::size_t probes = std::min(kProbesPerTier, victims.size());
+      for (std::size_t p = 0; p < probes; ++p) {
+        const std::uint32_t v = static_cast<std::uint32_t>(
+            victims[w.rng.below(victims.size())]);
+        w.steal_attempts.fetch_add(1, std::memory_order_relaxed);
+        if (detail::Task* t = all_workers_[v]->deque.steal()) {
+          w.steals.fetch_add(1, std::memory_order_relaxed);
+          (tier == 0   ? w.local_steals
+           : tier == 1 ? w.socket_steals
+                       : w.remote_steals)
+              .fetch_add(1, std::memory_order_relaxed);
+          if (opts_.pin) {
+            const int vb = all_workers_[v]->block_core;
+            const int lo = opts_.pin_first;
+            const int hi = opts_.pin_first + static_cast<int>(
+                                                 all_workers_.size());
+            if (vb < lo || vb >= hi)
+              w.offblock_steals.fetch_add(1, std::memory_order_relaxed);
+          }
+          trace::instant("ws.steal");
+          return t;
+        }
+      }
     }
   }
   return nullptr;
@@ -113,11 +228,14 @@ void Scheduler::execute(Worker& w, detail::Task* t) {
 }
 
 void Scheduler::wait_for(Worker& w, std::atomic<std::int64_t>& join) {
+  int idle = 0;
   while (join.load(std::memory_order_acquire) > 0) {
     if (detail::Task* t = try_acquire(w)) {
       execute(w, t);
+      idle = 0;
     } else {
-      std::this_thread::yield();
+      backoff(idle);
+      if (idle < 16) ++idle;
     }
   }
 }
@@ -214,6 +332,11 @@ SchedulerStats Scheduler::stats() const {
     s.steals += w->steals.load(std::memory_order_relaxed);
     s.steal_attempts += w->steal_attempts.load(std::memory_order_relaxed);
     s.executed += w->executed.load(std::memory_order_relaxed);
+    s.local_steals += w->local_steals.load(std::memory_order_relaxed);
+    s.socket_steals += w->socket_steals.load(std::memory_order_relaxed);
+    s.remote_steals += w->remote_steals.load(std::memory_order_relaxed);
+    s.offblock_steals += w->offblock_steals.load(std::memory_order_relaxed);
+    s.pinned_workers += w->pinned.load(std::memory_order_relaxed) ? 1 : 0;
   }
   return s;
 }
@@ -224,6 +347,10 @@ void Scheduler::reset_stats() {
     w->steals.store(0, std::memory_order_relaxed);
     w->steal_attempts.store(0, std::memory_order_relaxed);
     w->executed.store(0, std::memory_order_relaxed);
+    w->local_steals.store(0, std::memory_order_relaxed);
+    w->socket_steals.store(0, std::memory_order_relaxed);
+    w->remote_steals.store(0, std::memory_order_relaxed);
+    w->offblock_steals.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -3,11 +3,18 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "octgb/perf/counters.hpp"
 #include "octgb/perf/machine_model.hpp"
 #include "octgb/perf/stats.hpp"
+#include "octgb/perf/topology.hpp"
 
 using namespace octgb::perf;
 
@@ -222,4 +229,177 @@ TEST(MachineModel, CommCountersAccumulate) {
   EXPECT_EQ(a.bytes_internode, 150u);
   EXPECT_EQ(a.messages_intranode, 2u);
   EXPECT_EQ(a.collectives, 1u);
+}
+
+// ---- LocalityCounters ------------------------------------------------------
+
+// Same operator+= coverage guard as WorkCounters / TreeBuildCounters.
+TEST(LocalityCounters, SumCoversEveryField) {
+  static_assert(LocalityCounters::kFieldCount == 6,
+                "new LocalityCounters field: extend this test's field list");
+  LocalityCounters a;
+  std::uint64_t* const fields[LocalityCounters::kFieldCount] = {
+      &a.runs,          &a.run_owners,       &a.chunks,
+      &a.baseline_chunks, &a.prefetch_batches, &a.numa_touch_passes};
+  for (std::size_t i = 0; i < LocalityCounters::kFieldCount; ++i)
+    *fields[i] = (i + 1) * 1000 + i;  // all distinct, all nonzero
+  LocalityCounters b = a;
+  a += b;
+  for (std::size_t i = 0; i < LocalityCounters::kFieldCount; ++i)
+    EXPECT_EQ(*fields[i], 2 * ((i + 1) * 1000 + i)) << "field index " << i;
+}
+
+TEST(LocalityCounters, MeanRunLengthIsOwnersPerRun) {
+  LocalityCounters l;
+  EXPECT_DOUBLE_EQ(l.mean_run_length(), 0.0);
+  l.runs = 4;
+  l.run_owners = 10;
+  EXPECT_DOUBLE_EQ(l.mean_run_length(), 2.5);
+}
+
+// ---- CpuTopology (sysfs parsing with golden fixture trees) -----------------
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Write one sysfs attribute file, creating parents.
+void write_attr(const fs::path& path, const std::string& value) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path);
+  out << value << "\n";
+}
+
+/// A throwaway fixture root under the system temp dir, removed on scope
+/// exit.
+struct FixtureRoot {
+  fs::path root;
+  explicit FixtureRoot(const char* name)
+      : root(fs::temp_directory_path() /
+             (std::string("octgb_topo_") + name + "_" +
+              std::to_string(::getpid()))) {
+    fs::remove_all(root);
+    fs::create_directories(root);
+  }
+  ~FixtureRoot() { fs::remove_all(root); }
+  fs::path cpu(int i) const { return root / ("cpu" + std::to_string(i)); }
+};
+
+}  // namespace
+
+TEST(CpuTopology, SingleSocketSmtFixtureParses) {
+  FixtureRoot fx("smt");
+  // 4 logical cpus: one socket, one shared L3, SMT pairs (0,2) and (1,3).
+  for (int i = 0; i < 4; ++i) {
+    write_attr(fx.cpu(i) / "topology" / "physical_package_id", "0");
+    write_attr(fx.cpu(i) / "cache" / "index3" / "shared_cpu_list", "0-3");
+    write_attr(fx.cpu(i) / "topology" / "thread_siblings_list",
+               i % 2 == 0 ? "0,2" : "1,3");
+  }
+  write_attr(fx.cpu(0) / "cache" / "index3" / "size", "8192K");
+  const CpuTopology t = discover_topology(fx.root.string());
+  EXPECT_FALSE(t.flat_fallback);
+  EXPECT_EQ(t.num_cpus(), 4);
+  EXPECT_EQ(t.sockets, 1);
+  EXPECT_EQ(t.l3_domains, 1);
+  EXPECT_EQ(t.smt_groups, 2);
+  EXPECT_EQ(t.l3_bytes, 8192u * 1024u);
+  EXPECT_TRUE(t.same_l3(0, 3));
+  EXPECT_TRUE(t.same_socket(1, 2));
+}
+
+TEST(CpuTopology, TwoSocketFixtureSplitsDomains) {
+  FixtureRoot fx("2s");
+  // 2 sockets × 2 cores, one L3 per socket, no SMT.
+  for (int i = 0; i < 4; ++i) {
+    const bool second = i >= 2;
+    write_attr(fx.cpu(i) / "topology" / "physical_package_id",
+               second ? "1" : "0");
+    write_attr(fx.cpu(i) / "cache" / "index3" / "shared_cpu_list",
+               second ? "2-3" : "0-1");
+    write_attr(fx.cpu(i) / "topology" / "thread_siblings_list",
+               std::to_string(i));
+  }
+  write_attr(fx.cpu(0) / "cache" / "index3" / "size", "12288K");
+  const CpuTopology t = discover_topology(fx.root.string());
+  EXPECT_FALSE(t.flat_fallback);
+  EXPECT_EQ(t.num_cpus(), 4);
+  EXPECT_EQ(t.sockets, 2);
+  EXPECT_EQ(t.l3_domains, 2);
+  EXPECT_EQ(t.smt_groups, 4);
+  EXPECT_EQ(t.l3_bytes, 12288u * 1024u);
+  EXPECT_TRUE(t.same_l3(0, 1));
+  EXPECT_FALSE(t.same_l3(1, 2));
+  EXPECT_FALSE(t.same_socket(0, 3));
+  // MachineModel overlay: discovered shape, Table I cycle costs.
+  const MachineModel m = MachineModel::from_topology(t);
+  EXPECT_EQ(m.cores_per_node, 4);
+  EXPECT_EQ(m.sockets_per_node, 2);
+  EXPECT_DOUBLE_EQ(m.l3_bytes, 12288.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(m.cyc_spawn, MachineModel{}.cyc_spawn);
+}
+
+TEST(CpuTopology, MissingCacheInfoDegradesToSocketGranularity) {
+  FixtureRoot fx("nocache");
+  // Container case: package ids exposed, cache directories absent. Must
+  // not throw; L3 domains degrade to one per socket.
+  for (int i = 0; i < 4; ++i)
+    write_attr(fx.cpu(i) / "topology" / "physical_package_id",
+               i < 2 ? "0" : "1");
+  const CpuTopology t = discover_topology(fx.root.string());
+  EXPECT_FALSE(t.flat_fallback);
+  EXPECT_EQ(t.num_cpus(), 4);
+  EXPECT_EQ(t.sockets, 2);
+  EXPECT_EQ(t.l3_domains, 2);  // socket-granularity fallback
+  EXPECT_EQ(t.smt_groups, 4);  // per-cpu fallback
+  EXPECT_EQ(t.l3_bytes, 0u);
+  EXPECT_TRUE(t.same_l3(0, 1));
+  EXPECT_FALSE(t.same_l3(0, 2));
+}
+
+TEST(CpuTopology, EmptyRootFallsBackFlat) {
+  FixtureRoot fx("empty");
+  const CpuTopology t = discover_topology(fx.root.string(), /*fallback=*/3);
+  EXPECT_TRUE(t.flat_fallback);
+  EXPECT_EQ(t.num_cpus(), 3);
+  EXPECT_EQ(t.sockets, 1);
+  EXPECT_EQ(t.l3_domains, 1);
+  EXPECT_TRUE(t.same_l3(0, 2));
+  // Out-of-range cpu ids clamp instead of crashing.
+  EXPECT_TRUE(t.same_socket(0, 99));
+}
+
+TEST(CpuTopology, HostDiscoveryYieldsSaneSingleton) {
+  const CpuTopology& t = topology();
+  EXPECT_GE(t.num_cpus(), 1);
+  EXPECT_GE(t.sockets, 1);
+  EXPECT_GE(t.l3_domains, t.sockets > 0 ? 1 : 0);
+  EXPECT_EQ(&topology(), &t);  // one singleton
+}
+
+TEST(CpuTopology, DomainTouchZeroesExactlyOnMultiSocket) {
+  const CpuTopology two = [] {
+    CpuTopology t = flat_topology(4);
+    t.flat_fallback = false;
+    t.sockets = 2;
+    t.l3_domains = 2;
+    for (int i = 0; i < 4; ++i) t.cpus[static_cast<std::size_t>(i)] =
+        CpuTopology::Cpu{i, i < 2 ? 0 : 1, i < 2 ? 0 : 1, i};
+    return t;
+  }();
+  std::vector<double> data(100, 1.0);
+  const std::size_t boundary[] = {0, 30, 60, 100};
+  const int domain[] = {0, 1, 0};
+  EXPECT_TRUE(octgb::perf::touch_zero_by_domain(data, boundary, domain, two));
+  for (double v : data) EXPECT_EQ(v, 0.0);
+  // Single-socket topologies skip the pass entirely.
+  std::vector<double> one(10, 1.0);
+  const std::size_t b1[] = {0, 10};
+  const int d1[] = {0};
+  EXPECT_FALSE(
+      octgb::perf::touch_zero_by_domain(one, b1, d1, flat_topology(2)));
+  EXPECT_EQ(one[0], 1.0);
+  // Malformed boundaries are rejected, not trusted.
+  const std::size_t bad[] = {5, 10};
+  EXPECT_FALSE(octgb::perf::touch_zero_by_domain(one, bad, d1, two));
 }

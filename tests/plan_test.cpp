@@ -347,3 +347,148 @@ TEST(Plan, MetricsRegistryExportsPlanCounters) {
   EXPECT_EQ(reg.get_int("plan.invalidated.drift"), 1u);
   EXPECT_EQ(reg.get_int("plan.born_reuses"), 0u);
 }
+
+// ---- locality-aware execution (DESIGN.md §2.11) -----------------------------
+
+TEST(Plan, LocalityReplayBitwiseMatchesBaselineAtEveryWorkerCount) {
+  // The acceptance gate of the locality work: warm replay with
+  // run-coalesced carving must produce bitwise-identical phase buffers
+  // (node_s, atom_s, Born radii) to the locality-off carving — the PR-9
+  // baseline — at every worker count. Epol is compared bitwise only at
+  // one worker: the Epol phase folds per-range partials into the total
+  // in completion order (atomic_add in approx_epol), so its last bits
+  // are schedule-dependent whenever >1 worker runs — a pre-existing
+  // property of the energy phase, not of plan replay. The plan path
+  // itself must be (and is) exactly deterministic.
+  const Problem p(800);
+  core::EngineConfig on_cfg, off_cfg;
+  on_cfg.approx.locality = true;
+  off_cfg.approx.locality = false;
+
+  const auto moved = jittered_positions(p.molecule, 1e-7, 29);
+  for (int workers : {1, 2, 4}) {
+    GBEngine on(p.molecule, p.surf, on_cfg);
+    GBEngine off(p.molecule, p.surf, off_cfg);
+    EvalScratch s_on, s_off;
+    ws::Scheduler sched(workers);
+
+    (void)on.compute(s_on, &sched);    // capture
+    (void)off.compute(s_off, &sched);  // capture
+    on.refit_atoms(moved);             // force a true replay
+    off.refit_atoms(moved);
+    const auto r_on = on.compute(s_on, &sched);
+    const double epol_on = r_on.epol;
+    const std::vector<double> born_on(r_on.born.begin(), r_on.born.end());
+    const auto r_off = off.compute(s_off, &sched);
+    EXPECT_EQ(s_on.plan_cache.stats.replays, 1u);
+    EXPECT_EQ(s_off.plan_cache.stats.replays, 1u);
+    ASSERT_EQ(born_on.size(), r_off.born.size());
+    for (std::size_t i = 0; i < born_on.size(); ++i)
+      ASSERT_EQ(born_on[i], r_off.born[i]) << "atom " << i;
+    EXPECT_EQ(s_on.node_s, s_off.node_s) << workers << " workers";
+    EXPECT_EQ(s_on.atom_s, s_off.atom_s) << workers << " workers";
+    EXPECT_EQ(s_on.born_tree, s_off.born_tree) << workers << " workers";
+
+    if (workers == 1) {
+      EXPECT_EQ(epol_on, r_off.epol);
+      GBEngine cold(p.molecule, p.surf, on_cfg);  // traversal reference
+      cold.refit_atoms(moved);
+      const auto c = cold.compute();
+      EXPECT_EQ(epol_on, c.epol);
+      for (std::size_t i = 0; i < born_on.size(); ++i)
+        ASSERT_EQ(born_on[i], c.born[i]) << "atom " << i;
+    }
+  }
+}
+
+TEST(Plan, LocalityCarvingCoalescesRunsAndChunks) {
+  const Problem p(1500);
+  core::EngineConfig config;
+  config.approx.locality = true;
+  GBEngine warm(p.molecule, p.surf, config);
+  EvalScratch scratch;
+  (void)warm.compute(scratch);
+
+  const core::InteractionPlan& plan = scratch.plan_cache.plan;
+  const perf::LocalityCounters& l = plan.locality_stats();
+  // Morton leaves abut, so streaming runs must actually coalesce owners…
+  EXPECT_GT(l.run_owners, 0u);
+  EXPECT_LT(l.runs, l.run_owners);
+  EXPECT_GT(l.mean_run_length(), 1.0);
+  // …and the carving must produce at most half the cost-only chunk count
+  // (the bench gate, asserted here on a protein input).
+  EXPECT_GT(l.baseline_chunks, 0u);
+  EXPECT_LE(2 * l.chunks, l.baseline_chunks);
+  EXPECT_EQ(l.chunks, plan.chunks());
+  // Introspection shape: chunk bounds tile owner_order, runs tile it too,
+  // and the atom partition is monotone from 0 to the atom count.
+  ASSERT_FALSE(plan.chunk_offsets().empty());
+  EXPECT_EQ(plan.chunk_offsets().front(), 0u);
+  EXPECT_EQ(plan.chunk_offsets().back(), plan.owner_order().size());
+  ASSERT_FALSE(plan.run_offsets().empty());
+  EXPECT_EQ(plan.run_offsets().back(), plan.owner_order().size());
+  const auto ab = plan.chunk_atom_begin();
+  ASSERT_EQ(ab.size(), plan.chunks() + 1);
+  EXPECT_EQ(ab.front(), 0u);
+  EXPECT_EQ(ab.back(), p.molecule.size());
+  for (std::size_t c = 1; c < ab.size(); ++c) EXPECT_LE(ab[c - 1], ab[c]);
+}
+
+TEST(Plan, LocalityOffKeepsCostSortedCarving) {
+  const Problem p(1000);
+  core::EngineConfig config;
+  config.approx.locality = false;
+  GBEngine warm(p.molecule, p.surf, config);
+  EvalScratch scratch;
+  (void)warm.compute(scratch);
+  const core::InteractionPlan& plan = scratch.plan_cache.plan;
+  const perf::LocalityCounters& l = plan.locality_stats();
+  EXPECT_EQ(l.runs, 0u);             // no run detection off-path
+  EXPECT_TRUE(plan.run_offsets().empty());
+  EXPECT_TRUE(plan.chunk_atom_begin().empty());
+  EXPECT_EQ(l.chunks, l.baseline_chunks);  // its own carving IS the baseline
+  EXPECT_EQ(plan.prefetches_per_replay(), 0u);
+}
+
+TEST(Plan, LocalityKnobFlipRecapturesAsParamsInvalidation) {
+  const Problem p(400);
+  GBEngine warm(p.molecule, p.surf);  // locality defaults to on
+  EvalScratch scratch;
+  (void)warm.compute(scratch);
+  EXPECT_EQ(scratch.plan_cache.stats.builds, 1u);
+
+  warm.approx().locality = false;
+  (void)warm.compute(scratch);
+  EXPECT_EQ(scratch.plan_cache.stats.builds, 2u);
+  EXPECT_EQ(scratch.plan_cache.stats.invalidated_params, 1u);
+
+  warm.approx().locality = true;
+  (void)warm.compute(scratch);
+  EXPECT_EQ(scratch.plan_cache.stats.builds, 3u);
+  EXPECT_EQ(scratch.plan_cache.stats.invalidated_params, 2u);
+}
+
+TEST(Plan, MetricsRegistryExportsLocalityCounters) {
+  perf::LocalityCounters l;
+  l.runs = 4;
+  l.run_owners = 12;
+  l.chunks = 10;
+  l.baseline_chunks = 25;
+  l.prefetch_batches = 7;
+  l.numa_touch_passes = 1;
+  trace::MetricsRegistry reg;
+  reg.add_locality("", l);
+  EXPECT_EQ(reg.get_int("plan.locality.runs"), 4u);
+  EXPECT_EQ(reg.get_int("plan.locality.run_owners"), 12u);
+  EXPECT_EQ(reg.get_int("plan.locality.chunks"), 10u);
+  EXPECT_EQ(reg.get_int("plan.locality.baseline_chunks"), 25u);
+  EXPECT_EQ(reg.get_int("plan.locality.prefetch_batches"), 7u);
+  EXPECT_EQ(reg.get_int("plan.locality.numa_touch_passes"), 1u);
+  EXPECT_DOUBLE_EQ(reg.get_real("plan.locality.mean_run_length"), 3.0);
+  trace::MetricsRegistry tiers;
+  tiers.add_steal_tiers("", 5, 3, 2, 0);
+  EXPECT_EQ(tiers.get_int("ws.steal.local"), 5u);
+  EXPECT_EQ(tiers.get_int("ws.steal.socket"), 3u);
+  EXPECT_EQ(tiers.get_int("ws.steal.remote"), 2u);
+  EXPECT_EQ(tiers.get_int("ws.steal.offblock"), 0u);
+}

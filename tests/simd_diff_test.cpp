@@ -585,6 +585,45 @@ TEST(SimdEngine, WarmPlanReplayIsBitwiseAtEveryWidth) {
   }
 }
 
+TEST(SimdEngine, LocalityCarvingIsBitwiseAtEveryWidthAndPrecision) {
+  // Locality-aware run coalescing regroups the replay chunks but must
+  // not move a single arithmetic operation: at every dispatched width
+  // and precision, a warm replay with locality on reproduces the
+  // locality-off replay bit for bit (serial execution, so Epol's
+  // completion-order fold is fixed and comparable too).
+  const Problem p(350);
+  for (VectorIsa isa : available_widths()) {
+    for (Precision prec : {Precision::Double, Precision::Mixed}) {
+      core::EngineConfig on_cfg, off_cfg;
+      on_cfg.approx.vector = {isa, prec};
+      on_cfg.approx.locality = true;
+      off_cfg.approx.vector = {isa, prec};
+      off_cfg.approx.locality = false;
+      GBEngine on(p.molecule, p.surf, on_cfg);
+      GBEngine off(p.molecule, p.surf, off_cfg);
+      EvalScratch s_on, s_off;
+      (void)on.compute(s_on);    // capture
+      (void)off.compute(s_off);  // capture
+      std::vector<geom::Vec3> same;
+      same.reserve(p.molecule.size());
+      for (const auto& atom : p.molecule.atoms()) same.push_back(atom.pos);
+      on.refit_atoms(same);   // epoch bump → validate + replay
+      off.refit_atoms(same);
+      const auto r_on = on.compute(s_on);
+      const auto r_off = off.compute(s_off);
+      EXPECT_EQ(s_on.plan_cache.stats.replays, 1u);
+      EXPECT_EQ(s_off.plan_cache.stats.replays, 1u);
+      EXPECT_EQ(r_on.epol, r_off.epol)
+          << simd::isa_name(isa)
+          << (prec == Precision::Mixed ? " mixed" : "");
+      ASSERT_EQ(r_on.born.size(), r_off.born.size());
+      for (std::size_t i = 0; i < r_on.born.size(); ++i)
+        ASSERT_EQ(r_on.born[i], r_off.born[i])
+            << simd::isa_name(isa) << " atom " << i;
+    }
+  }
+}
+
 TEST(SimdEngine, VectorSwitchRepopulatesBornCache) {
   const Problem p(300);
   core::EngineConfig cfg;

@@ -591,6 +591,45 @@ TEST(SvcService, StopRejectsNewWorkAndDrains) {
   EXPECT_EQ(late.reject(), svc::RejectReason::ShuttingDown);
 }
 
+TEST(SvcService, PinnedJobsReportZeroOffblockSteals) {
+  // With pin_cores on (the default), every job's scheduler workers sit on
+  // the job's leased core block, and no steal may cross a block boundary:
+  // ws.steal.offblock must stay exactly 0 for the service lifetime
+  // (DESIGN.md §2.11). Width-2 jobs force real multi-worker scheduling.
+  svc::ScoringService service(small_service_config());
+  ASSERT_TRUE(service.config().pin_cores);
+  std::vector<svc::JobTicket> tickets;
+  for (std::uint64_t seed : {71u, 72u, 73u, 74u})
+    tickets.push_back(service.submit(make_request(seed, 400)));
+  for (auto& t : tickets) {
+    ASSERT_TRUE(t.accepted());
+    EXPECT_EQ(t.result().cores, 2);
+  }
+  const auto st = service.steal_tiers();
+  EXPECT_EQ(st.offblock, 0u);
+  // Pinning is best-effort; on hosts where affinity calls succeed the
+  // stats also surface how many workers actually landed on their core.
+  trace::MetricsRegistry m;
+  service.export_metrics(m);
+  EXPECT_TRUE(m.contains("ws.steal.offblock"));
+  EXPECT_EQ(m.get_int("ws.steal.offblock"), 0u);
+  EXPECT_TRUE(m.contains("ws.pinned_workers"));
+}
+
+TEST(SvcService, UnpinnedServiceStillExportsStealTiers) {
+  svc::ServiceConfig cfg = small_service_config();
+  cfg.pin_cores = false;
+  svc::ScoringService service(cfg);
+  auto t = service.submit(make_request(75, 400));
+  ASSERT_TRUE(t.accepted());
+  t.wait();
+  const auto st = service.steal_tiers();
+  EXPECT_EQ(st.pinned_workers, 0u) << "pin_cores off must not pin";
+  trace::MetricsRegistry m;
+  service.export_metrics(m);
+  EXPECT_EQ(m.get_int("ws.pinned_workers"), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Concurrency (the TSan targets)
 // ---------------------------------------------------------------------------
@@ -600,15 +639,23 @@ TEST(SvcConcurrency, CoalescedMissesBuildOnce) {
   const auto mol = small_protein(61, 150);
   const Digest d = svc::digest_molecule(mol);
   std::atomic<int> builds{0};
+  std::atomic<int> arrived{0};
   auto builder = [&]() {
     ++builds;
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // Hold the build open until every thread has reached acquire(), so
+    // the misses genuinely overlap even when a loaded host delays some
+    // thread spawns past the build (bounded escape: 2 s).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (arrived.load() < 8 && std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
     return session_builder(mol)();
   };
   std::vector<std::thread> threads;
   std::atomic<int> ok{0};
   for (int i = 0; i < 8; ++i) {
     threads.emplace_back([&] {
+      ++arrived;
       auto a = cache.acquire(d, builder);
       if (a && a->session) ++ok;
     });

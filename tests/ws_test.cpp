@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "octgb/perf/topology.hpp"
 #include "octgb/ws/deque.hpp"
 #include "octgb/ws/scheduler.hpp"
 
@@ -368,4 +369,143 @@ TEST(Scheduler, DeepRecursionDoesNotStarve) {
   };
   sched.run([&] { chain(300); });
   EXPECT_EQ(depth_reached.load(), 300);
+}
+
+TEST(Deque, GrowthUnderConcurrentSteals) {
+  // Satellite stress for the TSan leg: the owner pushes far past the
+  // initial capacity — forcing grow() while thieves hold references to
+  // the old array — and four thieves drain concurrently. Every item must
+  // still be delivered exactly once.
+  constexpr int kItems = 10000;
+  ChaseLevDeque<int> d(4);  // tiny initial capacity: many grows
+  std::vector<int> vals(kItems);
+  std::vector<std::atomic<int>> delivered(kItems);
+  for (auto& a : delivered) a.store(0);
+
+  std::atomic<bool> done{false};
+  auto thief = [&] {
+    while (!done.load() || d.size_approx() > 0) {
+      if (int* p = d.steal()) {
+        delivered[static_cast<std::size_t>(p - vals.data())].fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < 4; ++t) thieves.emplace_back(thief);
+
+  // Pure pushes: the owner never pops, so the deque stays near its high
+  // water mark and every capacity doubling races live steals.
+  for (int i = 0; i < kItems; ++i) {
+    vals[i] = i;
+    d.push(&vals[i]);
+  }
+  done.store(true);
+  for (auto& t : thieves) t.join();
+  while (int* p = d.steal())
+    delivered[static_cast<std::size_t>(p - vals.data())].fetch_add(1);
+
+  for (int i = 0; i < kItems; ++i)
+    ASSERT_EQ(delivered[i].load(), 1) << "item " << i;
+}
+
+// ---- locality-aware stealing (DESIGN.md §2.11) -----------------------------
+
+namespace {
+
+/// Synthetic 2-socket topology: cpus [0, half) on socket/L3 0, the rest on
+/// socket/L3 1.
+octgb::perf::CpuTopology two_socket_topo(int n, int half) {
+  octgb::perf::CpuTopology t = octgb::perf::flat_topology(n);
+  t.flat_fallback = false;
+  t.sockets = 2;
+  t.l3_domains = 2;
+  for (int i = 0; i < n; ++i)
+    t.cpus[static_cast<std::size_t>(i)] =
+        octgb::perf::CpuTopology::Cpu{i, i < half ? 0 : 1, i < half ? 0 : 1,
+                                      i};
+  return t;
+}
+
+}  // namespace
+
+TEST(Scheduler, TieredStealsClassifyAgainstTopology) {
+  // 4 workers on a synthetic 2-socket host: steals must be classified,
+  // the classes must sum to the total, and the fork-join result must be
+  // exactly the serial sum regardless of who stole what.
+  const auto topo = two_socket_topo(4, 2);
+  octgb::ws::SchedulerOptions opts;
+  opts.topology = &topo;
+  Scheduler sched(4, opts);
+  EXPECT_EQ(sched.worker_cpu(0), 0);
+  EXPECT_EQ(sched.worker_cpu(3), 3);
+  long long total = 0;
+  sched.run([&] { total = psum(0, 200000); });
+  EXPECT_EQ(total, 200000LL * 199999 / 2);
+  const auto st = sched.stats();
+  EXPECT_EQ(st.local_steals + st.socket_steals + st.remote_steals,
+            st.steals);
+  EXPECT_EQ(st.offblock_steals, 0u);  // not pinned: never counted
+}
+
+TEST(Scheduler, ResultsBitIdenticalAcrossTopologiesAndWorkerCounts) {
+  // parallel_reduce has a fixed combination tree, so the double result is
+  // bitwise identical whatever the victim hierarchy or worker count.
+  const auto body = [](std::int64_t lo, std::int64_t hi) {
+    double s = 0.0;
+    for (std::int64_t i = lo; i < hi; ++i)
+      s += 1.0 / (1.0 + static_cast<double>(i));
+    return s;
+  };
+  double ref = 0.0;
+  {
+    Scheduler s1(1);
+    s1.run([&] { ref = Scheduler::parallel_reduce(0, 50000, 64, body); });
+  }
+  for (int workers : {2, 3, 4}) {
+    for (int half : {1, 2}) {
+      const auto topo = two_socket_topo(4, half);
+      octgb::ws::SchedulerOptions opts;
+      opts.topology = &topo;
+      Scheduler sched(workers, opts);
+      double got = 0.0;
+      sched.run([&] { got = Scheduler::parallel_reduce(0, 50000, 64, body); });
+      EXPECT_EQ(got, ref) << workers << " workers, half=" << half;
+    }
+  }
+}
+
+TEST(Scheduler, VictimTiersReflectCacheDistance) {
+  // On a 1-L3 topology every victim is local; on a split topology a
+  // worker across the boundary is remote. Exercised through the stats:
+  // with a single L3, all successful steals must classify as local.
+  const auto topo = two_socket_topo(4, 4);  // half=4: everyone socket 0
+  octgb::ws::SchedulerOptions opts;
+  opts.topology = &topo;
+  Scheduler sched(4, opts);
+  long long total = 0;
+  sched.run([&] { total = psum(0, 200000); });
+  EXPECT_EQ(total, 200000LL * 199999 / 2);
+  const auto st = sched.stats();
+  EXPECT_EQ(st.socket_steals, 0u);
+  EXPECT_EQ(st.remote_steals, 0u);
+  EXPECT_EQ(st.local_steals, st.steals);
+}
+
+TEST(Scheduler, PinnedBlockReportsZeroOffblockSteals) {
+  // Pin onto the host topology (best effort — on hosts with fewer cores
+  // than workers the pin calls may fail, which must degrade gracefully,
+  // never throw). The off-block invariant holds structurally.
+  octgb::ws::SchedulerOptions opts;
+  opts.pin = true;
+  opts.pin_first = 0;
+  Scheduler sched(3, opts);
+  long long total = 0;
+  sched.run([&] { total = psum(0, 100000); });
+  EXPECT_EQ(total, 100000LL * 99999 / 2);
+  const auto st = sched.stats();
+  EXPECT_EQ(st.offblock_steals, 0u);
+  EXPECT_LE(st.pinned_workers, 3u);
+  // A second run works after the caller's affinity mask was restored.
+  sched.run([&] { total = psum(0, 1000); });
+  EXPECT_EQ(total, 1000LL * 999 / 2);
 }
